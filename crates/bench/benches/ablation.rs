@@ -1,0 +1,103 @@
+//! Timed ablation arms: the runtime cost of the design choices (the
+//! *quality* ablations live in the `ablations` binary).
+//!
+//! - dynamic predictor stepping with/without calibration;
+//! - feature encodings of different width through the full predict path;
+//! - warm-up curve evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vmtherm_core::calibration::Calibrator;
+use vmtherm_core::curve::WarmupCurve;
+use vmtherm_core::dynamic::{DynamicConfig, DynamicPredictor};
+use vmtherm_core::features::FeatureEncoding;
+use vmtherm_core::predictor::OnlinePredictor;
+use vmtherm_sim::experiment::{ConfigSnapshot, VmInfo};
+use vmtherm_sim::workload::TaskProfile;
+
+fn snapshot() -> ConfigSnapshot {
+    ConfigSnapshot {
+        theta_cpu: 38.4,
+        theta_memory_gb: 64.0,
+        fan_count: 4,
+        fan_airflow_cfm: 144.0,
+        vms: (0..8)
+            .map(|i| VmInfo {
+                vcpus: 2,
+                memory_gb: 4.0,
+                task: if i % 2 == 0 {
+                    TaskProfile::CpuBound
+                } else {
+                    TaskProfile::Mixed
+                },
+            })
+            .collect(),
+        ambient_c: 24.0,
+    }
+}
+
+fn bench_dynamic_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamic_step");
+    for (label, calibrate) in [("calibrated", true), ("uncalibrated", false)] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            let mut cfg = DynamicConfig::new();
+            if !calibrate {
+                cfg = cfg.without_calibration();
+            }
+            let mut p = DynamicPredictor::new(cfg).expect("config");
+            p.anchor(0.0, 30.0, 60.0);
+            let mut t = 0.0;
+            b.iter(|| {
+                t += 1.0;
+                p.observe(t, black_box(45.0));
+                black_box(p.predict_ahead(t, 60.0))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_feature_encoding(c: &mut Criterion) {
+    let snap = snapshot();
+    let mut group = c.benchmark_group("feature_encoding");
+    for (label, enc) in [
+        ("full", FeatureEncoding::Full),
+        ("no_env", FeatureEncoding::NoEnvironment),
+        ("count_only", FeatureEncoding::CountOnly),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| enc.encode(black_box(&snap)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_curve_and_calibrator(c: &mut Criterion) {
+    let curve = WarmupCurve::standard(30.0, 60.0);
+    c.bench_function("warmup_curve_value", |b| {
+        let mut t = 0.0;
+        b.iter(|| {
+            t += 0.37;
+            if t > 600.0 {
+                t = 0.0;
+            }
+            black_box(curve.value(t))
+        });
+    });
+    c.bench_function("calibrator_observe", |b| {
+        let mut cal = Calibrator::standard();
+        let mut t = 0.0;
+        b.iter(|| {
+            t += 15.0;
+            cal.observe(t, black_box(50.3), black_box(50.0))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_dynamic_step,
+    bench_feature_encoding,
+    bench_curve_and_calibrator
+);
+criterion_main!(benches);

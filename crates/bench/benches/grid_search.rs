@@ -1,0 +1,52 @@
+//! Grid-search wall time — the offline cost of the paper's easygrid
+//! protocol, across grid sizes and fold counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vmtherm_svm::data::Dataset;
+use vmtherm_svm::grid::GridSearch;
+use vmtherm_svm::kernel::Kernel;
+use vmtherm_svm::svr::SvrParams;
+
+fn synthetic_dataset(n: usize) -> Dataset {
+    let mut ds = Dataset::new(14);
+    let mut state = 0x1357_9BDF_2468_ACE0_u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+    };
+    for _ in 0..n {
+        let x: Vec<f64> = (0..14).map(|_| next()).collect();
+        let y = 45.0 + 9.0 * x[1] + 5.0 * (x[2] * x[9]).tanh();
+        ds.push(x, y);
+    }
+    ds
+}
+
+fn bench_grid_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grid_search");
+    group.sample_size(10);
+    let ds = synthetic_dataset(120);
+    for &(cells_c, cells_g, folds) in &[(3usize, 3usize, 5usize), (5, 4, 5), (5, 4, 10)] {
+        let c_values: Vec<f64> = (0..cells_c).map(|i| 2f64.powi(2 * i as i32 + 1)).collect();
+        let g_values: Vec<f64> = (0..cells_g).map(|i| 2f64.powi(-2 * i as i32 - 3)).collect();
+        let label = format!("{}x{}cells_{}fold", cells_c, cells_g, folds);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &ds, |b, ds| {
+            b.iter(|| {
+                GridSearch::new()
+                    .with_c_values(c_values.clone())
+                    .with_gamma_values(g_values.clone())
+                    .with_base_params(SvrParams::new().with_kernel(Kernel::rbf(1.0)))
+                    .with_folds(folds)
+                    .with_seed(1)
+                    .run(ds)
+                    .expect("grid")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grid_search);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Simulator stepping throughput: how many simulated server-seconds per
+//! wall-clock second the substrate delivers, across fleet sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vmtherm_sim::workload::TaskProfile;
+use vmtherm_sim::{
+    AmbientModel, Datacenter, ServerId, ServerSpec, SimDuration, Simulation, VmSpec,
+};
+
+fn build_sim(servers: usize, vms_per_server: usize) -> Simulation {
+    let mut dc = Datacenter::new();
+    for i in 0..servers {
+        dc.add_server(ServerSpec::standard(format!("n{i}")), 25.0, i as u64);
+    }
+    let mut sim = Simulation::new(dc, AmbientModel::Fixed(25.0), 1);
+    for s in 0..servers {
+        for v in 0..vms_per_server {
+            let task = match v % 3 {
+                0 => TaskProfile::CpuBound,
+                1 => TaskProfile::WebServer,
+                _ => TaskProfile::Mixed,
+            };
+            sim.boot_vm_now(
+                ServerId::new(s),
+                VmSpec::new(format!("vm{s}-{v}"), 2, 2.0, task),
+            )
+            .expect("boot");
+        }
+    }
+    sim
+}
+
+fn bench_sim_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_step");
+    for &(servers, vms) in &[(1usize, 4usize), (8, 4), (32, 4), (8, 12)] {
+        group.throughput(Throughput::Elements((servers * 60) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{servers}srv_x_{vms}vm_60s")),
+            &(servers, vms),
+            |b, &(servers, vms)| {
+                b.iter_batched(
+                    || build_sim(servers, vms),
+                    |mut sim| sim.run_for(SimDuration::from_secs(60)),
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_step);
+criterion_main!(benches);

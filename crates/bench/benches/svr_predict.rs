@@ -1,0 +1,53 @@
+//! Prediction latency of the deployed stable model.
+//!
+//! In the paper's deployment the model answers online queries ("the model
+//! received data collected online and output prediction values"); per-query
+//! latency bounds how often a controller can consult it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vmtherm_svm::data::Dataset;
+use vmtherm_svm::kernel::Kernel;
+use vmtherm_svm::svr::{SvrModel, SvrParams};
+
+fn synthetic_dataset(n: usize) -> Dataset {
+    let mut ds = Dataset::new(14);
+    let mut state = 0xDEAD_BEEF_1234_5678_u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+    };
+    for _ in 0..n {
+        let x: Vec<f64> = (0..14).map(|_| next()).collect();
+        let y = 40.0 + 10.0 * x[0] + 6.0 * (x[3] + x[7]).tanh();
+        ds.push(x, y);
+    }
+    ds
+}
+
+fn bench_svr_predict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("svr_predict");
+    for &n in &[100usize, 400] {
+        let ds = synthetic_dataset(n);
+        // Tight epsilon keeps many support vectors: worst-case latency.
+        let params = SvrParams::new()
+            .with_c(64.0)
+            .with_epsilon(0.01)
+            .with_kernel(Kernel::rbf(0.05));
+        let model = SvrModel::train(&ds, params).expect("train");
+        let query: Vec<f64> = (0..14).map(|i| (i as f64 * 0.13).sin()).collect();
+        group.bench_with_input(
+            BenchmarkId::new("support_vectors", model.num_support_vectors()),
+            &model,
+            |b, m| {
+                b.iter(|| m.predict(black_box(&query)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_svr_predict);
+criterion_main!(benches);

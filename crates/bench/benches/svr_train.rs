@@ -1,0 +1,49 @@
+//! SVR training throughput vs dataset size.
+//!
+//! The paper's model retrains offline as new experiment records arrive;
+//! this bench establishes how training cost scales with the record count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vmtherm_svm::data::Dataset;
+use vmtherm_svm::kernel::Kernel;
+use vmtherm_svm::svr::{SvrModel, SvrParams};
+
+/// Synthetic regression problem resembling the scaled Eq. (2) records:
+/// 14 features in [-1, 1], smooth nonlinear target.
+pub fn synthetic_dataset(n: usize) -> Dataset {
+    let mut ds = Dataset::new(14);
+    let mut state = 0x9E37_79B9_7F4A_7C15_u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+    };
+    for _ in 0..n {
+        let x: Vec<f64> = (0..14).map(|_| next()).collect();
+        let y =
+            50.0 + 8.0 * x[0] + 5.0 * x[4] + 4.0 * (x[5] * x[6]).tanh() + 2.0 * (3.0 * x[8]).sin();
+        ds.push(x, y);
+    }
+    ds
+}
+
+fn bench_svr_train(c: &mut Criterion) {
+    let mut group = c.benchmark_group("svr_train");
+    group.sample_size(10);
+    for &n in &[50usize, 100, 200, 400] {
+        let ds = synthetic_dataset(n);
+        let params = SvrParams::new()
+            .with_c(128.0)
+            .with_epsilon(0.05)
+            .with_kernel(Kernel::rbf(0.05));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ds, |b, ds| {
+            b.iter(|| SvrModel::train(black_box(ds), params).expect("train"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_svr_train);
+criterion_main!(benches);

@@ -1,0 +1,194 @@
+//! Ablation study over the design choices DESIGN.md §6 calls out:
+//!
+//! 1. calibration learning rate λ (paper fixes 0.8);
+//! 2. kernel family for the stable model (paper uses RBF);
+//! 3. feature-set ablations of Eq. (2) (drop δ_env; collapse ξ_VM to a
+//!    count);
+//! 4. sensitivity of ψ_stable to the break time t_break (paper deduces
+//!    600 s from experiments);
+//! 5. re-anchoring on reconfiguration (our explicit extension of Eq. (3)
+//!    to repeated runtime events);
+//! 6. the curve shape parameter δ of Eq. (3).
+//!
+//! Run with: `cargo run --release -p vmtherm-bench --bin ablations`
+
+use vmtherm_bench::{dynamic_scenario, train_stable_model, training_campaign};
+use vmtherm_core::dynamic::{DynamicConfig, DynamicPredictor};
+use vmtherm_core::eval::{evaluate_dynamic, evaluate_stable};
+use vmtherm_core::features::FeatureEncoding;
+use vmtherm_core::stable::{run_experiments, StablePredictor, TrainingOptions};
+use vmtherm_sim::{CaseGenerator, SimDuration, SimTime};
+use vmtherm_svm::kernel::Kernel;
+use vmtherm_svm::svr::SvrParams;
+
+fn main() {
+    println!("=== Ablations ===\n");
+    let train = training_campaign(150, 42);
+    let model = train_stable_model(&train, false);
+    let mut generator = CaseGenerator::new(555);
+    let test_configs: Vec<_> = generator
+        .random_cases(20, 60_000)
+        .into_iter()
+        .map(|c| c.with_duration(SimDuration::from_secs(1200)))
+        .collect();
+    let test = run_experiments(&test_configs);
+
+    // ---- 1. lambda sweep ---------------------------------------------------
+    println!("--- 1. calibration learning rate lambda (paper: 0.8) ---");
+    println!("gap = 60 s, update = 15 s, averaged over 4 scenarios");
+    let scenarios: Vec<_> = (0..4)
+        .map(|i| dynamic_scenario(&model, 4 + i, 2, 4, 24.0, 900, 1800, 300 + i as u64))
+        .collect();
+    println!("lambda    MSE");
+    for lambda in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
+        let mse = scenarios
+            .iter()
+            .map(|s| {
+                let mut p = DynamicPredictor::new(
+                    DynamicConfig::new()
+                        .with_lambda(lambda)
+                        .with_update_interval(15.0),
+                )
+                .expect("config");
+                evaluate_dynamic(&mut p, &s.series, 60.0, &s.anchors).mse
+            })
+            .sum::<f64>()
+            / scenarios.len() as f64;
+        let marker = if (lambda - 0.8).abs() < 1e-9 {
+            "  <- paper"
+        } else {
+            ""
+        };
+        println!("{lambda:>6.1} {mse:>7.3}{marker}");
+    }
+
+    // ---- 2. kernel comparison ----------------------------------------------
+    println!("\n--- 2. kernel family for the stable model (paper: RBF) ---");
+    println!("kernel      test MSE   #SV");
+    for (name, kernel) in [
+        ("linear", Kernel::Linear),
+        (
+            "poly-3",
+            Kernel::Polynomial {
+                gamma: 0.02,
+                coef0: 1.0,
+                degree: 3,
+            },
+        ),
+        ("rbf", Kernel::rbf(0.02)),
+        (
+            "sigmoid",
+            Kernel::Sigmoid {
+                gamma: 0.01,
+                coef0: 0.0,
+            },
+        ),
+    ] {
+        let opts = TrainingOptions::new().with_params(
+            SvrParams::new()
+                .with_c(128.0)
+                .with_epsilon(0.05)
+                .with_kernel(kernel),
+        );
+        let m = StablePredictor::fit(&train, &opts).expect("fit");
+        let report = evaluate_stable(&m, &test);
+        let marker = if name == "rbf" { "  <- paper" } else { "" };
+        println!(
+            "{name:<10} {:>8.3} {:>5}{marker}",
+            report.mse,
+            m.num_support_vectors()
+        );
+    }
+
+    // ---- 3. feature ablation -----------------------------------------------
+    println!("\n--- 3. Eq. (2) feature-set ablation ---");
+    println!("encoding        dim   test MSE");
+    for (name, enc) in [
+        ("full", FeatureEncoding::Full),
+        ("no-env", FeatureEncoding::NoEnvironment),
+        ("count-only", FeatureEncoding::CountOnly),
+    ] {
+        let opts = TrainingOptions::new()
+            .with_params(
+                SvrParams::new()
+                    .with_c(128.0)
+                    .with_epsilon(0.05)
+                    .with_kernel(Kernel::rbf(0.02)),
+            )
+            .with_encoding(enc);
+        let m = StablePredictor::fit(&train, &opts).expect("fit");
+        let report = evaluate_stable(&m, &test);
+        println!("{name:<14} {:>4} {:>9.3}", enc.dim(), report.mse);
+    }
+
+    // ---- 4. t_break sensitivity --------------------------------------------
+    println!("\n--- 4. psi_stable sensitivity to t_break (paper: 600 s) ---");
+    println!("t_break   psi_stable (one case)   |delta vs 600s|");
+    let case = CaseGenerator::new(9)
+        .random_case(123)
+        .with_duration(SimDuration::from_secs(1500));
+    let outcome = case.run();
+    let reference = outcome
+        .sensor_series
+        .mean_after(SimTime::from_secs(600))
+        .expect("samples");
+    for t_break in [300u64, 450, 600, 750, 900] {
+        let psi = outcome
+            .sensor_series
+            .mean_after(SimTime::from_secs(t_break))
+            .expect("samples");
+        let marker = if t_break == 600 { "  <- paper" } else { "" };
+        println!(
+            "{t_break:>6}s {psi:>12.3} C {:>18.3}{marker}",
+            (psi - reference).abs()
+        );
+    }
+
+    // ---- 5. re-anchoring ----------------------------------------------------
+    println!("\n--- 5. re-anchoring on reconfiguration (our Eq. (3) extension) ---");
+    let s = &scenarios[1];
+    let with_anchor = {
+        let mut p = DynamicPredictor::new(DynamicConfig::new()).expect("config");
+        evaluate_dynamic(&mut p, &s.series, 60.0, &s.anchors).mse
+    };
+    let without_anchor = {
+        let mut p = DynamicPredictor::new(DynamicConfig::new()).expect("config");
+        evaluate_dynamic(&mut p, &s.series, 60.0, &s.anchors[..1]).mse
+    };
+    println!("re-anchor at reconfiguration: MSE = {with_anchor:.3}");
+    println!("single anchor at t=0 only:    MSE = {without_anchor:.3}");
+    println!(
+        "re-anchoring {}",
+        if with_anchor <= without_anchor {
+            "helps (as designed)"
+        } else {
+            "did not help here"
+        }
+    );
+
+    // ---- 6. curve shape delta ----------------------------------------------
+    println!(
+        "\n--- 6. Eq. (3) curve shape delta (default {}) ---",
+        vmtherm_core::curve::WarmupCurve::DEFAULT_DELTA
+    );
+    println!("gap = 60 s, update = 15 s, averaged over 4 scenarios");
+    println!(" delta    MSE");
+    for delta in [0.005, 0.02, 0.05, 0.1, 0.3] {
+        let mse = scenarios
+            .iter()
+            .map(|s| {
+                let mut cfg = DynamicConfig::new();
+                cfg.delta = delta;
+                let mut p = DynamicPredictor::new(cfg).expect("config");
+                evaluate_dynamic(&mut p, &s.series, 60.0, &s.anchors).mse
+            })
+            .sum::<f64>()
+            / scenarios.len() as f64;
+        let marker = if (delta - vmtherm_core::curve::WarmupCurve::DEFAULT_DELTA).abs() < 1e-9 {
+            "  <- default"
+        } else {
+            ""
+        };
+        println!("{delta:>6} {mse:>7.3}{marker}");
+    }
+}

@@ -1,0 +1,216 @@
+//! Shared harness code for the figure-regeneration binaries and the
+//! Criterion benches.
+//!
+//! Everything the three figures need — the training campaign, the deployed
+//! stable model, and the dynamic scenarios with reconfiguration events —
+//! is built here once so `fig1a`, `fig1b`, `fig1c` and the ablation
+//! harness all run the *same* pipeline with the same constants.
+
+use vmtherm_core::dynamic::{DynamicConfig, DynamicPredictor};
+use vmtherm_core::eval::{evaluate_dynamic, AnchorPoint, DynamicEvalReport};
+use vmtherm_core::stable::{run_experiments, StablePredictor, TrainingOptions};
+use vmtherm_sim::experiment::{ConfigSnapshot, ExperimentOutcome};
+use vmtherm_sim::telemetry::TimeSeries;
+use vmtherm_sim::workload::TaskProfile;
+use vmtherm_sim::{
+    AmbientModel, CaseGenerator, Datacenter, Event, ServerSpec, SimDuration, SimTime, Simulation,
+    VmSpec,
+};
+use vmtherm_svm::kernel::Kernel;
+use vmtherm_svm::svr::SvrParams;
+
+/// Size of the training campaign behind the deployed model.
+pub const TRAIN_CASES: usize = 200;
+
+/// Experiment length used when collecting records (s). Longer than
+/// `t_break = 600` so Eq. (1) averages a settled signal.
+pub const EXPERIMENT_SECS: u64 = 1200;
+
+/// Runs the training campaign: `n` randomized experiments in the paper's
+/// ranges (2–12 VMs, 2–6 fans, 18–28 °C).
+#[must_use]
+pub fn training_campaign(n: usize, seed: u64) -> Vec<ExperimentOutcome> {
+    let mut generator = CaseGenerator::new(seed);
+    let configs: Vec<_> = generator
+        .random_cases(n, seed.wrapping_mul(31).wrapping_add(1_000))
+        .into_iter()
+        .map(|c| c.with_duration(SimDuration::from_secs(EXPERIMENT_SECS)))
+        .collect();
+    run_experiments(&configs)
+}
+
+/// The fixed hyper-parameters the harness uses when it skips grid search
+/// (they sit inside the grid's winning region; see `EXPERIMENTS.md`).
+#[must_use]
+pub fn tuned_params() -> SvrParams {
+    SvrParams::new()
+        .with_c(128.0)
+        .with_epsilon(0.05)
+        .with_kernel(Kernel::rbf(0.02))
+}
+
+/// Trains the deployed stable model. `grid_search = true` reproduces the
+/// paper's easygrid + 10-fold-CV protocol (slower); `false` uses
+/// [`tuned_params`].
+#[must_use]
+pub fn train_stable_model(outcomes: &[ExperimentOutcome], grid_search: bool) -> StablePredictor {
+    let options = if grid_search {
+        TrainingOptions::new().with_folds(10)
+    } else {
+        TrainingOptions::new().with_params(tuned_params())
+    };
+    StablePredictor::fit(outcomes, &options).expect("stable model training failed")
+}
+
+/// One dynamic scenario: a server (4 fans by default, per Fig. 1(c)) that
+/// boots a VM set at t = 0 and receives a reconfiguration burst mid-run.
+#[derive(Debug, Clone)]
+pub struct DynamicScenario {
+    /// Sensor series measured over the run.
+    pub series: TimeSeries,
+    /// Anchor points (t, ψ_stable prediction) for the dynamic predictor.
+    pub anchors: Vec<AnchorPoint>,
+    /// Snapshot before the mid-run reconfiguration.
+    pub snapshot_before: ConfigSnapshot,
+    /// Snapshot after the mid-run reconfiguration.
+    pub snapshot_after: ConfigSnapshot,
+}
+
+/// Builds and runs a dynamic scenario.
+///
+/// The server starts idle-warm, boots `initial_vms` heterogeneous VMs at
+/// t = 0, and at `reconfig_at_secs` boots `burst_vms` extra cpu-bound VMs
+/// (a tenancy burst). ψ_stable anchors come from the supplied stable
+/// model, exactly as the deployed system would obtain them.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn dynamic_scenario(
+    model: &StablePredictor,
+    initial_vms: usize,
+    burst_vms: usize,
+    fans: u32,
+    ambient: f64,
+    reconfig_at_secs: u64,
+    total_secs: u64,
+    seed: u64,
+) -> DynamicScenario {
+    let mut dc = Datacenter::new();
+    let server = ServerSpec::commodity("dyn", 16, 2.4, 64.0, fans);
+    let sid = dc.add_server(server, ambient, seed);
+    let mut sim = Simulation::new(dc, AmbientModel::Fixed(ambient), seed);
+
+    let tasks = [
+        TaskProfile::CpuBound,
+        TaskProfile::Mixed,
+        TaskProfile::WebServer,
+        TaskProfile::MemoryBound,
+        TaskProfile::Bursty,
+    ];
+    for i in 0..initial_vms {
+        let task = tasks[i % tasks.len()];
+        sim.boot_vm_now(sid, VmSpec::new(format!("vm-{i}"), 2, 4.0, task))
+            .expect("scenario VM placement");
+    }
+    let snapshot_before = ConfigSnapshot::capture(&sim, sid, ambient);
+
+    for j in 0..burst_vms {
+        sim.schedule(
+            SimTime::from_secs(reconfig_at_secs),
+            Event::BootVm {
+                server: sid,
+                spec: VmSpec::new(format!("burst-{j}"), 2, 4.0, TaskProfile::CpuBound),
+            },
+        );
+    }
+    sim.run_until(SimTime::from_secs(total_secs));
+
+    let snapshot_after = ConfigSnapshot::capture(&sim, sid, ambient);
+    let series = sim.trace(sid).expect("trace").sensor_c.clone();
+
+    let anchors = vec![
+        AnchorPoint {
+            t_secs: 0.0,
+            psi_stable: model.predict(&snapshot_before),
+        },
+        AnchorPoint {
+            t_secs: reconfig_at_secs as f64,
+            psi_stable: model.predict(&snapshot_after),
+        },
+    ];
+    DynamicScenario {
+        series,
+        anchors,
+        snapshot_before,
+        snapshot_after,
+    }
+}
+
+/// Scores one `(Δ_gap, Δ_update)` cell over a scenario with the dynamic
+/// predictor.
+#[must_use]
+pub fn score_dynamic(
+    scenario: &DynamicScenario,
+    gap_secs: f64,
+    update_secs: f64,
+    calibrate: bool,
+) -> DynamicEvalReport {
+    let mut cfg = DynamicConfig::new().with_update_interval(update_secs);
+    if !calibrate {
+        cfg = cfg.without_calibration();
+    }
+    let mut predictor = DynamicPredictor::new(cfg).expect("dynamic config");
+    evaluate_dynamic(
+        &mut predictor,
+        &scenario.series,
+        gap_secs,
+        &scenario.anchors,
+    )
+}
+
+/// Formats a float table cell.
+#[must_use]
+pub fn cell(v: f64) -> String {
+    format!("{v:>7.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_campaign_and_model() {
+        let outcomes = training_campaign(15, 3);
+        assert_eq!(outcomes.len(), 15);
+        let model = train_stable_model(&outcomes, false);
+        let pred = model.predict(&outcomes[0].snapshot);
+        assert!((20.0..90.0).contains(&pred), "prediction {pred}");
+    }
+
+    #[test]
+    fn scenario_shape() {
+        let outcomes = training_campaign(15, 4);
+        let model = train_stable_model(&outcomes, false);
+        let s = dynamic_scenario(&model, 4, 2, 4, 24.0, 600, 1200, 9);
+        assert_eq!(s.series.len(), 1200);
+        assert_eq!(s.anchors.len(), 2);
+        assert_eq!(s.snapshot_after.vms.len(), s.snapshot_before.vms.len() + 2);
+        // (burst of 2 requested below)
+        // Burst raises the predicted stable temperature.
+        assert!(s.anchors[1].psi_stable > s.anchors[0].psi_stable);
+    }
+
+    #[test]
+    fn calibration_beats_open_loop_on_scenarios() {
+        let outcomes = training_campaign(20, 5);
+        let model = train_stable_model(&outcomes, false);
+        let s = dynamic_scenario(&model, 5, 2, 4, 25.0, 600, 1400, 11);
+        let cal = score_dynamic(&s, 60.0, 15.0, true);
+        let open = score_dynamic(&s, 60.0, 15.0, false);
+        assert!(
+            cal.mse <= open.mse + 0.25,
+            "cal {} vs open {}",
+            cal.mse,
+            open.mse
+        );
+    }
+}

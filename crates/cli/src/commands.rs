@@ -1,0 +1,587 @@
+//! The CLI subcommands. Each returns its human-readable output so tests
+//! can drive commands without spawning processes.
+
+use crate::args::Flags;
+use std::fmt::Write as _;
+use std::fs;
+use vmtherm_core::dynamic::{DynamicConfig, DynamicPredictor};
+use vmtherm_core::eval::{evaluate_dynamic, AnchorPoint};
+use vmtherm_core::features::FeatureEncoding;
+use vmtherm_core::stable::{
+    dataset_from_outcomes, run_experiments, StablePredictor, TrainingOptions,
+};
+use vmtherm_sim::experiment::ConfigSnapshot;
+use vmtherm_sim::{
+    AmbientModel, CaseGenerator, Datacenter, Event, ServerSpec, SimDuration, SimTime, Simulation,
+    TaskProfile, VmSpec,
+};
+use vmtherm_svm::data::Dataset;
+use vmtherm_svm::metrics;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+vmtherm — VM-level temperature profiling and prediction (Wu et al., ICDCS 2016)
+
+USAGE: vmtherm <COMMAND> [FLAGS]
+
+COMMANDS:
+  collect   run randomized thermal experiments, write Eq. (2) records (libsvm format)
+            --out FILE [--cases N=200] [--seed S=42] [--duration SECS=1200]
+  train     train the stable-temperature SVR from records
+            --records FILE --out MODEL [--grid] [--folds K=10] [--seed S]
+  eval      score a model against labeled records (prints MSE/MAE)
+            --model MODEL --records FILE
+  predict   print one prediction per record (targets ignored)
+            --model MODEL --records FILE
+  monitor   simulate a server with a mid-run burst; write empirical vs forecast CSV
+            --model MODEL --out CSV [--vms N=5] [--fans F=4] [--ambient C=24]
+            [--secs T=1800] [--burst-at SECS=900] [--gap G=60] [--update U=15] [--seed S=7]
+  watchdog  simulate a silent fan failure and report when the residual
+            watchdog raises the alarm
+            --model MODEL [--fail N=2] [--fail-at SECS=900] [--secs T=3000]
+            [--vms N=5] [--ambient C=24] [--seed S=7]
+  setpoint  recommend the highest safe CRAC supply temperature for a
+            simulated fleet and report the cooling-power saving
+            --model MODEL [--servers N=6] [--vms-per N=4] [--limit C=68]
+            [--margin C=1.5] [--min C=16] [--max C=32] [--seed S=7]
+";
+
+/// Runs one subcommand.
+///
+/// # Errors
+///
+/// A human-readable message on bad flags, I/O failure or pipeline errors.
+pub fn run(command: &str, flags: &Flags) -> Result<String, String> {
+    match command {
+        "collect" => collect(flags),
+        "train" => train(flags),
+        "eval" => eval(flags),
+        "predict" => predict(flags),
+        "monitor" => monitor(flags),
+        "watchdog" => watchdog(flags),
+        "setpoint" => setpoint(flags),
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    }
+}
+
+fn collect(flags: &Flags) -> Result<String, String> {
+    let out = flags.require("out")?;
+    let cases: usize = flags.num("cases", 200)?;
+    let seed: u64 = flags.num("seed", 42)?;
+    let duration: u64 = flags.num("duration", 1200)?;
+    if duration <= 600 {
+        return Err("--duration must exceed t_break = 600 s".to_string());
+    }
+    let mut generator = CaseGenerator::new(seed);
+    let configs: Vec<_> = generator
+        .random_cases(cases, seed.wrapping_mul(31).wrapping_add(1_000))
+        .into_iter()
+        .map(|c| c.with_duration(SimDuration::from_secs(duration)))
+        .collect();
+    let outcomes = run_experiments(&configs);
+    let ds = dataset_from_outcomes(&outcomes, FeatureEncoding::Full);
+    fs::write(out, ds.to_libsvm()).map_err(|e| format!("writing {out}: {e}"))?;
+    Ok(format!(
+        "collected {} records ({} features each) into {out}",
+        ds.len(),
+        ds.dim()
+    ))
+}
+
+fn load_records(path: &str) -> Result<Dataset, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    Dataset::from_libsvm(&text, FeatureEncoding::Full.dim())
+        .map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn train(flags: &Flags) -> Result<String, String> {
+    let records = flags.require("records")?;
+    let out = flags.require("out")?;
+    let folds: usize = flags.num("folds", 10)?;
+    let seed: u64 = flags.num("seed", 0xA11CE)?;
+    let ds = load_records(records)?;
+    let options = if flags.switch("grid") {
+        TrainingOptions::new().with_folds(folds).with_seed(seed)
+    } else {
+        TrainingOptions::new().with_params(
+            vmtherm_svm::svr::SvrParams::new()
+                .with_c(128.0)
+                .with_epsilon(0.05)
+                .with_kernel(vmtherm_svm::kernel::Kernel::rbf(0.02)),
+        )
+    };
+    let n = ds.len();
+    let model = StablePredictor::fit_dataset(ds, &options).map_err(|e| format!("training: {e}"))?;
+    fs::write(out, model.save_to_string()).map_err(|e| format!("writing {out}: {e}"))?;
+    let mut msg = format!(
+        "trained on {n} records: {} support vectors -> {out}",
+        model.num_support_vectors()
+    );
+    if let Some(cv) = model.cv_mse() {
+        let _ = write!(msg, " (grid CV MSE {cv:.3})");
+    }
+    Ok(msg)
+}
+
+fn load_model(path: &str) -> Result<StablePredictor, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    StablePredictor::load_from_string(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn eval(flags: &Flags) -> Result<String, String> {
+    let model = load_model(flags.require("model")?)?;
+    let ds = load_records(flags.require("records")?)?;
+    let predictions: Vec<f64> = ds
+        .features()
+        .iter()
+        .map(|x| model.predict_features(x))
+        .collect();
+    let mse = metrics::mse(ds.targets(), &predictions);
+    let mae = metrics::mae(ds.targets(), &predictions);
+    let max = metrics::max_error(ds.targets(), &predictions);
+    Ok(format!(
+        "{} records: MSE = {mse:.3}  MAE = {mae:.3}  max = {max:.3}\n\
+         paper reference (Fig. 1a): stable MSE within 1.10",
+        ds.len()
+    ))
+}
+
+fn predict(flags: &Flags) -> Result<String, String> {
+    let model = load_model(flags.require("model")?)?;
+    let ds = load_records(flags.require("records")?)?;
+    let mut out = String::new();
+    for x in ds.features() {
+        let _ = writeln!(out, "{:.3}", model.predict_features(x));
+    }
+    Ok(out)
+}
+
+fn monitor(flags: &Flags) -> Result<String, String> {
+    let model_path = flags.require("model")?;
+    let out = flags.require("out")?;
+    let vms: usize = flags.num("vms", 5)?;
+    let fans: u32 = flags.num("fans", 4)?;
+    let ambient: f64 = flags.num("ambient", 24.0)?;
+    let secs: u64 = flags.num("secs", 1800)?;
+    let burst_at: u64 = flags.num("burst-at", 900)?;
+    let gap: f64 = flags.num("gap", 60.0)?;
+    let update: f64 = flags.num("update", 15.0)?;
+    let seed: u64 = flags.num("seed", 7)?;
+    if burst_at >= secs {
+        return Err("--burst-at must precede --secs".to_string());
+    }
+    let model = load_model(model_path)?;
+
+    // Build and run the scenario.
+    let mut dc = Datacenter::new();
+    let server = ServerSpec::commodity("monitored", 16, 2.4, 64.0, fans);
+    let sid = dc.add_server(server, ambient, seed);
+    let mut sim = Simulation::new(dc, AmbientModel::Fixed(ambient), seed);
+    let tasks = [
+        TaskProfile::CpuBound,
+        TaskProfile::Mixed,
+        TaskProfile::WebServer,
+        TaskProfile::MemoryBound,
+        TaskProfile::Bursty,
+    ];
+    for i in 0..vms {
+        sim.boot_vm_now(
+            sid,
+            VmSpec::new(format!("vm-{i}"), 2, 4.0, tasks[i % tasks.len()]),
+        )
+        .map_err(|e| format!("placement: {e}"))?;
+    }
+    let before = ConfigSnapshot::capture(&sim, sid, ambient);
+    sim.schedule(
+        SimTime::from_secs(burst_at),
+        Event::BootVm {
+            server: sid,
+            spec: VmSpec::new("burst", 2, 4.0, TaskProfile::CpuBound),
+        },
+    );
+    sim.run_until(SimTime::from_secs(secs));
+    let after = ConfigSnapshot::capture(&sim, sid, ambient);
+    let series = sim.trace(sid).map_err(|e| e.to_string())?.sensor_c.clone();
+    let anchors = vec![
+        AnchorPoint {
+            t_secs: 0.0,
+            psi_stable: model.predict(&before),
+        },
+        AnchorPoint {
+            t_secs: burst_at as f64,
+            psi_stable: model.predict(&after),
+        },
+    ];
+
+    let mut predictor = DynamicPredictor::new(DynamicConfig::new().with_update_interval(update))
+        .map_err(|e| e.to_string())?;
+    let report = evaluate_dynamic(&mut predictor, &series, gap, &anchors);
+
+    // CSV: target time, empirical, forecast.
+    let mut csv = String::from("time_s,empirical_c,forecast_c\n");
+    for p in &report.points {
+        let _ = writeln!(csv, "{},{},{}", p.t_secs, p.actual, p.predicted);
+    }
+    fs::write(out, csv).map_err(|e| format!("writing {out}: {e}"))?;
+    Ok(format!(
+        "monitored {secs} s ({vms} VMs + burst at {burst_at} s, {fans} fans): \
+         dynamic MSE {:.3} over {} forecasts -> {out}\n\
+         paper reference (Fig. 1c): 0.70-1.50 for gaps 15-120 s",
+        report.mse,
+        report.points.len()
+    ))
+}
+
+fn watchdog(flags: &Flags) -> Result<String, String> {
+    let model_path = flags.require("model")?;
+    let fail: u32 = flags.num("fail", 2)?;
+    let fail_at: u64 = flags.num("fail-at", 900)?;
+    let secs: u64 = flags.num("secs", 3000)?;
+    let vms: usize = flags.num("vms", 5)?;
+    let ambient: f64 = flags.num("ambient", 24.0)?;
+    let seed: u64 = flags.num("seed", 7)?;
+    if fail_at >= secs {
+        return Err("--fail-at must precede --secs".to_string());
+    }
+    let model = load_model(model_path)?;
+
+    let mut dc = Datacenter::new();
+    let sid = dc.add_server(ServerSpec::standard("watched"), ambient, seed);
+    let mut sim = Simulation::new(dc, AmbientModel::Fixed(ambient), seed);
+    let tasks = [
+        TaskProfile::CpuBound,
+        TaskProfile::Mixed,
+        TaskProfile::WebServer,
+    ];
+    for i in 0..vms {
+        sim.boot_vm_now(
+            sid,
+            VmSpec::new(format!("vm-{i}"), 2, 4.0, tasks[i % tasks.len()]),
+        )
+        .map_err(|e| format!("placement: {e}"))?;
+    }
+    let snapshot = ConfigSnapshot::capture(&sim, sid, ambient);
+    let predicted = model.predict(&snapshot);
+    if fail > 0 {
+        sim.schedule(
+            SimTime::from_secs(fail_at),
+            Event::FailFans {
+                server: sid,
+                count: fail,
+            },
+        );
+    }
+    sim.run_until(SimTime::from_secs(secs));
+
+    // Feed 120 s settled-window means to the watchdog.
+    let series = &sim.trace(sid).map_err(|e| e.to_string())?.sensor_c;
+    let mut watchdog = vmtherm_core::anomaly::ThermalWatchdog::new(
+        model,
+        vmtherm_core::anomaly::ResidualDetector::new(8.0, 0.8),
+    );
+    let mut out = format!(
+        "configuration predicted stable at {predicted:.1} C;          {fail} fan(s) fail at {fail_at} s
+"
+    );
+    let mut alarm_at: Option<u64> = None;
+    let mut start = 600u64;
+    while start + 120 <= secs {
+        let window: Vec<f64> = series
+            .iter()
+            .filter(|(t, _)| *t >= start as f64 && *t < (start + 120) as f64)
+            .map(|(_, v)| v)
+            .collect();
+        let mean = window.iter().sum::<f64>() / window.len().max(1) as f64;
+        if let Some(a) = watchdog.observe(&snapshot, mean) {
+            if alarm_at.is_none() {
+                alarm_at = Some(start + 120);
+                out.push_str(&format!(
+                    "ALARM at {} s: {:?} (score {:.1})
+",
+                    start + 120,
+                    a.kind,
+                    a.score
+                ));
+            }
+        }
+        start += 120;
+    }
+    match alarm_at {
+        Some(t) if fail > 0 => out.push_str(&format!(
+            "fault injected at {fail_at} s, detected at {t} s (latency {} s)",
+            t - fail_at
+        )),
+        Some(t) => out.push_str(&format!("unexpected alarm at {t} s on a healthy run")),
+        None if fail > 0 => out.push_str("fault NOT detected within the run"),
+        None => out.push_str("healthy run: no alarms"),
+    }
+    Ok(out)
+}
+
+fn setpoint(flags: &Flags) -> Result<String, String> {
+    let model_path = flags.require("model")?;
+    let servers: usize = flags.num("servers", 6)?;
+    let vms_per: usize = flags.num("vms-per", 4)?;
+    let limit: f64 = flags.num("limit", 68.0)?;
+    let margin: f64 = flags.num("margin", 1.5)?;
+    let min_c: f64 = flags.num("min", 16.0)?;
+    let max_c: f64 = flags.num("max", 32.0)?;
+    let seed: u64 = flags.num("seed", 7)?;
+    if servers == 0 {
+        return Err("--servers must be positive".to_string());
+    }
+    let model = load_model(model_path)?;
+
+    // Build the fleet at the conservative baseline and snapshot it.
+    let mut dc = Datacenter::new();
+    for i in 0..servers {
+        dc.add_server(
+            ServerSpec::standard(format!("n{i}")),
+            min_c,
+            seed + i as u64,
+        );
+    }
+    let mut sim = Simulation::new(dc, AmbientModel::Fixed(min_c), seed);
+    let tasks = [
+        TaskProfile::CpuBound,
+        TaskProfile::Mixed,
+        TaskProfile::WebServer,
+    ];
+    for i in 0..servers {
+        for j in 0..vms_per {
+            sim.boot_vm_now(
+                vmtherm_sim::ServerId::new(i),
+                VmSpec::new(format!("vm-{i}-{j}"), 4, 4.0, tasks[(i + j) % tasks.len()]),
+            )
+            .map_err(|e| format!("placement: {e}"))?;
+        }
+    }
+    sim.run_until(SimTime::from_secs(60));
+    let hosts: Vec<ConfigSnapshot> = (0..servers)
+        .map(|i| ConfigSnapshot::capture(&sim, vmtherm_sim::ServerId::new(i), min_c))
+        .collect();
+    let heat_w = sim.datacenter().room_heat_kw() * 1000.0;
+
+    let search = vmtherm_core::setpoint::SetpointSearch {
+        min_supply_c: min_c,
+        max_supply_c: max_c,
+        max_die_c: limit,
+        safety_margin_c: margin,
+        resolution_c: 0.5,
+    };
+    let optimizer = vmtherm_core::setpoint::SetpointOptimizer::new(
+        model,
+        vmtherm_sim::cooling::CoolingModel::default(),
+        search,
+    )
+    .map_err(|e| e.to_string())?;
+    match optimizer.optimize(&hosts, &vec![0.0; servers], heat_w) {
+        Some(advice) => Ok(format!(
+            "fleet: {servers} servers x {vms_per} VMs, heat load {:.1} kW\n\
+             thermal limit: die <= {limit} C (margin {margin} C)\n\
+             baseline supply {min_c:.1} C -> cooling {:.2} kW\n\
+             advised  supply {:.1} C -> cooling {:.2} kW (predicted peak {:.1} C)\n\
+             cooling saving: {:.1}%",
+            heat_w / 1000.0,
+            advice.baseline_power_w / 1000.0,
+            advice.supply_c,
+            advice.cooling_power_w / 1000.0,
+            advice.predicted_peak_c,
+            advice.saving_fraction() * 100.0
+        )),
+        None => Ok(format!(
+            "no safe setpoint in [{min_c}, {max_c}] C for die limit {limit} C — shed load instead"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(tokens: &[&str]) -> Flags {
+        Flags::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    fn temp_path(name: &str) -> String {
+        let dir = std::env::temp_dir().join("vmtherm-cli-tests");
+        fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn full_collect_train_eval_predict_monitor_flow() {
+        let records = temp_path("records.libsvm");
+        let model = temp_path("model.txt");
+        let csv = temp_path("monitor.csv");
+
+        let msg = run(
+            "collect",
+            &flags(&[
+                "--out",
+                &records,
+                "--cases",
+                "40",
+                "--seed",
+                "5",
+                "--duration",
+                "900",
+            ]),
+        )
+        .expect("collect");
+        assert!(msg.contains("40 records"));
+
+        let msg = run("train", &flags(&["--records", &records, "--out", &model])).expect("train");
+        assert!(msg.contains("support vectors"));
+
+        let msg = run("eval", &flags(&["--model", &model, "--records", &records])).expect("eval");
+        assert!(msg.contains("MSE"));
+
+        let out = run(
+            "predict",
+            &flags(&["--model", &model, "--records", &records]),
+        )
+        .expect("predict");
+        assert_eq!(out.lines().count(), 40);
+        assert!(out.lines().all(|l| l.parse::<f64>().is_ok()));
+
+        let msg = run(
+            "monitor",
+            &flags(&[
+                "--model",
+                &model,
+                "--out",
+                &csv,
+                "--secs",
+                "1200",
+                "--burst-at",
+                "600",
+            ]),
+        )
+        .expect("monitor");
+        assert!(msg.contains("dynamic MSE"));
+        let written = fs::read_to_string(&csv).expect("csv");
+        assert!(written.starts_with("time_s,empirical_c,forecast_c"));
+        assert!(written.lines().count() > 100);
+    }
+
+    #[test]
+    fn watchdog_detects_injected_failure() {
+        let records = temp_path("wd_records.libsvm");
+        let model = temp_path("wd_model.txt");
+        run(
+            "collect",
+            &flags(&[
+                "--out",
+                &records,
+                "--cases",
+                "40",
+                "--seed",
+                "6",
+                "--duration",
+                "900",
+            ]),
+        )
+        .expect("collect");
+        run("train", &flags(&["--records", &records, "--out", &model])).expect("train");
+
+        let msg = run(
+            "watchdog",
+            &flags(&[
+                "--model",
+                &model,
+                "--fail",
+                "2",
+                "--fail-at",
+                "900",
+                "--secs",
+                "2400",
+            ]),
+        )
+        .expect("watchdog");
+        assert!(msg.contains("ALARM"), "no alarm in: {msg}");
+        assert!(msg.contains("detected at"));
+
+        let healthy = run(
+            "watchdog",
+            &flags(&["--model", &model, "--fail", "0", "--secs", "2400"]),
+        )
+        .expect("watchdog healthy");
+        assert!(healthy.contains("no alarms"), "false alarm in: {healthy}");
+    }
+
+    #[test]
+    fn setpoint_recommends_and_respects_limits() {
+        let records = temp_path("sp_records.libsvm");
+        let model = temp_path("sp_model.txt");
+        run(
+            "collect",
+            &flags(&[
+                "--out",
+                &records,
+                "--cases",
+                "40",
+                "--seed",
+                "8",
+                "--duration",
+                "900",
+            ]),
+        )
+        .expect("collect");
+        run("train", &flags(&["--records", &records, "--out", &model])).expect("train");
+
+        let msg = run(
+            "setpoint",
+            &flags(&["--model", &model, "--servers", "4", "--limit", "68"]),
+        )
+        .expect("setpoint");
+        assert!(msg.contains("advised"), "no advice in: {msg}");
+        assert!(msg.contains("cooling saving"));
+
+        // An impossible limit yields the shed-load message.
+        let msg = run(
+            "setpoint",
+            &flags(&["--model", &model, "--servers", "4", "--limit", "25"]),
+        )
+        .expect("setpoint");
+        assert!(msg.contains("no safe setpoint"), "unexpected: {msg}");
+    }
+
+    #[test]
+    fn unknown_command_shows_usage() {
+        let err = run("frobnicate", &Flags::default()).unwrap_err();
+        assert!(err.contains("unknown command"));
+        assert!(err.contains("USAGE"));
+    }
+
+    #[test]
+    fn collect_validates_duration() {
+        let err = run("collect", &flags(&["--out", "/tmp/x", "--duration", "300"])).unwrap_err();
+        assert!(err.contains("t_break"));
+    }
+
+    #[test]
+    fn missing_flags_are_reported() {
+        let err = run("train", &flags(&["--records", "x"])).unwrap_err();
+        assert!(err.contains("--out"));
+    }
+
+    #[test]
+    fn monitor_validates_burst_time() {
+        let err = run(
+            "monitor",
+            &flags(&[
+                "--model",
+                "m",
+                "--out",
+                "c",
+                "--secs",
+                "100",
+                "--burst-at",
+                "200",
+            ]),
+        )
+        .unwrap_err();
+        assert!(err.contains("--burst-at"));
+    }
+}

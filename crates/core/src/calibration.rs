@@ -1,0 +1,226 @@
+//! Run-time calibration γ — Eqs. (4)–(8) of the paper.
+//!
+//! The pre-defined curve ψ*(t) is coarse; online, the predictor observes
+//! the real sensor every Δ_update seconds and accumulates a correction:
+//!
+//! ```text
+//! dif = φ(t) − (ψ*(t) + γ)          (Eq. 5: error of the last prediction)
+//! γ  ← γ + λ · dif                  (Eq. 6: learning-rate update, λ = 0.8)
+//! ψ(t + Δ_gap) = ψ*(t + Δ_gap) + γ  (Eq. 8: calibrated prediction)
+//! ```
+//!
+//! At an anchor (t = 0) γ starts at 0 (Eq. 4).
+
+use serde::{Deserialize, Serialize};
+
+/// The γ accumulator with its λ and Δ_update bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Calibrator {
+    gamma: f64,
+    lambda: f64,
+    update_interval_secs: f64,
+    last_update_secs: Option<f64>,
+    updates: u64,
+}
+
+impl Calibrator {
+    /// The paper's learning rate.
+    pub const DEFAULT_LAMBDA: f64 = 0.8;
+
+    /// Creates a calibrator with γ = 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ lambda ≤ 1` and `update_interval_secs > 0`.
+    #[must_use]
+    pub fn new(lambda: f64, update_interval_secs: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&lambda),
+            "lambda must be in [0, 1], got {lambda}"
+        );
+        assert!(
+            update_interval_secs > 0.0,
+            "update interval must be positive"
+        );
+        Calibrator {
+            gamma: 0.0,
+            lambda,
+            update_interval_secs,
+            last_update_secs: None,
+            updates: 0,
+        }
+    }
+
+    /// Paper defaults: λ = 0.8, Δ_update = 15 s.
+    #[must_use]
+    pub fn standard() -> Self {
+        Calibrator::new(Self::DEFAULT_LAMBDA, 15.0)
+    }
+
+    /// Current calibration γ.
+    #[must_use]
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// The learning rate λ.
+    #[must_use]
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// The update interval Δ_update (s).
+    #[must_use]
+    pub fn update_interval_secs(&self) -> f64 {
+        self.update_interval_secs
+    }
+
+    /// Number of γ updates applied so far.
+    #[must_use]
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Resets to the Eq. (4) state (γ = 0, no update history) — done at
+    /// every re-anchor.
+    pub fn reset(&mut self) {
+        self.gamma = 0.0;
+        self.last_update_secs = None;
+        self.updates = 0;
+    }
+
+    /// Offers a measurement. `curve_value` is ψ*(t) (uncalibrated); the
+    /// calibrated prediction it is compared against is `ψ*(t) + γ`
+    /// (Eq. 5). γ updates only when Δ_update has elapsed since the last
+    /// update (the first offer always updates). Returns `true` when γ
+    /// changed.
+    pub fn observe(&mut self, t_secs: f64, measured: f64, curve_value: f64) -> bool {
+        let due = match self.last_update_secs {
+            None => true,
+            Some(last) => t_secs - last >= self.update_interval_secs - 1e-9,
+        };
+        if !due {
+            return false;
+        }
+        let dif = measured - (curve_value + self.gamma);
+        self.gamma += self.lambda * dif;
+        self.last_update_secs = Some(t_secs);
+        self.updates += 1;
+        true
+    }
+
+    /// Applies γ to an uncalibrated curve value (Eq. 8's right-hand side).
+    #[must_use]
+    pub fn calibrate(&self, curve_value: f64) -> f64 {
+        curve_value + self.gamma
+    }
+}
+
+impl Default for Calibrator {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        let c = Calibrator::standard();
+        assert_eq!(c.gamma(), 0.0);
+        assert_eq!(c.calibrate(42.0), 42.0);
+    }
+
+    #[test]
+    fn paper_worked_example() {
+        // Paper §II: at t=15, φ(15) − ψ*(15) = dif, γ = λ·dif with γ
+        // previously 0.
+        let mut c = Calibrator::new(0.8, 15.0);
+        // Suppose ψ*(15) = 50 and we measure 52: dif = 2, γ = 1.6.
+        assert!(c.observe(15.0, 52.0, 50.0));
+        assert!((c.gamma() - 1.6).abs() < 1e-12);
+        // Prediction for t=75 with ψ*(75)=55: 55 + 1.6 = 56.6 (Eq. 7).
+        assert!((c.calibrate(55.0) - 56.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn respects_update_interval() {
+        let mut c = Calibrator::new(0.8, 15.0);
+        assert!(c.observe(0.0, 51.0, 50.0));
+        let g = c.gamma();
+        // 10 s later: not due.
+        assert!(!c.observe(10.0, 60.0, 50.0));
+        assert_eq!(c.gamma(), g);
+        // 15 s after last update: due.
+        assert!(c.observe(15.0, 60.0, 50.0));
+        assert_ne!(c.gamma(), g);
+        assert_eq!(c.updates(), 2);
+    }
+
+    #[test]
+    fn converges_to_constant_offset() {
+        // If the real system sits exactly k above the curve, γ → k.
+        let mut c = Calibrator::new(0.8, 15.0);
+        let k = 3.0;
+        for step in 0..20 {
+            let t = step as f64 * 15.0;
+            c.observe(t, 50.0 + k, 50.0);
+        }
+        assert!((c.gamma() - k).abs() < 1e-6, "gamma = {}", c.gamma());
+    }
+
+    #[test]
+    fn lambda_zero_never_learns() {
+        let mut c = Calibrator::new(0.0, 15.0);
+        c.observe(0.0, 99.0, 50.0);
+        c.observe(15.0, 99.0, 50.0);
+        assert_eq!(c.gamma(), 0.0);
+    }
+
+    #[test]
+    fn lambda_one_jumps_immediately() {
+        let mut c = Calibrator::new(1.0, 15.0);
+        c.observe(0.0, 57.0, 50.0);
+        assert_eq!(c.gamma(), 7.0);
+    }
+
+    #[test]
+    fn reset_restores_eq4_state() {
+        let mut c = Calibrator::standard();
+        c.observe(0.0, 60.0, 50.0);
+        assert_ne!(c.gamma(), 0.0);
+        c.reset();
+        assert_eq!(c.gamma(), 0.0);
+        assert_eq!(c.updates(), 0);
+        // First observe after reset updates immediately again.
+        assert!(c.observe(100.0, 60.0, 50.0));
+    }
+
+    #[test]
+    fn error_relative_to_calibrated_prediction() {
+        // Eq. 5 compares against ψ* + γ, not raw ψ*: once γ has absorbed
+        // the offset, a matching measurement must not move γ.
+        let mut c = Calibrator::new(1.0, 15.0);
+        c.observe(0.0, 53.0, 50.0); // γ = 3
+        assert!(c.observe(15.0, 53.0, 50.0));
+        assert!(
+            (c.gamma() - 3.0).abs() < 1e-12,
+            "gamma drifted: {}",
+            c.gamma()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn bad_lambda_panics() {
+        let _ = Calibrator::new(1.5, 15.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval")]
+    fn bad_interval_panics() {
+        let _ = Calibrator::new(0.5, 0.0);
+    }
+}

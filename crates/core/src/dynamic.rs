@@ -1,0 +1,347 @@
+//! Dynamic CPU temperature prediction — the paper's second contribution:
+//! the pre-defined curve ψ*(t) (Eq. 3) plus run-time calibration γ
+//! (Eqs. 4–8), re-anchored whenever the configuration changes.
+//!
+//! "Cloud computing characteristics result in input features such as
+//! server and VM configuration changing at run time" — so the predictor
+//! exposes [`DynamicPredictor::anchor`]: at every reconfiguration it asks
+//! the stable model for a fresh ψ_stable, starts a new curve from the
+//! current measured temperature, and (by default) resets γ per Eq. (4).
+
+use crate::calibration::Calibrator;
+use crate::curve::WarmupCurve;
+use crate::error::PredictError;
+use crate::predictor::OnlinePredictor;
+use crate::stable::StablePredictor;
+use serde::{Deserialize, Serialize};
+use vmtherm_sim::experiment::ConfigSnapshot;
+
+/// Tunables of the dynamic predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DynamicConfig {
+    /// Calibration learning rate λ (paper: 0.8).
+    pub lambda: f64,
+    /// Calibration update interval Δ_update in seconds (paper example: 15).
+    pub update_interval_secs: f64,
+    /// Curve break time in seconds (paper: 600).
+    pub t_break_secs: f64,
+    /// Curve shape parameter δ.
+    pub delta: f64,
+    /// Whether an anchor resets γ to 0 (Eq. 4). Keeping γ across anchors
+    /// is an ablation variant.
+    pub reset_gamma_on_anchor: bool,
+    /// Disables calibration entirely (the "without calibration" arm of
+    /// Fig. 1(b)).
+    pub calibrate: bool,
+}
+
+impl DynamicConfig {
+    /// Paper defaults.
+    #[must_use]
+    pub fn new() -> Self {
+        DynamicConfig {
+            lambda: Calibrator::DEFAULT_LAMBDA,
+            update_interval_secs: 15.0,
+            t_break_secs: 600.0,
+            delta: WarmupCurve::DEFAULT_DELTA,
+            reset_gamma_on_anchor: true,
+            calibrate: true,
+        }
+    }
+
+    /// Overrides λ.
+    #[must_use]
+    pub fn with_lambda(mut self, lambda: f64) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Overrides Δ_update.
+    #[must_use]
+    pub fn with_update_interval(mut self, secs: f64) -> Self {
+        self.update_interval_secs = secs;
+        self
+    }
+
+    /// Turns calibration off (pre-defined curve only).
+    #[must_use]
+    pub fn without_calibration(mut self) -> Self {
+        self.calibrate = false;
+        self
+    }
+
+    fn validate(&self) -> Result<(), PredictError> {
+        if !(0.0..=1.0).contains(&self.lambda) {
+            return Err(PredictError::invalid(
+                "lambda",
+                format!("must be in [0,1], got {}", self.lambda),
+            ));
+        }
+        if !(self.update_interval_secs > 0.0) {
+            return Err(PredictError::invalid(
+                "update_interval_secs",
+                format!("must be > 0, got {}", self.update_interval_secs),
+            ));
+        }
+        if !(self.t_break_secs > 0.0) {
+            return Err(PredictError::invalid(
+                "t_break_secs",
+                format!("must be > 0, got {}", self.t_break_secs),
+            ));
+        }
+        if !(self.delta > 0.0) {
+            return Err(PredictError::invalid(
+                "delta",
+                format!("must be > 0, got {}", self.delta),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for DynamicConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The calibrated dynamic temperature predictor.
+#[derive(Debug, Clone)]
+pub struct DynamicPredictor {
+    config: DynamicConfig,
+    calibrator: Calibrator,
+    /// Anchor time (s) and the curve measured from it.
+    anchor: Option<(f64, WarmupCurve)>,
+    name: String,
+}
+
+impl DynamicPredictor {
+    /// Creates an un-anchored predictor.
+    ///
+    /// # Errors
+    ///
+    /// [`PredictError::InvalidConfig`] for out-of-domain tunables.
+    pub fn new(config: DynamicConfig) -> Result<Self, PredictError> {
+        config.validate()?;
+        let name = if config.calibrate {
+            "dynamic-calibrated"
+        } else {
+            "dynamic-uncalibrated"
+        };
+        Ok(DynamicPredictor {
+            config,
+            calibrator: Calibrator::new(config.lambda, config.update_interval_secs),
+            anchor: None,
+            name: name.to_string(),
+        })
+    }
+
+    /// Anchors a new curve at `t_secs`: the system sat at `phi0` (current
+    /// measurement) and is predicted to stabilise at `psi_stable`.
+    pub fn anchor(&mut self, t_secs: f64, phi0: f64, psi_stable: f64) {
+        let curve = WarmupCurve::new(
+            phi0,
+            psi_stable,
+            self.config.t_break_secs,
+            self.config.delta,
+        );
+        self.anchor = Some((t_secs, curve));
+        if self.config.reset_gamma_on_anchor {
+            self.calibrator.reset();
+        }
+    }
+
+    /// Convenience: anchor using the stable model's prediction for the
+    /// (changed) configuration.
+    pub fn anchor_with_model(
+        &mut self,
+        t_secs: f64,
+        phi0: f64,
+        model: &StablePredictor,
+        snapshot: &ConfigSnapshot,
+    ) {
+        self.anchor(t_secs, phi0, model.predict(snapshot));
+    }
+
+    /// ψ*(t) — the uncalibrated curve value at absolute time `t_secs`.
+    ///
+    /// # Errors
+    ///
+    /// [`PredictError::NotReady`] before the first anchor.
+    pub fn curve_value(&self, t_secs: f64) -> Result<f64, PredictError> {
+        let (t0, curve) = self
+            .anchor
+            .as_ref()
+            .ok_or(PredictError::NotReady("no anchor"))?;
+        Ok(curve.value(t_secs - t0))
+    }
+
+    /// Current γ.
+    #[must_use]
+    pub fn gamma(&self) -> f64 {
+        self.calibrator.gamma()
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> DynamicConfig {
+        self.config
+    }
+
+    /// Whether the predictor has been anchored.
+    #[must_use]
+    pub fn is_anchored(&self) -> bool {
+        self.anchor.is_some()
+    }
+}
+
+impl OnlinePredictor for DynamicPredictor {
+    fn observe(&mut self, t_secs: f64, measured_c: f64) {
+        if !self.config.calibrate {
+            return;
+        }
+        if let Ok(curve_value) = self.curve_value(t_secs) {
+            self.calibrator.observe(t_secs, measured_c, curve_value);
+        }
+    }
+
+    fn predict_ahead(&self, t_secs: f64, gap_secs: f64) -> f64 {
+        match self.curve_value(t_secs + gap_secs) {
+            Ok(v) if self.config.calibrate => self.calibrator.calibrate(v),
+            Ok(v) => v,
+            // Un-anchored: nothing better than "no rise" — callers anchor
+            // before asking in every real flow.
+            Err(_) => f64::NAN,
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_reconfiguration(&mut self, t_secs: f64, current_temp_c: f64) {
+        // Keep the previous stable target if no model consulted: re-anchor
+        // from the current temperature toward the same ψ_stable. Callers
+        // with a stable model use `anchor_with_model` for a fresh target.
+        if let Some((_, curve)) = self.anchor {
+            self.anchor(t_secs, current_temp_c, curve.psi_stable());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn predictor(calibrate: bool) -> DynamicPredictor {
+        let mut cfg = DynamicConfig::new();
+        cfg.calibrate = calibrate;
+        DynamicPredictor::new(cfg).unwrap()
+    }
+
+    #[test]
+    fn unanchored_predicts_nan() {
+        let p = predictor(true);
+        assert!(p.predict_ahead(0.0, 60.0).is_nan());
+        assert!(matches!(p.curve_value(0.0), Err(PredictError::NotReady(_))));
+    }
+
+    #[test]
+    fn follows_curve_exactly_without_noise() {
+        // If measurements match the curve exactly, γ stays ~0 and the
+        // prediction equals the curve.
+        let mut p = predictor(true);
+        p.anchor(0.0, 30.0, 60.0);
+        for t in (0..300).step_by(15) {
+            let truth = p.curve_value(t as f64).unwrap();
+            p.observe(t as f64, truth);
+        }
+        assert!(p.gamma().abs() < 1e-9);
+        let pred = p.predict_ahead(300.0, 60.0);
+        assert!((pred - p.curve_value(360.0).unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn calibration_absorbs_systematic_offset() {
+        // Real system runs 4 °C above the curve: calibrated predictions
+        // converge onto it, uncalibrated stay 4 °C off.
+        let mut cal = predictor(true);
+        let mut uncal = predictor(false);
+        cal.anchor(0.0, 30.0, 60.0);
+        uncal.anchor(0.0, 30.0, 60.0);
+        let offset = 4.0;
+        for step in 0..40 {
+            let t = step as f64 * 15.0;
+            let measured = cal.curve_value(t).unwrap() + offset;
+            cal.observe(t, measured);
+            uncal.observe(t, measured);
+        }
+        let t = 600.0;
+        let actual = 60.0 + offset;
+        let cal_err = (cal.predict_ahead(t, 60.0) - actual).abs();
+        let uncal_err = (uncal.predict_ahead(t, 60.0) - actual).abs();
+        assert!(cal_err < 0.1, "calibrated error {cal_err}");
+        assert!(
+            (uncal_err - offset).abs() < 0.1,
+            "uncalibrated error {uncal_err}"
+        );
+    }
+
+    #[test]
+    fn anchor_resets_gamma_by_default() {
+        let mut p = predictor(true);
+        p.anchor(0.0, 30.0, 60.0);
+        p.observe(0.0, 40.0); // big dif → γ moves
+        assert!(p.gamma().abs() > 1.0);
+        p.anchor(100.0, 45.0, 70.0);
+        assert_eq!(p.gamma(), 0.0);
+    }
+
+    #[test]
+    fn anchor_can_keep_gamma() {
+        let mut cfg = DynamicConfig::new();
+        cfg.reset_gamma_on_anchor = false;
+        let mut p = DynamicPredictor::new(cfg).unwrap();
+        p.anchor(0.0, 30.0, 60.0);
+        p.observe(0.0, 40.0);
+        let g = p.gamma();
+        p.anchor(100.0, 45.0, 70.0);
+        assert_eq!(p.gamma(), g);
+    }
+
+    #[test]
+    fn reconfiguration_reanchors_from_current_temp() {
+        let mut p = predictor(true);
+        p.anchor(0.0, 30.0, 60.0);
+        p.on_reconfiguration(200.0, 48.0);
+        // New curve starts at 48 at t=200.
+        assert!((p.curve_value(200.0).unwrap() - 48.0).abs() < 1e-12);
+        // Still heads to the same stable target.
+        assert!((p.curve_value(200.0 + 600.0).unwrap() - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gap_semantics_match_eq8() {
+        let mut p = predictor(true);
+        p.anchor(0.0, 30.0, 60.0);
+        // ψ(t + Δgap) = ψ*(t + Δgap) + γ with γ = 0.
+        let lhs = p.predict_ahead(100.0, 50.0);
+        let rhs = p.curve_value(150.0).unwrap();
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(DynamicPredictor::new(DynamicConfig::new().with_lambda(2.0)).is_err());
+        assert!(DynamicPredictor::new(DynamicConfig::new().with_update_interval(0.0)).is_err());
+        let mut bad = DynamicConfig::new();
+        bad.delta = -1.0;
+        assert!(DynamicPredictor::new(bad).is_err());
+    }
+
+    #[test]
+    fn names_distinguish_arms() {
+        assert_eq!(predictor(true).name(), "dynamic-calibrated");
+        assert_eq!(predictor(false).name(), "dynamic-uncalibrated");
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type for the prediction pipeline.
+
+use std::error::Error;
+use std::fmt;
+use vmtherm_svm::SvmError;
+
+/// Errors produced by training, prediction and management operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PredictError {
+    /// The underlying SVM library failed.
+    Svm(SvmError),
+    /// Training was attempted with no experiment records.
+    NoTrainingData,
+    /// A model was asked to predict before being trained/anchored.
+    NotReady(&'static str),
+    /// A configuration value was out of its valid domain.
+    InvalidConfig {
+        /// Parameter name.
+        name: &'static str,
+        /// Constraint description.
+        message: String,
+    },
+}
+
+impl PredictError {
+    pub(crate) fn invalid(name: &'static str, message: impl Into<String>) -> Self {
+        PredictError::InvalidConfig {
+            name,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for PredictError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PredictError::Svm(e) => write!(f, "svm error: {e}"),
+            PredictError::NoTrainingData => write!(f, "no training records provided"),
+            PredictError::NotReady(what) => write!(f, "predictor not ready: {what}"),
+            PredictError::InvalidConfig { name, message } => {
+                write!(f, "invalid config `{name}`: {message}")
+            }
+        }
+    }
+}
+
+impl Error for PredictError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PredictError::Svm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SvmError> for PredictError {
+    fn from(e: SvmError) -> Self {
+        PredictError::Svm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = PredictError::from(SvmError::EmptyDataset);
+        assert!(e.to_string().contains("svm error"));
+        assert!(e.source().is_some());
+        assert_eq!(
+            PredictError::NoTrainingData.to_string(),
+            "no training records provided"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PredictError>();
+    }
+}

@@ -1,0 +1,379 @@
+//! Thermal management on top of the predictions — the paper's motivating
+//! application ("temperature prediction is a fundamental technique to
+//! conduct thermal management proactively").
+//!
+//! Three tools:
+//!
+//! - [`PlacementAdvisor`] — given candidate placements of a new VM, predict
+//!   each host's resulting ψ_stable and pick the coolest (hotspot
+//!   avoidance, minimising temperature disparity).
+//! - [`HotspotClassifier`] — an SVC over the same Eq. (2) features that
+//!   flags configurations whose stable temperature would exceed a
+//!   threshold.
+//! - [`MigrationAdvisor`] — find a predicted-hot host and propose moving
+//!   its largest VM to the predicted-coolest host with room.
+
+use crate::error::PredictError;
+use crate::features::FeatureEncoding;
+use crate::stable::StablePredictor;
+use vmtherm_sim::experiment::{ConfigSnapshot, ExperimentOutcome, VmInfo};
+use vmtherm_svm::data::Dataset;
+use vmtherm_svm::kernel::Kernel;
+use vmtherm_svm::scale::{ScaleMethod, Scaler};
+use vmtherm_svm::svc::{SvcModel, SvcParams};
+
+/// Returns a copy of `snapshot` with `vm` added — the hypothetical
+/// configuration a placement decision evaluates.
+#[must_use]
+pub fn snapshot_with_vm(snapshot: &ConfigSnapshot, vm: &VmInfo) -> ConfigSnapshot {
+    let mut s = snapshot.clone();
+    s.vms.push(vm.clone());
+    s
+}
+
+/// Ranks candidate hosts for a new VM by predicted stable temperature.
+#[derive(Debug, Clone)]
+pub struct PlacementAdvisor {
+    predictor: StablePredictor,
+}
+
+impl PlacementAdvisor {
+    /// Wraps a trained stable predictor.
+    #[must_use]
+    pub fn new(predictor: StablePredictor) -> Self {
+        PlacementAdvisor { predictor }
+    }
+
+    /// Predicted ψ_stable of each candidate host *after* receiving `vm`,
+    /// in candidate order.
+    #[must_use]
+    pub fn score(&self, candidates: &[ConfigSnapshot], vm: &VmInfo) -> Vec<f64> {
+        candidates
+            .iter()
+            .map(|c| self.predictor.predict(&snapshot_with_vm(c, vm)))
+            .collect()
+    }
+
+    /// The candidate index with the lowest predicted post-placement
+    /// temperature, with that prediction. `None` for no candidates.
+    #[must_use]
+    pub fn best(&self, candidates: &[ConfigSnapshot], vm: &VmInfo) -> Option<(usize, f64)> {
+        self.score(candidates, vm)
+            .into_iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    /// The wrapped predictor.
+    #[must_use]
+    pub fn predictor(&self) -> &StablePredictor {
+        &self.predictor
+    }
+}
+
+/// Binary hotspot risk classifier: will this configuration stabilise above
+/// the threshold?
+#[derive(Debug, Clone)]
+pub struct HotspotClassifier {
+    encoding: FeatureEncoding,
+    scaler: Scaler,
+    model: SvcModel,
+    threshold_c: f64,
+}
+
+impl HotspotClassifier {
+    /// Trains from experiment outcomes, labelling records by whether
+    /// ψ_stable exceeded `threshold_c`.
+    ///
+    /// # Errors
+    ///
+    /// [`PredictError::NoTrainingData`] for no records or single-class
+    /// data (a threshold no record crosses), SVM errors otherwise.
+    pub fn fit(
+        outcomes: &[ExperimentOutcome],
+        encoding: FeatureEncoding,
+        threshold_c: f64,
+    ) -> Result<Self, PredictError> {
+        if outcomes.is_empty() {
+            return Err(PredictError::NoTrainingData);
+        }
+        let mut raw = Dataset::new(encoding.dim());
+        for o in outcomes {
+            let label = if o.psi_stable > threshold_c {
+                1.0
+            } else {
+                -1.0
+            };
+            raw.push(encoding.encode(&o.snapshot), label);
+        }
+        let positives = raw.targets().iter().filter(|t| **t > 0.0).count();
+        if positives == 0 || positives == raw.len() {
+            return Err(PredictError::NoTrainingData);
+        }
+        let scaler = Scaler::fit(&raw, ScaleMethod::MinMax);
+        let scaled = scaler.transform_dataset(&raw);
+        let model = SvcModel::train(
+            &scaled,
+            SvcParams::new().with_c(32.0).with_kernel(Kernel::rbf(0.05)),
+        )?;
+        Ok(HotspotClassifier {
+            encoding,
+            scaler,
+            model,
+            threshold_c,
+        })
+    }
+
+    /// `true` when the configuration is predicted to exceed the threshold.
+    #[must_use]
+    pub fn is_hotspot(&self, snapshot: &ConfigSnapshot) -> bool {
+        let x = self.scaler.transform(&self.encoding.encode(snapshot));
+        self.model.classify(&x) > 0.0
+    }
+
+    /// The decision threshold (°C).
+    #[must_use]
+    pub fn threshold_c(&self) -> f64 {
+        self.threshold_c
+    }
+}
+
+/// A proposed migration: move VM `vm_index` of host `from` to host `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationAdvice {
+    /// Index of the source host in the candidate slice.
+    pub from: usize,
+    /// Index of the VM within the source host's snapshot.
+    pub vm_index: usize,
+    /// Index of the destination host.
+    pub to: usize,
+}
+
+/// Proposes migrations away from predicted hotspots.
+#[derive(Debug, Clone)]
+pub struct MigrationAdvisor {
+    predictor: StablePredictor,
+    /// Act when a host's predicted ψ_stable exceeds this (°C).
+    threshold_c: f64,
+    /// Installed memory per host (GB), for destination feasibility.
+    host_memory_gb: f64,
+}
+
+impl MigrationAdvisor {
+    /// Creates an advisor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive host memory.
+    #[must_use]
+    pub fn new(predictor: StablePredictor, threshold_c: f64, host_memory_gb: f64) -> Self {
+        assert!(host_memory_gb > 0.0, "host memory must be positive");
+        MigrationAdvisor {
+            predictor,
+            threshold_c,
+            host_memory_gb,
+        }
+    }
+
+    /// Examines the fleet and proposes at most one migration: from the
+    /// hottest host predicted above threshold, move its largest-demand VM
+    /// to the host whose *post-migration* prediction is lowest (and that
+    /// has memory room). Returns `None` when no host is predicted hot, the
+    /// hot host has no VMs, no destination fits, or no move actually
+    /// lowers the hot host's prediction below every alternative.
+    #[must_use]
+    pub fn advise(&self, hosts: &[ConfigSnapshot]) -> Option<MigrationAdvice> {
+        let scores: Vec<f64> = hosts.iter().map(|h| self.predictor.predict(h)).collect();
+        let (from, from_score) = scores
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(&b.1))?;
+        if from_score <= self.threshold_c {
+            return None;
+        }
+        // Largest expected-demand VM on the hot host.
+        let (vm_index, vm) = hosts[from].vms.iter().enumerate().max_by(|a, b| {
+            let da = f64::from(a.1.vcpus) * a.1.task.nominal_cpu();
+            let db = f64::from(b.1.vcpus) * b.1.task.nominal_cpu();
+            da.total_cmp(&db)
+        })?;
+        // Best feasible destination by post-migration prediction.
+        let mut best: Option<(usize, f64)> = None;
+        for (i, host) in hosts.iter().enumerate() {
+            if i == from {
+                continue;
+            }
+            let used: f64 = host.vms.iter().map(|v| v.memory_gb).sum();
+            if used + vm.memory_gb > self.host_memory_gb {
+                continue;
+            }
+            let post = self.predictor.predict(&snapshot_with_vm(host, vm));
+            if best.is_none_or(|(_, b)| post < b) {
+                best = Some((i, post));
+            }
+        }
+        let (to, post_dest) = best?;
+        // Only advise if the move does not just relocate the hotspot.
+        if post_dest >= from_score {
+            return None;
+        }
+        Some(MigrationAdvice { from, vm_index, to })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stable::TrainingOptions;
+    use vmtherm_sim::workload::TaskProfile;
+    use vmtherm_sim::{CaseGenerator, SimDuration};
+    use vmtherm_svm::svr::SvrParams;
+
+    fn trained_predictor() -> StablePredictor {
+        let mut gen = CaseGenerator::new(21);
+        let configs: Vec<_> = gen
+            .random_cases(50, 500)
+            .into_iter()
+            .map(|c| {
+                c.with_duration(SimDuration::from_secs(800))
+                    .with_t_break(SimDuration::from_secs(550))
+            })
+            .collect();
+        let outcomes = crate::stable::run_experiments(&configs);
+        let opts = TrainingOptions::new()
+            .with_params(SvrParams::new().with_c(64.0).with_kernel(Kernel::rbf(0.02)));
+        StablePredictor::fit(&outcomes, &opts).unwrap()
+    }
+
+    fn host(vm_tasks: &[(TaskProfile, u32)], ambient: f64) -> ConfigSnapshot {
+        ConfigSnapshot {
+            theta_cpu: 38.4,
+            theta_memory_gb: 64.0,
+            fan_count: 4,
+            fan_airflow_cfm: 144.0,
+            vms: vm_tasks
+                .iter()
+                .map(|(t, v)| VmInfo {
+                    vcpus: *v,
+                    memory_gb: 4.0,
+                    task: *t,
+                })
+                .collect(),
+            ambient_c: ambient,
+        }
+    }
+
+    #[test]
+    fn snapshot_with_vm_appends() {
+        let h = host(&[(TaskProfile::Idle, 1)], 24.0);
+        let vm = VmInfo {
+            vcpus: 2,
+            memory_gb: 4.0,
+            task: TaskProfile::CpuBound,
+        };
+        let h2 = snapshot_with_vm(&h, &vm);
+        assert_eq!(h2.vms.len(), 2);
+        assert_eq!(h.vms.len(), 1);
+    }
+
+    #[test]
+    fn placement_prefers_cooler_host() {
+        let p = PlacementAdvisor::new(trained_predictor());
+        let hot = host(&[(TaskProfile::CpuBound, 4); 6], 26.0);
+        let cool = host(&[(TaskProfile::Idle, 1); 2], 22.0);
+        let vm = VmInfo {
+            vcpus: 2,
+            memory_gb: 4.0,
+            task: TaskProfile::Mixed,
+        };
+        let (best, temp) = p.best(&[hot, cool], &vm).unwrap();
+        assert_eq!(best, 1, "picked the hot host (pred {temp})");
+    }
+
+    #[test]
+    fn placement_empty_candidates() {
+        let p = PlacementAdvisor::new(trained_predictor());
+        let vm = VmInfo {
+            vcpus: 1,
+            memory_gb: 2.0,
+            task: TaskProfile::Idle,
+        };
+        assert!(p.best(&[], &vm).is_none());
+    }
+
+    #[test]
+    fn hotspot_classifier_separates_extremes() {
+        let mut gen = CaseGenerator::new(33);
+        let configs: Vec<_> = gen
+            .random_cases(60, 900)
+            .into_iter()
+            .map(|c| {
+                c.with_duration(SimDuration::from_secs(800))
+                    .with_t_break(SimDuration::from_secs(550))
+            })
+            .collect();
+        let outcomes = crate::stable::run_experiments(&configs);
+        // Pick a threshold near the median so both classes exist.
+        let mut temps: Vec<f64> = outcomes.iter().map(|o| o.psi_stable).collect();
+        temps.sort_by(f64::total_cmp);
+        let threshold = temps[temps.len() / 2];
+        let clf = HotspotClassifier::fit(&outcomes, FeatureEncoding::Full, threshold).unwrap();
+        assert_eq!(clf.threshold_c(), threshold);
+        let hot = host(&[(TaskProfile::CpuBound, 4); 8], 28.0);
+        let cool = host(&[(TaskProfile::Idle, 1); 2], 18.0);
+        assert!(clf.is_hotspot(&hot));
+        assert!(!clf.is_hotspot(&cool));
+    }
+
+    #[test]
+    fn hotspot_single_class_is_error() {
+        let mut gen = CaseGenerator::new(3);
+        let configs: Vec<_> = gen
+            .random_cases(5, 100)
+            .into_iter()
+            .map(|c| {
+                c.with_duration(SimDuration::from_secs(700))
+                    .with_t_break(SimDuration::from_secs(600))
+            })
+            .collect();
+        let outcomes = crate::stable::run_experiments(&configs);
+        assert!(matches!(
+            HotspotClassifier::fit(&outcomes, FeatureEncoding::Full, 500.0),
+            Err(PredictError::NoTrainingData)
+        ));
+    }
+
+    #[test]
+    fn migration_advisor_moves_from_hot_to_cool() {
+        let p = trained_predictor();
+        let hot = host(&[(TaskProfile::CpuBound, 4); 8], 27.0);
+        let cool = host(&[(TaskProfile::Idle, 1)], 21.0);
+        let hot_pred = p.predict(&hot);
+        let advisor = MigrationAdvisor::new(p, hot_pred - 1.0, 64.0);
+        let advice = advisor.advise(&[hot, cool]).expect("advice expected");
+        assert_eq!(advice.from, 0);
+        assert_eq!(advice.to, 1);
+    }
+
+    #[test]
+    fn migration_advisor_quiet_when_all_cool() {
+        let p = trained_predictor();
+        let a = host(&[(TaskProfile::Idle, 1)], 20.0);
+        let b = host(&[(TaskProfile::Idle, 1)], 20.0);
+        let advisor = MigrationAdvisor::new(p, 90.0, 64.0);
+        assert!(advisor.advise(&[a, b]).is_none());
+    }
+
+    #[test]
+    fn migration_advisor_respects_memory() {
+        let p = trained_predictor();
+        let hot = host(&[(TaskProfile::CpuBound, 4); 8], 27.0);
+        // Destination memory nearly full: 15 VMs × 4 GB = 60; adding 4 → 64 fits exactly... use 16 to overflow.
+        let full = host(&[(TaskProfile::Idle, 1); 16], 21.0);
+        let hot_pred = p.predict(&hot);
+        let advisor = MigrationAdvisor::new(p, hot_pred - 1.0, 64.0);
+        // Destination full → no advice.
+        assert!(advisor.advise(&[hot, full]).is_none());
+    }
+}

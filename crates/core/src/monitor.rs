@@ -1,0 +1,338 @@
+//! Fleet monitoring: the paper's deployment mode as a reusable component.
+//!
+//! "Then the model received data collected online and output prediction
+//! values" — [`FleetMonitor`] wires one calibrated [`DynamicPredictor`]
+//! per server to a running simulation: it consumes sensor samples, watches
+//! the event log and **re-anchors automatically** on every reconfiguration
+//! (VM boot/stop, migration start/completion) using fresh ψ_stable
+//! predictions from the stable model, while scoring each forecast when its
+//! target time arrives.
+
+use crate::dynamic::{DynamicConfig, DynamicPredictor};
+use crate::error::PredictError;
+use crate::predictor::OnlinePredictor;
+use crate::stable::StablePredictor;
+use std::collections::VecDeque;
+use vmtherm_sim::experiment::ConfigSnapshot;
+use vmtherm_sim::{ServerId, SimEvent, Simulation};
+
+/// Rolling forecast-accuracy statistics for one server.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ServerStats {
+    /// Matured (scored) forecasts.
+    pub scored: usize,
+    /// Sum of squared forecast errors.
+    pub sum_sq_err: f64,
+}
+
+impl ServerStats {
+    /// Mean squared forecast error, `NaN` before any forecast matured.
+    #[must_use]
+    pub fn mse(&self) -> f64 {
+        if self.scored == 0 {
+            f64::NAN
+        } else {
+            self.sum_sq_err / self.scored as f64
+        }
+    }
+}
+
+/// One predictor per server plus pending-forecast bookkeeping.
+#[derive(Debug)]
+pub struct FleetMonitor {
+    stable: StablePredictor,
+    gap_secs: f64,
+    predictors: Vec<DynamicPredictor>,
+    /// Per-server queue of `(target_time, forecast)`.
+    pending: Vec<VecDeque<(f64, f64)>>,
+    stats: Vec<ServerStats>,
+    /// How much of the simulation event log has been consumed.
+    log_cursor: usize,
+    anchored: bool,
+}
+
+impl FleetMonitor {
+    /// Creates a monitor for `servers` hosts with forecast horizon
+    /// `gap_secs`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid [`DynamicConfig`]s.
+    pub fn new(
+        stable: StablePredictor,
+        config: DynamicConfig,
+        servers: usize,
+        gap_secs: f64,
+    ) -> Result<Self, PredictError> {
+        if !(gap_secs > 0.0) {
+            return Err(PredictError::invalid(
+                "gap_secs",
+                format!("must be > 0, got {gap_secs}"),
+            ));
+        }
+        let predictors: Result<Vec<_>, _> = (0..servers)
+            .map(|_| DynamicPredictor::new(config))
+            .collect();
+        Ok(FleetMonitor {
+            stable,
+            gap_secs,
+            predictors: predictors?,
+            pending: vec![VecDeque::new(); servers],
+            stats: vec![ServerStats::default(); servers],
+            log_cursor: 0,
+            anchored: false,
+        })
+    }
+
+    /// Number of monitored servers.
+    #[must_use]
+    pub fn servers(&self) -> usize {
+        self.predictors.len()
+    }
+
+    /// Forecast horizon (s).
+    #[must_use]
+    pub fn gap_secs(&self) -> f64 {
+        self.gap_secs
+    }
+
+    /// Consumes the simulation's current state: new events re-anchor the
+    /// affected predictors; each server's newest sensor sample feeds
+    /// calibration; matured forecasts are scored; one fresh forecast per
+    /// server is enqueued. Call once per simulation step (after
+    /// `sim.step()`); `ambient_c` is the room temperature used when
+    /// capturing configuration snapshots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation has more servers than the monitor.
+    pub fn observe(&mut self, sim: &Simulation, ambient_c: f64) {
+        let n = self.servers();
+        assert!(
+            sim.datacenter().len() <= n,
+            "monitor sized for {n} servers, simulation has {}",
+            sim.datacenter().len()
+        );
+
+        // Initial anchor for every server, once traces exist.
+        if !self.anchored {
+            self.anchored = true;
+            for idx in 0..sim.datacenter().len() {
+                let sid = ServerId::new(idx);
+                let snap = ConfigSnapshot::capture(sim, sid, ambient_c);
+                let temp = sim
+                    .datacenter()
+                    .server(sid)
+                    .expect("server")
+                    .die_temperature();
+                self.predictors[idx].anchor_with_model(
+                    sim.now().as_secs_f64(),
+                    temp,
+                    &self.stable,
+                    &snap,
+                );
+            }
+        }
+
+        // Re-anchor on new reconfiguration events.
+        let log = sim.log();
+        while self.log_cursor < log.len() {
+            let (at, event) = &log[self.log_cursor];
+            self.log_cursor += 1;
+            let touched: Vec<ServerId> = match event {
+                SimEvent::VmBooted { server, .. } | SimEvent::VmStopped { server, .. } => {
+                    vec![*server]
+                }
+                SimEvent::MigrationStarted { source, dest, .. }
+                | SimEvent::MigrationCompleted { source, dest, .. } => vec![*source, *dest],
+                _ => vec![],
+            };
+            for sid in touched {
+                let snap = ConfigSnapshot::capture(sim, sid, ambient_c);
+                let temp = sim
+                    .datacenter()
+                    .server(sid)
+                    .expect("server")
+                    .die_temperature();
+                self.predictors[sid.raw()].anchor_with_model(
+                    at.as_secs_f64(),
+                    temp,
+                    &self.stable,
+                    &snap,
+                );
+            }
+        }
+
+        // Feed samples, score matured forecasts, enqueue fresh ones.
+        let now = sim.now().as_secs_f64();
+        for idx in 0..sim.datacenter().len() {
+            let sid = ServerId::new(idx);
+            let Ok(trace) = sim.trace(sid) else { continue };
+            let Some((t, measured)) = trace.sensor_c.last() else {
+                continue;
+            };
+            self.predictors[idx].observe(t, measured);
+            while let Some(&(target, forecast)) = self.pending[idx].front() {
+                if target > now {
+                    break;
+                }
+                self.pending[idx].pop_front();
+                let err = measured - forecast;
+                self.stats[idx].scored += 1;
+                self.stats[idx].sum_sq_err += err * err;
+            }
+            let forecast = self.predictors[idx].predict_ahead(t, self.gap_secs);
+            if forecast.is_finite() {
+                self.pending[idx].push_back((t + self.gap_secs, forecast));
+            }
+        }
+    }
+
+    /// The current forecast (`gap_secs` ahead of the latest sample) for a
+    /// server, if one is pending.
+    #[must_use]
+    pub fn latest_forecast(&self, server: ServerId) -> Option<(f64, f64)> {
+        self.pending.get(server.raw())?.back().copied()
+    }
+
+    /// Per-server accuracy stats.
+    #[must_use]
+    pub fn stats(&self, server: ServerId) -> ServerStats {
+        self.stats.get(server.raw()).copied().unwrap_or_default()
+    }
+
+    /// Fleet-wide MSE over all matured forecasts (`NaN` before any).
+    #[must_use]
+    pub fn fleet_mse(&self) -> f64 {
+        let scored: usize = self.stats.iter().map(|s| s.scored).sum();
+        if scored == 0 {
+            return f64::NAN;
+        }
+        self.stats.iter().map(|s| s.sum_sq_err).sum::<f64>() / scored as f64
+    }
+
+    /// The per-server dynamic predictors (read access for diagnostics).
+    #[must_use]
+    pub fn predictors(&self) -> &[DynamicPredictor] {
+        &self.predictors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stable::{run_experiments, TrainingOptions};
+    use vmtherm_sim::{
+        AmbientModel, CaseGenerator, Datacenter, Event, ServerSpec, SimDuration, SimTime,
+        TaskProfile, VmSpec,
+    };
+    use vmtherm_svm::kernel::Kernel;
+    use vmtherm_svm::svr::SvrParams;
+
+    fn stable_model() -> StablePredictor {
+        let mut generator = CaseGenerator::new(42);
+        let configs: Vec<_> = generator
+            .random_cases(60, 1_000)
+            .into_iter()
+            .map(|c| c.with_duration(SimDuration::from_secs(900)))
+            .collect();
+        let outcomes = run_experiments(&configs);
+        StablePredictor::fit(
+            &outcomes,
+            &TrainingOptions::new().with_params(
+                SvrParams::new()
+                    .with_c(128.0)
+                    .with_epsilon(0.05)
+                    .with_kernel(Kernel::rbf(0.02)),
+            ),
+        )
+        .unwrap()
+    }
+
+    fn fleet_sim() -> Simulation {
+        let mut dc = Datacenter::new();
+        for i in 0..3 {
+            dc.add_server(ServerSpec::standard(format!("n{i}")), 24.0, i as u64);
+        }
+        let mut sim = Simulation::new(dc, AmbientModel::Fixed(24.0), 7);
+        for i in 0..3 {
+            sim.boot_vm_now(
+                ServerId::new(i),
+                VmSpec::new(format!("v{i}"), 2 + i as u32, 4.0, TaskProfile::CpuBound),
+            )
+            .unwrap();
+        }
+        sim
+    }
+
+    #[test]
+    fn monitor_scores_forecasts_in_band() {
+        let mut sim = fleet_sim();
+        let mut monitor = FleetMonitor::new(stable_model(), DynamicConfig::new(), 3, 60.0).unwrap();
+        // A mid-run burst on server 0 exercises re-anchoring.
+        sim.schedule(
+            SimTime::from_secs(600),
+            Event::BootVm {
+                server: ServerId::new(0),
+                spec: VmSpec::new("burst", 4, 8.0, TaskProfile::CpuBound),
+            },
+        );
+        for _ in 0..1500 {
+            sim.step();
+            monitor.observe(&sim, 24.0);
+        }
+        let fleet = monitor.fleet_mse();
+        assert!(fleet.is_finite());
+        assert!(fleet < 3.0, "fleet mse {fleet}");
+        for i in 0..3 {
+            let s = monitor.stats(ServerId::new(i));
+            assert!(s.scored > 1000, "server {i} scored only {}", s.scored);
+        }
+        // The latest forecast exists and is sane.
+        let (target, value) = monitor.latest_forecast(ServerId::new(0)).unwrap();
+        assert!(target > 1400.0);
+        assert!((20.0..90.0).contains(&value));
+    }
+
+    #[test]
+    fn reanchoring_happens_on_events() {
+        let mut sim = fleet_sim();
+        let mut monitor = FleetMonitor::new(stable_model(), DynamicConfig::new(), 3, 60.0).unwrap();
+        for _ in 0..5 {
+            sim.step();
+            monitor.observe(&sim, 24.0);
+        }
+        let before = monitor.predictors()[1].curve_value(1.0).unwrap();
+        // Boot a heavy VM on server 1 → its predictor must re-anchor to a
+        // hotter target.
+        sim.schedule(
+            SimTime::from_secs(6),
+            Event::BootVm {
+                server: ServerId::new(1),
+                spec: VmSpec::new("hog", 8, 16.0, TaskProfile::CpuBound),
+            },
+        );
+        for _ in 0..10 {
+            sim.step();
+            monitor.observe(&sim, 24.0);
+        }
+        let after = monitor.predictors()[1].curve_value(2000.0).unwrap();
+        assert!(after > before + 2.0, "no re-anchor: {before} -> {after}");
+    }
+
+    #[test]
+    fn rejects_bad_gap() {
+        assert!(matches!(
+            FleetMonitor::new(stable_model(), DynamicConfig::new(), 2, 0.0),
+            Err(PredictError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn unmonitored_server_queries_are_safe() {
+        let monitor = FleetMonitor::new(stable_model(), DynamicConfig::new(), 1, 60.0).unwrap();
+        assert!(monitor.latest_forecast(ServerId::new(9)).is_none());
+        assert_eq!(monitor.stats(ServerId::new(9)), ServerStats::default());
+        assert!(monitor.fleet_mse().is_nan());
+    }
+}

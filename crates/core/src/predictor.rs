@@ -1,0 +1,61 @@
+//! The common interface for online temperature predictors.
+//!
+//! Every predictor — the paper's calibrated dynamic model and all the
+//! baselines — consumes a stream of timestamped sensor measurements and
+//! answers "what will the CPU temperature be Δ_gap seconds from now?".
+//! The evaluation harness ([`crate::eval`]) drives them uniformly through
+//! this trait.
+
+/// An online CPU-temperature predictor.
+pub trait OnlinePredictor {
+    /// Feeds one sensor measurement taken at `t_secs`.
+    fn observe(&mut self, t_secs: f64, measured_c: f64);
+
+    /// Predicts the temperature at `t_secs + gap_secs`, given everything
+    /// observed so far.
+    fn predict_ahead(&self, t_secs: f64, gap_secs: f64) -> f64;
+
+    /// Short name for reports (e.g. `"calibrated"`, `"last-value"`).
+    fn name(&self) -> &str;
+
+    /// Notifies the predictor that the configuration changed at `t_secs`
+    /// (VM boot/stop/migration, fan change). `current_temp_c` is the
+    /// measurement at that instant. Predictors that cannot use this ignore
+    /// it; the paper's dynamic model re-anchors its curve.
+    fn on_reconfiguration(&mut self, t_secs: f64, current_temp_c: f64) {
+        let _ = (t_secs, current_temp_c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial implementor to pin down the default method.
+    struct Fixed(f64);
+
+    impl OnlinePredictor for Fixed {
+        fn observe(&mut self, _t: f64, _m: f64) {}
+        fn predict_ahead(&self, _t: f64, _gap: f64) -> f64 {
+            self.0
+        }
+        fn name(&self) -> &str {
+            "fixed"
+        }
+    }
+
+    #[test]
+    fn default_reconfiguration_is_a_noop() {
+        let mut p = Fixed(50.0);
+        p.on_reconfiguration(10.0, 60.0);
+        assert_eq!(p.predict_ahead(10.0, 60.0), 50.0);
+        assert_eq!(p.name(), "fixed");
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let mut p: Box<dyn OnlinePredictor> = Box::new(Fixed(1.0));
+        p.observe(0.0, 1.0);
+        assert_eq!(p.predict_ahead(0.0, 1.0), 1.0);
+    }
+}

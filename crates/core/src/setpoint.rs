@@ -1,0 +1,326 @@
+//! Predictive CRAC setpoint optimization — the paper's motivating
+//! application made concrete: use ψ_stable predictions to run the room as
+//! warm as safely possible, cutting cooling power.
+//!
+//! For each candidate supply setpoint, predict every server's stable
+//! temperature with δ_env set to that supply temperature (plus its rack
+//! offset); the optimizer picks the **highest setpoint whose predicted
+//! fleet peak stays under the thermal limit**, with a safety margin for
+//! model error (use the conformal quantile from
+//! [`crate::interval::IntervalPredictor`] for a principled margin).
+
+use crate::error::PredictError;
+use crate::stable::StablePredictor;
+use serde::{Deserialize, Serialize};
+use vmtherm_sim::cooling::CoolingModel;
+use vmtherm_sim::experiment::ConfigSnapshot;
+
+/// Search configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SetpointSearch {
+    /// Lowest admissible supply temperature (°C).
+    pub min_supply_c: f64,
+    /// Highest admissible supply temperature (°C).
+    pub max_supply_c: f64,
+    /// Die temperature no server may (predictedly) exceed (°C).
+    pub max_die_c: f64,
+    /// Safety margin added to every prediction (°C) — set it to the
+    /// conformal quantile of the model's held-out error.
+    pub safety_margin_c: f64,
+    /// Search resolution (°C).
+    pub resolution_c: f64,
+}
+
+impl SetpointSearch {
+    fn validate(&self) -> Result<(), PredictError> {
+        if !(self.min_supply_c < self.max_supply_c) {
+            return Err(PredictError::invalid(
+                "supply range",
+                format!("empty range {}..{}", self.min_supply_c, self.max_supply_c),
+            ));
+        }
+        if !(self.resolution_c > 0.0) {
+            return Err(PredictError::invalid(
+                "resolution_c",
+                format!("must be > 0, got {}", self.resolution_c),
+            ));
+        }
+        if !(self.safety_margin_c >= 0.0) {
+            return Err(PredictError::invalid(
+                "safety_margin_c",
+                format!("must be >= 0, got {}", self.safety_margin_c),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for SetpointSearch {
+    /// 16–32 °C supply range, 70 °C die limit, 1.5 °C margin, 0.5 °C steps.
+    fn default() -> Self {
+        SetpointSearch {
+            min_supply_c: 16.0,
+            max_supply_c: 32.0,
+            max_die_c: 70.0,
+            safety_margin_c: 1.5,
+            resolution_c: 0.5,
+        }
+    }
+}
+
+/// The optimizer's recommendation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SetpointAdvice {
+    /// Recommended supply setpoint (°C).
+    pub supply_c: f64,
+    /// Predicted fleet-peak die temperature at that setpoint, margin
+    /// included (°C).
+    pub predicted_peak_c: f64,
+    /// Cooling power at the recommended setpoint (W), for the given heat
+    /// load.
+    pub cooling_power_w: f64,
+    /// Cooling power at the *lowest* admissible setpoint (W) — the
+    /// conservative baseline the recommendation is compared against.
+    pub baseline_power_w: f64,
+}
+
+impl SetpointAdvice {
+    /// Fractional cooling-energy saving vs the conservative baseline.
+    #[must_use]
+    pub fn saving_fraction(&self) -> f64 {
+        if self.baseline_power_w <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.cooling_power_w / self.baseline_power_w
+    }
+}
+
+/// Predictive setpoint optimizer.
+#[derive(Debug, Clone)]
+pub struct SetpointOptimizer {
+    predictor: StablePredictor,
+    cooling: CoolingModel,
+    search: SetpointSearch,
+}
+
+impl SetpointOptimizer {
+    /// Builds the optimizer.
+    ///
+    /// # Errors
+    ///
+    /// [`PredictError::InvalidConfig`] on a bad search configuration.
+    pub fn new(
+        predictor: StablePredictor,
+        cooling: CoolingModel,
+        search: SetpointSearch,
+    ) -> Result<Self, PredictError> {
+        search.validate()?;
+        Ok(SetpointOptimizer {
+            predictor,
+            cooling,
+            search,
+        })
+    }
+
+    /// Predicted fleet-peak die temperature if the supply were `supply_c`
+    /// (margin included). `rack_offsets[i]` is the inlet rise of host `i`
+    /// over the supply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hosts` and `rack_offsets` lengths differ.
+    #[must_use]
+    pub fn predicted_peak(
+        &self,
+        hosts: &[ConfigSnapshot],
+        rack_offsets: &[f64],
+        supply_c: f64,
+    ) -> f64 {
+        assert_eq!(
+            hosts.len(),
+            rack_offsets.len(),
+            "hosts/offsets length mismatch"
+        );
+        hosts
+            .iter()
+            .zip(rack_offsets)
+            .map(|(h, off)| {
+                let mut probe = h.clone();
+                probe.ambient_c = supply_c + off;
+                self.predictor.predict(&probe) + self.search.safety_margin_c
+            })
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Finds the highest safe setpoint for the fleet. `heat_load_w` is the
+    /// room heat the CRAC must remove (IT + fans). Returns `None` when even
+    /// the lowest admissible setpoint is predicted unsafe — the operator
+    /// must shed load instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hosts` is empty or the offsets length differs.
+    #[must_use]
+    pub fn optimize(
+        &self,
+        hosts: &[ConfigSnapshot],
+        rack_offsets: &[f64],
+        heat_load_w: f64,
+    ) -> Option<SetpointAdvice> {
+        assert!(!hosts.is_empty(), "no hosts to optimize for");
+        let s = &self.search;
+        let baseline_power_w = self.cooling.cooling_power(heat_load_w, s.min_supply_c);
+        let steps = ((s.max_supply_c - s.min_supply_c) / s.resolution_c).floor() as usize;
+        let mut best: Option<SetpointAdvice> = None;
+        for i in 0..=steps {
+            let supply = s.min_supply_c + i as f64 * s.resolution_c;
+            let peak = self.predicted_peak(hosts, rack_offsets, supply);
+            if peak > s.max_die_c {
+                break; // peak is monotone in supply; nothing hotter is safe
+            }
+            best = Some(SetpointAdvice {
+                supply_c: supply,
+                predicted_peak_c: peak,
+                cooling_power_w: self.cooling.cooling_power(heat_load_w, supply),
+                baseline_power_w,
+            });
+        }
+        best
+    }
+
+    /// The wrapped predictor.
+    #[must_use]
+    pub fn predictor(&self) -> &StablePredictor {
+        &self.predictor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stable::{run_experiments, TrainingOptions};
+    use vmtherm_sim::experiment::VmInfo;
+    use vmtherm_sim::workload::TaskProfile;
+    use vmtherm_sim::{CaseGenerator, SimDuration};
+    use vmtherm_svm::kernel::Kernel;
+    use vmtherm_svm::svr::SvrParams;
+
+    fn predictor() -> StablePredictor {
+        let mut generator = CaseGenerator::new(42);
+        let configs: Vec<_> = generator
+            .random_cases(100, 1_000)
+            .into_iter()
+            .map(|c| c.with_duration(SimDuration::from_secs(1000)))
+            .collect();
+        let outcomes = run_experiments(&configs);
+        StablePredictor::fit(
+            &outcomes,
+            &TrainingOptions::new().with_params(
+                SvrParams::new()
+                    .with_c(128.0)
+                    .with_epsilon(0.05)
+                    .with_kernel(Kernel::rbf(0.02)),
+            ),
+        )
+        .unwrap()
+    }
+
+    fn host(cpu_vms: usize, ambient: f64) -> ConfigSnapshot {
+        ConfigSnapshot {
+            theta_cpu: 38.4,
+            theta_memory_gb: 64.0,
+            fan_count: 4,
+            fan_airflow_cfm: 144.0,
+            vms: (0..cpu_vms)
+                .map(|_| VmInfo {
+                    vcpus: 2,
+                    memory_gb: 4.0,
+                    task: TaskProfile::CpuBound,
+                })
+                .collect(),
+            ambient_c: ambient,
+        }
+    }
+
+    fn optimizer(max_die_c: f64) -> SetpointOptimizer {
+        let search = SetpointSearch {
+            max_die_c,
+            ..SetpointSearch::default()
+        };
+        SetpointOptimizer::new(predictor(), CoolingModel::default(), search).unwrap()
+    }
+
+    #[test]
+    fn lighter_fleets_get_warmer_setpoints() {
+        let opt = optimizer(62.0);
+        let light = [host(2, 24.0)];
+        let heavy = [host(8, 24.0)];
+        let a = opt
+            .optimize(&light, &[0.0], 10_000.0)
+            .expect("light feasible");
+        let b = opt
+            .optimize(&heavy, &[0.0], 10_000.0)
+            .expect("heavy feasible");
+        assert!(
+            a.supply_c > b.supply_c,
+            "light fleet setpoint {} not above heavy {}",
+            a.supply_c,
+            b.supply_c
+        );
+        assert!(a.saving_fraction() > b.saving_fraction());
+    }
+
+    #[test]
+    fn infeasible_limit_returns_none() {
+        let opt = optimizer(20.0); // nothing can stay under 20 °C die
+        assert!(opt.optimize(&[host(8, 24.0)], &[0.0], 10_000.0).is_none());
+    }
+
+    #[test]
+    fn advice_respects_limit_and_is_monotone_in_limit() {
+        let loose = optimizer(65.0)
+            .optimize(&[host(6, 24.0)], &[0.0], 10_000.0)
+            .unwrap();
+        let tight = optimizer(55.0)
+            .optimize(&[host(6, 24.0)], &[0.0], 10_000.0)
+            .unwrap();
+        assert!(loose.predicted_peak_c <= 65.0);
+        assert!(tight.predicted_peak_c <= 55.0);
+        assert!(loose.supply_c >= tight.supply_c);
+        assert!(loose.cooling_power_w <= tight.cooling_power_w);
+    }
+
+    #[test]
+    fn rack_offsets_tighten_the_answer() {
+        let opt = optimizer(60.0);
+        let flat = opt.optimize(&[host(6, 24.0)], &[0.0], 10_000.0).unwrap();
+        let offset = opt.optimize(&[host(6, 24.0)], &[3.0], 10_000.0).unwrap();
+        assert!(offset.supply_c <= flat.supply_c);
+    }
+
+    #[test]
+    fn saving_fraction_zero_at_baseline() {
+        let a = SetpointAdvice {
+            supply_c: 16.0,
+            predicted_peak_c: 50.0,
+            cooling_power_w: 100.0,
+            baseline_power_w: 100.0,
+        };
+        assert_eq!(a.saving_fraction(), 0.0);
+    }
+
+    #[test]
+    fn bad_search_rejected() {
+        let bad = SetpointSearch {
+            min_supply_c: 30.0,
+            max_supply_c: 20.0,
+            ..Default::default()
+        };
+        assert!(SetpointOptimizer::new(predictor(), CoolingModel::default(), bad).is_err());
+        let bad = SetpointSearch {
+            resolution_c: 0.0,
+            ..Default::default()
+        };
+        assert!(SetpointOptimizer::new(predictor(), CoolingModel::default(), bad).is_err());
+    }
+}

@@ -1,0 +1,143 @@
+//! Cooling infrastructure power — the quantity the paper's introduction
+//! targets: cooling "form\[s\] approximately half of the total consumption",
+//! and temperature prediction exists to let operators run the room warmer
+//! without hotspots.
+//!
+//! The model is the standard chiller/CRAC efficiency curve: the
+//! coefficient of performance (COP = heat removed / electrical power)
+//! improves roughly linearly with supply temperature — the basis of every
+//! "raise the setpoint" energy argument (e.g. ASHRAE's widened envelopes).
+
+use serde::{Deserialize, Serialize};
+
+/// A CRAC/chiller unit's efficiency model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoolingModel {
+    /// COP at the reference supply temperature.
+    cop_reference: f64,
+    /// Reference supply temperature (°C).
+    reference_supply_c: f64,
+    /// Relative COP gain per +1 °C of supply temperature (≈ 0.03–0.05).
+    cop_slope_per_c: f64,
+}
+
+impl CoolingModel {
+    /// Creates a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive reference COP or negative slope.
+    #[must_use]
+    pub fn new(cop_reference: f64, reference_supply_c: f64, cop_slope_per_c: f64) -> Self {
+        assert!(cop_reference > 0.0, "reference COP must be positive");
+        assert!(cop_slope_per_c >= 0.0, "COP slope must be non-negative");
+        CoolingModel {
+            cop_reference,
+            reference_supply_c,
+            cop_slope_per_c,
+        }
+    }
+
+    /// COP at a given supply temperature. Clamped below at 0.2 (a chiller
+    /// never consumes unboundedly, but the clamp keeps far-out-of-range
+    /// queries sane).
+    #[must_use]
+    pub fn cop(&self, supply_c: f64) -> f64 {
+        let rel = 1.0 + self.cop_slope_per_c * (supply_c - self.reference_supply_c);
+        (self.cop_reference * rel).max(0.2)
+    }
+
+    /// Electrical power (W) to remove `heat_load_w` of IT + fan heat at a
+    /// given supply temperature.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative heat load.
+    #[must_use]
+    pub fn cooling_power(&self, heat_load_w: f64, supply_c: f64) -> f64 {
+        assert!(heat_load_w >= 0.0, "negative heat load");
+        heat_load_w / self.cop(supply_c)
+    }
+
+    /// Power usage effectiveness for a room: `(IT + cooling + overhead) / IT`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive IT power.
+    #[must_use]
+    pub fn pue(&self, it_power_w: f64, supply_c: f64, overhead_w: f64) -> f64 {
+        assert!(it_power_w > 0.0, "IT power must be positive");
+        let cooling = self.cooling_power(it_power_w, supply_c);
+        (it_power_w + cooling + overhead_w.max(0.0)) / it_power_w
+    }
+}
+
+impl Default for CoolingModel {
+    /// COP 3.0 at 18 °C supply, +4 %/°C — a mid-2010s chilled-water CRAC.
+    fn default() -> Self {
+        CoolingModel::new(3.0, 18.0, 0.04)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cop_rises_with_supply_temperature() {
+        let m = CoolingModel::default();
+        assert!(m.cop(25.0) > m.cop(18.0));
+        assert!((m.cop(18.0) - 3.0).abs() < 1e-12);
+        // +4%/°C: at 28 °C, COP = 3.0 * 1.4.
+        assert!((m.cop(28.0) - 4.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cop_clamped_at_floor() {
+        let m = CoolingModel::new(1.0, 18.0, 0.5);
+        assert_eq!(m.cop(-100.0), 0.2);
+    }
+
+    #[test]
+    fn cooling_power_inverse_in_cop() {
+        let m = CoolingModel::default();
+        let cold = m.cooling_power(30_000.0, 18.0);
+        let warm = m.cooling_power(30_000.0, 26.0);
+        assert!(
+            warm < cold,
+            "warmer supply must cost less: {warm} vs {cold}"
+        );
+        assert!((cold - 10_000.0).abs() < 1e-9); // 30 kW / COP 3.
+    }
+
+    #[test]
+    fn raising_setpoint_10c_saves_roughly_a_quarter() {
+        // The industry rule of thumb (~3–5% per °C) emerges from the model.
+        let m = CoolingModel::default();
+        let base = m.cooling_power(100_000.0, 18.0);
+        let raised = m.cooling_power(100_000.0, 28.0);
+        let saving = 1.0 - raised / base;
+        assert!((0.2..0.4).contains(&saving), "saving {saving}");
+    }
+
+    #[test]
+    fn pue_behaves() {
+        let m = CoolingModel::default();
+        let pue = m.pue(100_000.0, 18.0, 5_000.0);
+        // 100 kW IT + 33.3 kW cooling + 5 kW overhead → ~1.38.
+        assert!((pue - 1.3833).abs() < 1e-3, "pue {pue}");
+        assert!(m.pue(100_000.0, 26.0, 5_000.0) < pue);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative heat load")]
+    fn negative_load_panics() {
+        let _ = CoolingModel::default().cooling_power(-1.0, 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reference COP")]
+    fn bad_cop_panics() {
+        let _ = CoolingModel::new(0.0, 18.0, 0.04);
+    }
+}

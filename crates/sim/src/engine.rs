@@ -1,0 +1,769 @@
+//! The discrete-time simulation engine.
+//!
+//! Fixed 1 s steps (configurable) with an event queue for the runtime
+//! reconfigurations the paper highlights — VM boots, stops and live
+//! migrations, fan-speed changes — plus per-server telemetry recording.
+
+use crate::datacenter::Datacenter;
+use crate::environment::AmbientModel;
+use crate::error::SimError;
+use crate::fan::FanSpeed;
+use crate::migration::{ActiveMigration, MigrationConfig};
+use crate::server::ServerId;
+use crate::telemetry::ServerTrace;
+use crate::time::{SimDuration, SimTime};
+use crate::vm::{Vm, VmId, VmSpec, VmState};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A reconfiguration applied at a scheduled time.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Event {
+    /// Boot a new VM on a server.
+    BootVm {
+        /// Target host.
+        server: ServerId,
+        /// VM to create.
+        spec: VmSpec,
+    },
+    /// Stop (destroy) a VM wherever it runs.
+    StopVm(VmId),
+    /// Live-migrate a VM to a destination server.
+    MigrateVm {
+        /// VM to move.
+        vm: VmId,
+        /// Destination host.
+        dest: ServerId,
+    },
+    /// Change a server's fan speed level.
+    SetFanSpeed {
+        /// Target server.
+        server: ServerId,
+        /// New level.
+        speed: FanSpeed,
+    },
+    /// Replace the room's ambient model.
+    SetAmbient(AmbientModel),
+    /// Inject a fan failure on a server (`count` more fans stop).
+    FailFans {
+        /// Target server.
+        server: ServerId,
+        /// Additional fans to fail.
+        count: u32,
+    },
+}
+
+#[derive(Debug)]
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A notification the engine emits when something happened, for observers
+/// (the dynamic predictor re-anchors on these).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimEvent {
+    /// A VM booted.
+    VmBooted {
+        /// The new VM.
+        vm: VmId,
+        /// Its host.
+        server: ServerId,
+    },
+    /// A VM stopped.
+    VmStopped {
+        /// The stopped VM.
+        vm: VmId,
+        /// The host it ran on.
+        server: ServerId,
+    },
+    /// A migration began (pre-copy start).
+    MigrationStarted {
+        /// The moving VM.
+        vm: VmId,
+        /// Source host.
+        source: ServerId,
+        /// Destination host.
+        dest: ServerId,
+    },
+    /// A migration cut over; the VM now runs on `dest`.
+    MigrationCompleted {
+        /// The moved VM.
+        vm: VmId,
+        /// Former host.
+        source: ServerId,
+        /// New host.
+        dest: ServerId,
+    },
+    /// A scheduled event failed to apply (e.g. placement rejected).
+    EventFailed {
+        /// Why it failed.
+        error: SimError,
+    },
+}
+
+/// The simulation: datacenter + environment + clock + events.
+#[derive(Debug)]
+pub struct Simulation {
+    datacenter: Datacenter,
+    ambient: AmbientModel,
+    migration_config: MigrationConfig,
+    clock: SimTime,
+    dt: SimDuration,
+    events: BinaryHeap<Reverse<Scheduled>>,
+    seq: u64,
+    next_vm: u64,
+    migrations: Vec<ActiveMigration>,
+    traces: Vec<ServerTrace>,
+    log: Vec<(SimTime, SimEvent)>,
+    seed: u64,
+    room_heat_kw: f64,
+}
+
+impl Simulation {
+    /// Wraps a datacenter with a room model. `seed` drives VM workload
+    /// decorrelation.
+    #[must_use]
+    pub fn new(datacenter: Datacenter, ambient: AmbientModel, seed: u64) -> Self {
+        let traces = (0..datacenter.len()).map(|_| ServerTrace::new()).collect();
+        Simulation {
+            datacenter,
+            ambient,
+            migration_config: MigrationConfig::default(),
+            clock: SimTime::ZERO,
+            dt: SimDuration::from_secs(1),
+            events: BinaryHeap::new(),
+            seq: 0,
+            next_vm: 0,
+            migrations: Vec::new(),
+            traces,
+            log: Vec::new(),
+            seed,
+            room_heat_kw: 0.0,
+        }
+    }
+
+    /// Overrides the migration tunables.
+    #[must_use]
+    pub fn with_migration_config(mut self, config: MigrationConfig) -> Self {
+        self.migration_config = config;
+        self
+    }
+
+    /// Overrides the step size (default 1 s).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero step.
+    #[must_use]
+    pub fn with_step(mut self, dt: SimDuration) -> Self {
+        assert!(!dt.is_zero(), "zero simulation step");
+        self.dt = dt;
+        self
+    }
+
+    /// Current simulation time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// The datacenter (read-only).
+    #[must_use]
+    pub fn datacenter(&self) -> &Datacenter {
+        &self.datacenter
+    }
+
+    /// Mutable datacenter access for setup before running.
+    pub fn datacenter_mut(&mut self) -> &mut Datacenter {
+        &mut self.datacenter
+    }
+
+    /// Schedules an event.
+    pub fn schedule(&mut self, at: SimTime, event: Event) {
+        self.seq += 1;
+        self.events.push(Reverse(Scheduled {
+            at,
+            seq: self.seq,
+            event,
+        }));
+    }
+
+    /// Boots a VM immediately, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// Placement errors from [`crate::server::Server::boot_vm`].
+    pub fn boot_vm_now(&mut self, server: ServerId, spec: VmSpec) -> Result<VmId, SimError> {
+        let id = VmId::new(self.next_vm);
+        self.next_vm += 1;
+        let vm = Vm::new(
+            id,
+            spec,
+            self.clock,
+            self.seed ^ id.raw().wrapping_mul(0x9e37),
+        );
+        self.datacenter.server_mut(server)?.boot_vm(vm)?;
+        self.log
+            .push((self.clock, SimEvent::VmBooted { vm: id, server }));
+        Ok(id)
+    }
+
+    /// Telemetry trace of a server.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownServer`] for an out-of-range id.
+    pub fn trace(&self, server: ServerId) -> Result<&ServerTrace, SimError> {
+        self.traces
+            .get(server.raw())
+            .ok_or(SimError::UnknownServer(server))
+    }
+
+    /// The event log: everything that happened, in order.
+    #[must_use]
+    pub fn log(&self) -> &[(SimTime, SimEvent)] {
+        &self.log
+    }
+
+    /// In-flight migrations.
+    #[must_use]
+    pub fn active_migrations(&self) -> &[ActiveMigration] {
+        &self.migrations
+    }
+
+    /// Advances the simulation by one step.
+    pub fn step(&mut self) {
+        // Telemetry arrays may lag behind a datacenter the caller extended.
+        while self.traces.len() < self.datacenter.len() {
+            self.traces.push(ServerTrace::new());
+        }
+
+        // 1. Apply due events.
+        while let Some(Reverse(head)) = self.events.peek() {
+            if head.at > self.clock {
+                break;
+            }
+            let Reverse(s) = self.events.pop().expect("peeked event");
+            self.apply_event(s.event);
+        }
+
+        // 2. Complete due migrations.
+        let now = self.clock;
+        let done: Vec<ActiveMigration> = self
+            .migrations
+            .iter()
+            .copied()
+            .filter(|m| m.is_complete(now))
+            .collect();
+        self.migrations.retain(|m| !m.is_complete(now));
+        for m in done {
+            self.finish_migration(m);
+        }
+
+        // 3. Ambient from last step's heat load (one-step lag keeps this
+        //    explicit and stable).
+        let ambient = self.ambient.temperature(self.clock, self.room_heat_kw);
+
+        // 4. Step the physics and record. Each server sees the room
+        //    ambient plus its rack's offset (top-of-rack recirculation).
+        let dt_secs = self.dt.as_secs_f64();
+        let offsets: Vec<f64> = (0..self.datacenter.len())
+            .map(|i| {
+                self.datacenter
+                    .ambient_offset(crate::server::ServerId::new(i))
+                    .unwrap_or(0.0)
+            })
+            .collect();
+        for server in self.datacenter.iter_mut() {
+            let idx = server.id().raw();
+            let local_ambient = ambient + offsets[idx];
+            server.step(now, local_ambient, dt_secs);
+            let trace = &mut self.traces[idx];
+            let reading = server.read_sensor();
+            trace.sensor_c.push(now, reading);
+            trace.die_c.push(now, server.die_temperature());
+            trace.utilization.push(now, server.last_utilization());
+            trace.power_w.push(now, server.last_power());
+            trace.ambient_c.push(now, local_ambient);
+        }
+        self.room_heat_kw = self.datacenter.room_heat_kw();
+
+        self.clock += self.dt;
+    }
+
+    /// Runs until the clock reaches `t` (inclusive of steps starting
+    /// before `t`).
+    pub fn run_until(&mut self, t: SimTime) {
+        while self.clock < t {
+            self.step();
+        }
+    }
+
+    /// Runs for a further duration.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let target = self.clock + d;
+        self.run_until(target);
+    }
+
+    fn apply_event(&mut self, event: Event) {
+        let outcome = self.try_apply(event);
+        if let Err(error) = outcome {
+            self.log.push((self.clock, SimEvent::EventFailed { error }));
+        }
+    }
+
+    fn try_apply(&mut self, event: Event) -> Result<(), SimError> {
+        match event {
+            Event::BootVm { server, spec } => {
+                self.boot_vm_now(server, spec)?;
+            }
+            Event::StopVm(vm) => {
+                let host = self
+                    .datacenter
+                    .locate_vm(vm)
+                    .ok_or(SimError::UnknownVm(vm))?;
+                let mut taken = self
+                    .datacenter
+                    .server_mut(host)?
+                    .take_vm(vm)
+                    .ok_or(SimError::UnknownVm(vm))?;
+                taken.set_state(VmState::Stopped);
+                self.log
+                    .push((self.clock, SimEvent::VmStopped { vm, server: host }));
+            }
+            Event::MigrateVm { vm, dest } => {
+                let source = self
+                    .datacenter
+                    .locate_vm(vm)
+                    .ok_or(SimError::UnknownVm(vm))?;
+                if source == dest {
+                    return Err(SimError::SameServer(dest));
+                }
+                if self.migrations.iter().any(|m| m.vm == vm) {
+                    return Err(SimError::AlreadyMigrating(vm));
+                }
+                // Destination must have the memory *now*; reserve by check.
+                let memory_gb = {
+                    let server = self.datacenter.server(source)?;
+                    let v = server
+                        .vms()
+                        .iter()
+                        .find(|v| v.id() == vm)
+                        .ok_or(SimError::UnknownVm(vm))?;
+                    v.spec().memory_gb()
+                };
+                {
+                    let dest_server = self.datacenter.server(dest)?;
+                    let used: f64 = dest_server.vms().iter().map(|v| v.spec().memory_gb()).sum();
+                    if used + memory_gb > dest_server.spec().memory_gb() {
+                        return Err(SimError::InsufficientMemory {
+                            server: dest,
+                            requested_gb: memory_gb,
+                            available_gb: dest_server.spec().memory_gb() - used,
+                        });
+                    }
+                }
+                let duration = self.migration_config.duration_for(memory_gb);
+                self.migrations.push(ActiveMigration {
+                    vm,
+                    source,
+                    dest,
+                    started: self.clock,
+                    duration,
+                });
+                // Mark the VM and load both hosts.
+                let src = self.datacenter.server_mut(source)?;
+                if let Some(v) = src.vms_mut().iter_mut().find(|v| v.id() == vm) {
+                    v.set_state(VmState::Migrating);
+                }
+                src.add_migration_overhead(self.migration_config.source_overhead_vcpus);
+                self.datacenter
+                    .server_mut(dest)?
+                    .add_migration_overhead(self.migration_config.dest_overhead_vcpus);
+                self.log
+                    .push((self.clock, SimEvent::MigrationStarted { vm, source, dest }));
+            }
+            Event::SetFanSpeed { server, speed } => {
+                self.datacenter.server_mut(server)?.set_fan_speed(speed);
+            }
+            Event::SetAmbient(model) => {
+                self.ambient = model;
+            }
+            Event::FailFans { server, count } => {
+                self.datacenter.server_mut(server)?.fail_fans(count);
+            }
+        }
+        Ok(())
+    }
+
+    fn finish_migration(&mut self, m: ActiveMigration) {
+        // Remove overheads whether or not the cut-over succeeds.
+        if let Ok(src) = self.datacenter.server_mut(m.source) {
+            src.add_migration_overhead(-self.migration_config.source_overhead_vcpus);
+        }
+        if let Ok(dst) = self.datacenter.server_mut(m.dest) {
+            dst.add_migration_overhead(-self.migration_config.dest_overhead_vcpus);
+        }
+        let vm = match self.datacenter.server_mut(m.source) {
+            Ok(src) => src.take_vm(m.vm),
+            Err(_) => None,
+        };
+        if let Some(mut vm) = vm {
+            vm.set_state(VmState::Running);
+            match self
+                .datacenter
+                .server_mut(m.dest)
+                .and_then(|d| d.boot_vm(vm))
+            {
+                Ok(()) => {
+                    self.log.push((
+                        self.clock,
+                        SimEvent::MigrationCompleted {
+                            vm: m.vm,
+                            source: m.source,
+                            dest: m.dest,
+                        },
+                    ));
+                }
+                Err(error) => {
+                    self.log.push((self.clock, SimEvent::EventFailed { error }));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerSpec;
+    use crate::workload::TaskProfile;
+
+    fn two_server_sim() -> Simulation {
+        let mut dc = Datacenter::new();
+        dc.add_server(ServerSpec::standard("a"), 25.0, 1);
+        dc.add_server(ServerSpec::standard("b"), 25.0, 2);
+        Simulation::new(dc, AmbientModel::Fixed(25.0), 7)
+    }
+
+    fn spec(vcpus: u32, mem: f64) -> VmSpec {
+        VmSpec::new("t", vcpus, mem, TaskProfile::CpuBound)
+    }
+
+    #[test]
+    fn clock_advances_by_dt() {
+        let mut sim = two_server_sim();
+        sim.step();
+        assert_eq!(sim.now(), SimTime::from_secs(1));
+        sim.run_until(SimTime::from_secs(10));
+        assert_eq!(sim.now(), SimTime::from_secs(10));
+        sim.run_for(SimDuration::from_secs(5));
+        assert_eq!(sim.now(), SimTime::from_secs(15));
+    }
+
+    #[test]
+    fn boot_now_places_vm() {
+        let mut sim = two_server_sim();
+        let id = sim.boot_vm_now(ServerId::new(0), spec(2, 4.0)).unwrap();
+        assert_eq!(sim.datacenter().locate_vm(id), Some(ServerId::new(0)));
+        assert!(matches!(sim.log()[0].1, SimEvent::VmBooted { .. }));
+    }
+
+    #[test]
+    fn scheduled_boot_applies_at_time() {
+        let mut sim = two_server_sim();
+        sim.schedule(
+            SimTime::from_secs(5),
+            Event::BootVm {
+                server: ServerId::new(0),
+                spec: spec(2, 4.0),
+            },
+        );
+        sim.run_until(SimTime::from_secs(5));
+        assert_eq!(
+            sim.datacenter()
+                .server(ServerId::new(0))
+                .unwrap()
+                .vm_count(),
+            0
+        );
+        sim.step();
+        assert_eq!(
+            sim.datacenter()
+                .server(ServerId::new(0))
+                .unwrap()
+                .vm_count(),
+            1
+        );
+    }
+
+    #[test]
+    fn stop_vm_removes_it() {
+        let mut sim = two_server_sim();
+        let id = sim.boot_vm_now(ServerId::new(0), spec(2, 4.0)).unwrap();
+        sim.schedule(SimTime::from_secs(3), Event::StopVm(id));
+        sim.run_until(SimTime::from_secs(4));
+        assert_eq!(sim.datacenter().locate_vm(id), None);
+        assert!(sim
+            .log()
+            .iter()
+            .any(|(_, e)| matches!(e, SimEvent::VmStopped { .. })));
+    }
+
+    #[test]
+    fn migration_moves_vm_and_clears_overhead() {
+        let mut sim = two_server_sim();
+        let id = sim.boot_vm_now(ServerId::new(0), spec(2, 8.0)).unwrap();
+        sim.schedule(
+            SimTime::from_secs(10),
+            Event::MigrateVm {
+                vm: id,
+                dest: ServerId::new(1),
+            },
+        );
+        sim.run_until(SimTime::from_secs(11));
+        assert_eq!(sim.active_migrations().len(), 1);
+        assert_eq!(sim.datacenter().locate_vm(id), Some(ServerId::new(0)));
+        // 8 GB at 10 Gbit/s × 1.3 ≈ 8.3 s; run past it.
+        sim.run_until(SimTime::from_secs(25));
+        assert_eq!(sim.active_migrations().len(), 0);
+        assert_eq!(sim.datacenter().locate_vm(id), Some(ServerId::new(1)));
+        assert!(sim
+            .log()
+            .iter()
+            .any(|(_, e)| matches!(e, SimEvent::MigrationCompleted { .. })));
+    }
+
+    #[test]
+    fn migration_to_same_server_fails() {
+        let mut sim = two_server_sim();
+        let id = sim.boot_vm_now(ServerId::new(0), spec(2, 4.0)).unwrap();
+        sim.schedule(
+            SimTime::from_secs(1),
+            Event::MigrateVm {
+                vm: id,
+                dest: ServerId::new(0),
+            },
+        );
+        sim.run_until(SimTime::from_secs(2));
+        assert!(sim.log().iter().any(|(_, e)| matches!(
+            e,
+            SimEvent::EventFailed {
+                error: SimError::SameServer(_)
+            }
+        )));
+    }
+
+    #[test]
+    fn migration_of_unknown_vm_fails() {
+        let mut sim = two_server_sim();
+        sim.schedule(
+            SimTime::from_secs(1),
+            Event::MigrateVm {
+                vm: VmId::new(99),
+                dest: ServerId::new(1),
+            },
+        );
+        sim.run_until(SimTime::from_secs(2));
+        assert!(sim.log().iter().any(|(_, e)| matches!(
+            e,
+            SimEvent::EventFailed {
+                error: SimError::UnknownVm(_)
+            }
+        )));
+    }
+
+    #[test]
+    fn double_migration_rejected() {
+        let mut sim = two_server_sim();
+        let id = sim.boot_vm_now(ServerId::new(0), spec(2, 32.0)).unwrap();
+        sim.schedule(
+            SimTime::from_secs(1),
+            Event::MigrateVm {
+                vm: id,
+                dest: ServerId::new(1),
+            },
+        );
+        sim.schedule(
+            SimTime::from_secs(2),
+            Event::MigrateVm {
+                vm: id,
+                dest: ServerId::new(1),
+            },
+        );
+        sim.run_until(SimTime::from_secs(5));
+        assert!(sim.log().iter().any(|(_, e)| matches!(
+            e,
+            SimEvent::EventFailed {
+                error: SimError::AlreadyMigrating(_)
+            }
+        )));
+    }
+
+    #[test]
+    fn traces_record_each_step() {
+        let mut sim = two_server_sim();
+        sim.boot_vm_now(ServerId::new(0), spec(4, 8.0)).unwrap();
+        sim.run_until(SimTime::from_secs(30));
+        let trace = sim.trace(ServerId::new(0)).unwrap();
+        assert_eq!(trace.sensor_c.len(), 30);
+        assert_eq!(trace.utilization.len(), 30);
+        // Temperature rose under load.
+        let (first, last) = (
+            trace.die_c.values()[0],
+            *trace.die_c.values().last().unwrap(),
+        );
+        assert!(last > first);
+    }
+
+    #[test]
+    fn fan_event_changes_speed() {
+        let mut sim = two_server_sim();
+        sim.schedule(
+            SimTime::from_secs(2),
+            Event::SetFanSpeed {
+                server: ServerId::new(0),
+                speed: FanSpeed::High,
+            },
+        );
+        sim.run_until(SimTime::from_secs(3));
+        assert_eq!(
+            sim.datacenter()
+                .server(ServerId::new(0))
+                .unwrap()
+                .fans()
+                .speed(),
+            FanSpeed::High
+        );
+    }
+
+    #[test]
+    fn ambient_event_replaces_model() {
+        let mut sim = two_server_sim();
+        sim.schedule(
+            SimTime::from_secs(5),
+            Event::SetAmbient(AmbientModel::Fixed(30.0)),
+        );
+        sim.run_until(SimTime::from_secs(10));
+        let trace = sim.trace(ServerId::new(0)).unwrap();
+        assert_eq!(*trace.ambient_c.values().last().unwrap(), 30.0);
+        assert_eq!(trace.ambient_c.values()[0], 25.0);
+    }
+
+    #[test]
+    fn same_timestamp_events_apply_in_schedule_order() {
+        // Two ambient changes at the same instant: the later-scheduled one
+        // wins (sequence numbers break ties deterministically).
+        let mut sim = two_server_sim();
+        sim.schedule(
+            SimTime::from_secs(3),
+            Event::SetAmbient(AmbientModel::Fixed(28.0)),
+        );
+        sim.schedule(
+            SimTime::from_secs(3),
+            Event::SetAmbient(AmbientModel::Fixed(31.0)),
+        );
+        sim.run_until(SimTime::from_secs(5));
+        let trace = sim.trace(ServerId::new(0)).unwrap();
+        assert_eq!(*trace.ambient_c.values().last().unwrap(), 31.0);
+    }
+
+    #[test]
+    fn fan_failure_event_heats_the_server() {
+        let mut sim = two_server_sim();
+        sim.boot_vm_now(ServerId::new(0), spec(8, 16.0)).unwrap();
+        sim.run_until(SimTime::from_secs(600));
+        let healthy = sim
+            .datacenter()
+            .server(ServerId::new(0))
+            .unwrap()
+            .die_temperature();
+        sim.schedule(
+            SimTime::from_secs(600),
+            Event::FailFans {
+                server: ServerId::new(0),
+                count: 3,
+            },
+        );
+        sim.run_until(SimTime::from_secs(1400));
+        let degraded = sim.datacenter().server(ServerId::new(0)).unwrap();
+        assert_eq!(degraded.fans().operational(), 1);
+        assert!(
+            degraded.die_temperature() > healthy + 3.0,
+            "fan failure did not heat: {} vs {}",
+            degraded.die_temperature(),
+            healthy
+        );
+    }
+
+    #[test]
+    fn rack_offsets_reach_the_servers() {
+        use crate::datacenter::RackId;
+        let mut dc = Datacenter::new();
+        let cool = dc.add_server_in_rack(ServerSpec::standard("a"), RackId::new(0), 25.0, 1);
+        let warm = dc.add_server_in_rack(ServerSpec::standard("b"), RackId::new(1), 25.0, 2);
+        dc.set_rack_offset(RackId::new(0), 0.0);
+        dc.set_rack_offset(RackId::new(1), 2.0);
+        let mut sim = Simulation::new(dc, AmbientModel::Fixed(25.0), 7);
+        sim.run_until(SimTime::from_secs(10));
+        let a = sim.trace(cool).unwrap().ambient_c.values()[5];
+        let b = sim.trace(warm).unwrap().ambient_c.values()[5];
+        assert_eq!(a, 25.0);
+        assert_eq!(b, 27.0);
+    }
+
+    #[test]
+    fn migration_heats_destination() {
+        // The destination's utilization rises during pre-copy even before
+        // the VM lands — the dynamic effect the paper's calibration absorbs.
+        let mut sim = two_server_sim();
+        let id = sim.boot_vm_now(ServerId::new(0), spec(4, 48.0)).unwrap();
+        sim.run_until(SimTime::from_secs(5));
+        let before = sim
+            .trace(ServerId::new(1))
+            .unwrap()
+            .utilization
+            .values()
+            .last()
+            .copied()
+            .unwrap();
+        sim.schedule(
+            SimTime::from_secs(5),
+            Event::MigrateVm {
+                vm: id,
+                dest: ServerId::new(1),
+            },
+        );
+        sim.run_until(SimTime::from_secs(10));
+        let during = sim
+            .trace(ServerId::new(1))
+            .unwrap()
+            .utilization
+            .values()
+            .last()
+            .copied()
+            .unwrap();
+        assert!(during > before, "dest load {during} not above {before}");
+    }
+}

@@ -1,0 +1,151 @@
+//! Machine-room environment: the ambient (inlet) temperature δ_env.
+//!
+//! The paper calls out environment temperature as "a non-negligible impact
+//! on CPU temperature" and feeds it into the model as δ_env. These models
+//! cover the scenarios the harness needs: a fixed CRAC setpoint, a diurnal
+//! drift, a CRAC with load-dependent supply temperature, and scripted step
+//! changes for dynamic-prediction experiments.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A deterministic ambient-temperature process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AmbientModel {
+    /// Constant inlet temperature (a well-regulated cold aisle).
+    Fixed(f64),
+    /// `mean + amplitude · sin(2π t / period)` — slow room-level drift.
+    Diurnal {
+        /// Mean temperature (°C).
+        mean: f64,
+        /// Peak deviation (°C).
+        amplitude: f64,
+        /// Period in seconds (86 400 for a day).
+        period_secs: f64,
+    },
+    /// CRAC supply with a setpoint plus a load-proportional offset:
+    /// `setpoint + heat_load_kw · degrees_per_kw`, capturing recirculation
+    /// in under-provisioned rooms.
+    Crac {
+        /// Supply setpoint (°C).
+        setpoint: f64,
+        /// Inlet rise per kW of room heat load (°C/kW).
+        degrees_per_kw: f64,
+    },
+    /// Piecewise-constant schedule: `(start_time, temperature)` entries,
+    /// sorted; the value before the first entry is the first entry's.
+    Schedule(Vec<(SimTime, f64)>),
+}
+
+impl AmbientModel {
+    /// Ambient temperature at time `t`, given the current room heat load
+    /// (only [`AmbientModel::Crac`] consumes the load).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`AmbientModel::Schedule`] is empty.
+    #[must_use]
+    pub fn temperature(&self, t: SimTime, room_heat_kw: f64) -> f64 {
+        match self {
+            AmbientModel::Fixed(v) => *v,
+            AmbientModel::Diurnal {
+                mean,
+                amplitude,
+                period_secs,
+            } => mean + amplitude * (std::f64::consts::TAU * t.as_secs_f64() / period_secs).sin(),
+            AmbientModel::Crac {
+                setpoint,
+                degrees_per_kw,
+            } => setpoint + degrees_per_kw * room_heat_kw.max(0.0),
+            AmbientModel::Schedule(entries) => {
+                assert!(!entries.is_empty(), "empty ambient schedule");
+                let mut current = entries[0].1;
+                for (start, temp) in entries {
+                    if *start <= t {
+                        current = *temp;
+                    } else {
+                        break;
+                    }
+                }
+                current
+            }
+        }
+    }
+
+    /// A schedule holding `before` until `at`, then `after` — the step
+    /// change used in dynamic-prediction case studies.
+    #[must_use]
+    pub fn step_change(before: f64, after: f64, at: SimTime) -> Self {
+        AmbientModel::Schedule(vec![(SimTime::ZERO, before), (at, after)])
+    }
+}
+
+impl Default for AmbientModel {
+    /// 25 °C fixed — a typical ASHRAE-recommended cold-aisle midpoint.
+    fn default() -> Self {
+        AmbientModel::Fixed(25.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_ignores_time_and_load() {
+        let m = AmbientModel::Fixed(22.0);
+        assert_eq!(m.temperature(SimTime::ZERO, 0.0), 22.0);
+        assert_eq!(m.temperature(SimTime::from_secs(9999), 50.0), 22.0);
+    }
+
+    #[test]
+    fn diurnal_returns_to_mean_each_period() {
+        let m = AmbientModel::Diurnal {
+            mean: 24.0,
+            amplitude: 3.0,
+            period_secs: 1000.0,
+        };
+        assert!((m.temperature(SimTime::ZERO, 0.0) - 24.0).abs() < 1e-9);
+        assert!((m.temperature(SimTime::from_secs(1000), 0.0) - 24.0).abs() < 1e-9);
+        let peak = m.temperature(SimTime::from_secs(250), 0.0);
+        assert!((peak - 27.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crac_tracks_heat_load() {
+        let m = AmbientModel::Crac {
+            setpoint: 18.0,
+            degrees_per_kw: 0.2,
+        };
+        assert_eq!(m.temperature(SimTime::ZERO, 0.0), 18.0);
+        assert_eq!(m.temperature(SimTime::ZERO, 10.0), 20.0);
+        // Negative load clamps.
+        assert_eq!(m.temperature(SimTime::ZERO, -5.0), 18.0);
+    }
+
+    #[test]
+    fn schedule_steps_through_entries() {
+        let m = AmbientModel::Schedule(vec![
+            (SimTime::ZERO, 20.0),
+            (SimTime::from_secs(100), 24.0),
+            (SimTime::from_secs(200), 28.0),
+        ]);
+        assert_eq!(m.temperature(SimTime::from_secs(50), 0.0), 20.0);
+        assert_eq!(m.temperature(SimTime::from_secs(100), 0.0), 24.0);
+        assert_eq!(m.temperature(SimTime::from_secs(150), 0.0), 24.0);
+        assert_eq!(m.temperature(SimTime::from_secs(500), 0.0), 28.0);
+    }
+
+    #[test]
+    fn step_change_constructor() {
+        let m = AmbientModel::step_change(20.0, 26.0, SimTime::from_secs(300));
+        assert_eq!(m.temperature(SimTime::from_secs(299), 0.0), 20.0);
+        assert_eq!(m.temperature(SimTime::from_secs(300), 0.0), 26.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty ambient schedule")]
+    fn empty_schedule_panics() {
+        let _ = AmbientModel::Schedule(vec![]).temperature(SimTime::ZERO, 0.0);
+    }
+}

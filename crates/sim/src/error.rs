@@ -1,0 +1,74 @@
+//! Error type for the simulator.
+
+use crate::server::ServerId;
+use crate::vm::VmId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by placement, migration and engine operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A VM did not fit in a server's remaining memory.
+    InsufficientMemory {
+        /// Target server.
+        server: ServerId,
+        /// Memory the VM asked for (GB).
+        requested_gb: f64,
+        /// Memory still free (GB).
+        available_gb: f64,
+    },
+    /// An operation referenced a VM the simulation does not know.
+    UnknownVm(VmId),
+    /// An operation referenced a server outside the datacenter.
+    UnknownServer(ServerId),
+    /// A migration was requested for a VM already migrating.
+    AlreadyMigrating(VmId),
+    /// Migration source and destination are the same server.
+    SameServer(ServerId),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InsufficientMemory { server, requested_gb, available_gb } => write!(
+                f,
+                "insufficient memory on {server}: requested {requested_gb} GB, available {available_gb:.1} GB"
+            ),
+            SimError::UnknownVm(id) => write!(f, "unknown vm {id}"),
+            SimError::UnknownServer(id) => write!(f, "unknown server {id}"),
+            SimError::AlreadyMigrating(id) => write!(f, "{id} is already migrating"),
+            SimError::SameServer(id) => {
+                write!(f, "migration source and destination are both {id}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = SimError::InsufficientMemory {
+            server: ServerId::new(2),
+            requested_gb: 8.0,
+            available_gb: 4.0,
+        };
+        let s = e.to_string();
+        assert!(s.contains("server-2") && s.contains("8") && s.contains("4.0"));
+        assert_eq!(
+            SimError::UnknownVm(VmId::new(5)).to_string(),
+            "unknown vm vm-5"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,411 @@
+//! The data-collection protocol of the paper.
+//!
+//! "Numerous experiments were conducted under different scenarios": each
+//! experiment fixes a configuration (server, VM set, fans, ambient), runs
+//! until the temperature stabilises, and produces **one record** — the
+//! Eq. (2) `{input, output}` pair, where the output ψ_stable is the mean
+//! sensor temperature after `t_break = 600 s` (Eq. 1).
+//!
+//! [`ExperimentConfig::run`] executes one such experiment on the simulator;
+//! [`CaseGenerator`] samples the randomised cases of Fig. 1(a)
+//! (2–12 VMs, varying fans and ambient).
+
+use crate::datacenter::Datacenter;
+use crate::engine::Simulation;
+use crate::environment::AmbientModel;
+use crate::server::{ServerId, ServerSpec};
+use crate::telemetry::TimeSeries;
+use crate::time::{SimDuration, SimTime};
+use crate::vm::VmSpec;
+use crate::workload::{TaskProfile, ALL_TASK_PROFILES};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Per-VM facts exposed to feature encoding (the ξ_VM input).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VmInfo {
+    /// Virtual CPUs.
+    pub vcpus: u32,
+    /// Configured memory (GB).
+    pub memory_gb: f64,
+    /// Deployed task.
+    pub task: TaskProfile,
+}
+
+/// Everything the paper's Eq. (2) input covers, as raw facts (the
+/// `vmtherm-core::features` module turns this into a numeric vector).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigSnapshot {
+    /// Server CPU capacity, core·GHz — θ_cpu.
+    pub theta_cpu: f64,
+    /// Installed server memory, GB — θ_memory.
+    pub theta_memory_gb: f64,
+    /// Fan count — part of θ_fan.
+    pub fan_count: u32,
+    /// Total airflow, CFM — the effective θ_fan.
+    pub fan_airflow_cfm: f64,
+    /// Hosted VMs — ξ_VM.
+    pub vms: Vec<VmInfo>,
+    /// Environment temperature, °C — δ_env.
+    pub ambient_c: f64,
+}
+
+impl ConfigSnapshot {
+    /// Captures the snapshot for one server of a simulation at its current
+    /// configuration.
+    #[must_use]
+    pub fn capture(sim: &Simulation, server: ServerId, ambient_c: f64) -> Self {
+        let s = sim
+            .datacenter()
+            .server(server)
+            .expect("snapshot of unknown server");
+        ConfigSnapshot {
+            theta_cpu: s.spec().theta_cpu(),
+            theta_memory_gb: s.spec().memory_gb(),
+            fan_count: s.fans().count(),
+            fan_airflow_cfm: s.fans().airflow_cfm(),
+            vms: s
+                .vms()
+                .iter()
+                .map(|v| VmInfo {
+                    vcpus: v.spec().vcpus(),
+                    memory_gb: v.spec().memory_gb(),
+                    task: v.spec().task(),
+                })
+                .collect(),
+            ambient_c,
+        }
+    }
+
+    /// Total vCPUs across VMs.
+    #[must_use]
+    pub fn total_vcpus(&self) -> u32 {
+        self.vms.iter().map(|v| v.vcpus).sum()
+    }
+
+    /// Total configured VM memory (GB).
+    #[must_use]
+    pub fn total_vm_memory_gb(&self) -> f64 {
+        self.vms.iter().map(|v| v.memory_gb).sum()
+    }
+
+    /// Expected aggregate CPU demand in vCPU units from nominal task
+    /// levels.
+    #[must_use]
+    pub fn nominal_demand(&self) -> f64 {
+        self.vms
+            .iter()
+            .map(|v| v.vcpus as f64 * v.task.nominal_cpu())
+            .sum()
+    }
+}
+
+/// One experiment: fixed configuration, run to stability.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Server under test.
+    pub server: ServerSpec,
+    /// VMs deployed at t = 0.
+    pub vms: Vec<VmSpec>,
+    /// Room temperature (fixed for the run) — δ_env.
+    pub ambient_c: f64,
+    /// Total run length t_exp (default 1500 s).
+    pub duration: SimDuration,
+    /// Break-in time before averaging (paper: 600 s).
+    pub t_break: SimDuration,
+    /// Workload/sensor seed.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// A standard experiment on the given server/VM set with paper
+    /// constants (`t_break = 600 s`, `t_exp = 1500 s`).
+    #[must_use]
+    pub fn new(server: ServerSpec, vms: Vec<VmSpec>, ambient_c: f64, seed: u64) -> Self {
+        ExperimentConfig {
+            server,
+            vms,
+            ambient_c,
+            duration: SimDuration::from_secs(1500),
+            t_break: SimDuration::from_secs(600),
+            seed,
+        }
+    }
+
+    /// Overrides the run length.
+    #[must_use]
+    pub fn with_duration(mut self, duration: SimDuration) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Overrides the break-in time.
+    #[must_use]
+    pub fn with_t_break(mut self, t_break: SimDuration) -> Self {
+        self.t_break = t_break;
+        self
+    }
+
+    /// Runs the experiment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a VM does not fit on the server (experiment configs are
+    /// expected to be feasible; [`CaseGenerator`] only emits feasible ones)
+    /// or if `t_break >= duration`.
+    #[must_use]
+    pub fn run(&self) -> ExperimentOutcome {
+        assert!(
+            self.t_break < self.duration,
+            "t_break must precede the experiment end"
+        );
+        let mut dc = Datacenter::new();
+        let sid = dc.add_server(self.server.clone(), self.ambient_c, self.seed);
+        let mut sim = Simulation::new(dc, AmbientModel::Fixed(self.ambient_c), self.seed);
+        for spec in &self.vms {
+            sim.boot_vm_now(sid, spec.clone())
+                .expect("experiment VM placement failed");
+        }
+        let snapshot = ConfigSnapshot::capture(&sim, sid, self.ambient_c);
+        let initial_temp = sim
+            .datacenter()
+            .server(sid)
+            .expect("server")
+            .die_temperature();
+
+        sim.run_until(SimTime::ZERO + self.duration);
+
+        let trace = sim.trace(sid).expect("trace").clone();
+        let break_at = SimTime::ZERO + self.t_break;
+        let psi_stable = trace
+            .sensor_c
+            .mean_after(break_at)
+            .expect("samples after t_break");
+        let true_stable = trace
+            .die_c
+            .mean_after(break_at)
+            .expect("samples after t_break");
+
+        ExperimentOutcome {
+            snapshot,
+            psi_stable,
+            true_stable,
+            initial_temp,
+            sensor_series: trace.sensor_c,
+            die_series: trace.die_c,
+        }
+    }
+}
+
+/// The result of one experiment: the Eq. (2) record plus full series for
+/// dynamic-prediction studies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentOutcome {
+    /// The input side of the record.
+    pub snapshot: ConfigSnapshot,
+    /// ψ_stable from the *sensor* (Eq. 1) — the training target.
+    pub psi_stable: f64,
+    /// Stable mean of the true die temperature — evaluation ground truth.
+    pub true_stable: f64,
+    /// φ(0): die temperature before the experiment started.
+    pub initial_temp: f64,
+    /// Sensor reading series over the whole run.
+    pub sensor_series: TimeSeries,
+    /// True die temperature series over the whole run.
+    pub die_series: TimeSeries,
+}
+
+/// Randomised experiment cases in the paper's evaluation ranges:
+/// 2–12 VMs of heterogeneous shapes/tasks, 2–6 fans, 18–28 °C ambient.
+#[derive(Debug, Clone)]
+pub struct CaseGenerator {
+    rng: StdRng,
+    min_vms: u32,
+    max_vms: u32,
+    min_fans: u32,
+    max_fans: u32,
+    ambient_range: (f64, f64),
+}
+
+impl CaseGenerator {
+    /// Paper-range generator.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        CaseGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            min_vms: 2,
+            max_vms: 12,
+            min_fans: 2,
+            max_fans: 6,
+            ambient_range: (18.0, 28.0),
+        }
+    }
+
+    /// Overrides the VM-count range (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min == 0` or `min > max`.
+    #[must_use]
+    pub fn with_vm_range(mut self, min: u32, max: u32) -> Self {
+        assert!(min > 0 && min <= max, "bad vm range {min}..={max}");
+        self.min_vms = min;
+        self.max_vms = max;
+        self
+    }
+
+    /// Fixes the fan count (e.g. 4 for Fig. 1(c)).
+    #[must_use]
+    pub fn with_fixed_fans(mut self, fans: u32) -> Self {
+        self.min_fans = fans;
+        self.max_fans = fans;
+        self
+    }
+
+    /// Samples one random VM spec.
+    pub fn random_vm(&mut self, index: usize) -> VmSpec {
+        let vcpus = *[1u32, 1, 2, 2, 4]
+            .get(self.rng.gen_range(0..5))
+            .expect("index");
+        let memory = *[2.0f64, 4.0, 4.0, 8.0]
+            .get(self.rng.gen_range(0..4))
+            .expect("index");
+        let task = ALL_TASK_PROFILES[self.rng.gen_range(0..ALL_TASK_PROFILES.len())];
+        VmSpec::new(format!("vm-{index}"), vcpus, memory, task)
+    }
+
+    /// Samples one full experiment case. The server is the standard
+    /// 16-core box with a sampled fan count; total VM memory is feasible
+    /// by construction (≤ 12 VMs × 8 GB < 64 GB... not quite — the
+    /// generator resamples memory-heavy sets until they fit).
+    pub fn random_case(&mut self, seed: u64) -> ExperimentConfig {
+        let n = self.rng.gen_range(self.min_vms..=self.max_vms);
+        let fans = self.rng.gen_range(self.min_fans..=self.max_fans);
+        let ambient = self
+            .rng
+            .gen_range(self.ambient_range.0..=self.ambient_range.1);
+        let server = ServerSpec::commodity("exp", 16, 2.4, 64.0, fans);
+        let mut vms: Vec<VmSpec> = (0..n).map(|i| self.random_vm(i as usize)).collect();
+        // Keep total memory within the box.
+        while vms.iter().map(VmSpec::memory_gb).sum::<f64>() > server.memory_gb() {
+            let idx = self.rng.gen_range(0..vms.len());
+            let v = &vms[idx];
+            vms[idx] = VmSpec::new(v.name().to_string(), v.vcpus(), 2.0, v.task());
+        }
+        ExperimentConfig::new(server, vms, ambient, seed)
+    }
+
+    /// Samples `count` cases with per-case seeds derived from `base_seed`.
+    pub fn random_cases(&mut self, count: usize, base_seed: u64) -> Vec<ExperimentConfig> {
+        (0..count)
+            .map(|i| self.random_case(base_seed.wrapping_add(i as u64 * 7919)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config(n_vms: usize, seed: u64) -> ExperimentConfig {
+        let server = ServerSpec::standard("t");
+        let vms = (0..n_vms)
+            .map(|i| VmSpec::new(format!("v{i}"), 2, 4.0, TaskProfile::CpuBound))
+            .collect();
+        ExperimentConfig::new(server, vms, 25.0, seed)
+            .with_duration(SimDuration::from_secs(900))
+            .with_t_break(SimDuration::from_secs(600))
+    }
+
+    #[test]
+    fn experiment_produces_stable_record() {
+        let outcome = quick_config(4, 1).run();
+        // 8 vcpus at 90% on 16 cores ≈ 45% util; stable die ≈ 25 + P*(R).
+        assert!(outcome.psi_stable > 30.0 && outcome.psi_stable < 70.0);
+        // Sensor-derived ψ_stable close to ground truth.
+        assert!((outcome.psi_stable - outcome.true_stable).abs() < 1.0);
+        assert_eq!(outcome.snapshot.vms.len(), 4);
+        assert_eq!(outcome.snapshot.total_vcpus(), 8);
+        assert_eq!(outcome.initial_temp, 25.0);
+    }
+
+    #[test]
+    fn psi_stable_is_mean_after_break() {
+        let outcome = quick_config(2, 2).run();
+        let expect = outcome
+            .sensor_series
+            .mean_after(SimTime::from_secs(600))
+            .unwrap();
+        assert_eq!(outcome.psi_stable, expect);
+    }
+
+    #[test]
+    fn more_vms_run_hotter() {
+        let light = quick_config(1, 3).run();
+        let heavy = quick_config(8, 3).run();
+        assert!(
+            heavy.psi_stable > light.psi_stable + 3.0,
+            "heavy {} vs light {}",
+            heavy.psi_stable,
+            light.psi_stable
+        );
+    }
+
+    #[test]
+    fn experiments_are_seed_deterministic() {
+        let a = quick_config(3, 5).run();
+        let b = quick_config(3, 5).run();
+        assert_eq!(a.psi_stable, b.psi_stable);
+        assert_eq!(a.sensor_series, b.sensor_series);
+    }
+
+    #[test]
+    #[should_panic(expected = "t_break")]
+    fn bad_break_panics() {
+        let cfg = quick_config(1, 1)
+            .with_duration(SimDuration::from_secs(100))
+            .with_t_break(SimDuration::from_secs(200));
+        let _ = cfg.run();
+    }
+
+    #[test]
+    fn generator_respects_ranges() {
+        let mut gen = CaseGenerator::new(11);
+        for i in 0..30 {
+            let case = gen.random_case(i);
+            let n = case.vms.len();
+            assert!((2..=12).contains(&n), "vm count {n}");
+            let fans = case.server.fans().count();
+            assert!((2..=6).contains(&fans), "fans {fans}");
+            assert!((18.0..=28.0).contains(&case.ambient_c));
+            let mem: f64 = case.vms.iter().map(VmSpec::memory_gb).sum();
+            assert!(mem <= case.server.memory_gb());
+        }
+    }
+
+    #[test]
+    fn generator_with_fixed_fans() {
+        let mut gen = CaseGenerator::new(3).with_fixed_fans(4);
+        for i in 0..10 {
+            assert_eq!(gen.random_case(i).server.fans().count(), 4);
+        }
+    }
+
+    #[test]
+    fn generator_is_seed_deterministic() {
+        let cases_a = CaseGenerator::new(9).random_cases(5, 100);
+        let cases_b = CaseGenerator::new(9).random_cases(5, 100);
+        assert_eq!(cases_a, cases_b);
+    }
+
+    #[test]
+    fn snapshot_aggregates() {
+        let outcome = quick_config(3, 7).run();
+        let s = &outcome.snapshot;
+        assert_eq!(s.total_vcpus(), 6);
+        assert!((s.total_vm_memory_gb() - 12.0).abs() < 1e-12);
+        assert!((s.nominal_demand() - 6.0 * 0.9).abs() < 1e-9);
+        assert!((s.theta_cpu - 38.4).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,85 @@
+//! # vmtherm-sim
+//!
+//! A discrete-time **datacenter thermal simulator**: servers with lumped-RC
+//! thermal networks, power models driven by per-VM workloads, fans,
+//! quantized noisy temperature sensors, room ambient models, live VM
+//! migration and an event-driven engine.
+//!
+//! It stands in for the physical testbed of *"Virtual Machine Level
+//! Temperature Profiling and Prediction in Cloud Datacenters"*
+//! (Wu et al., ICDCS 2016): where the authors ran experiments on real
+//! servers and read IPMI sensors, this crate runs the same protocol on
+//! simulated physics. The learned models in `vmtherm-core` only ever see
+//! `(configuration, sensor reading)` pairs — never the physics — exactly
+//! as in the paper.
+//!
+//! ## Quick start: one experiment record
+//!
+//! ```
+//! use vmtherm_sim::experiment::ExperimentConfig;
+//! use vmtherm_sim::server::ServerSpec;
+//! use vmtherm_sim::vm::VmSpec;
+//! use vmtherm_sim::workload::TaskProfile;
+//!
+//! let config = ExperimentConfig::new(
+//!     ServerSpec::standard("node-1"),
+//!     vec![
+//!         VmSpec::new("web", 2, 4.0, TaskProfile::WebServer),
+//!         VmSpec::new("batch", 4, 8.0, TaskProfile::CpuBound),
+//!     ],
+//!     25.0, // ambient °C
+//!     42,   // seed
+//! );
+//! let outcome = config.run();
+//! // ψ_stable: mean sensor temperature after t_break = 600 s (Eq. 1).
+//! assert!(outcome.psi_stable > 25.0);
+//! ```
+//!
+//! ## Module map
+//!
+//! - [`time`] — millisecond-precision simulation clock
+//! - [`workload`] — task profiles and utilization traces (ξ_VM's tasks)
+//! - [`vm`] / [`server`] / [`datacenter`] — the modelled fleet
+//! - [`power`] / [`thermal`] / [`fan`] / [`sensor`] / [`environment`] — physics
+//! - [`vmm`] — vCPU→core scheduling and per-core thermal modelling
+//! - [`migration`] — live pre-copy migration costs
+//! - [`engine`] — event-driven stepping and telemetry
+//! - [`telemetry`] — time series and traces
+//! - [`experiment`] — the paper's run-to-stable record collection protocol
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+// `!(x > 0.0)` rejects NaN as well as non-positive values — the validation
+// idiom used throughout; and numeric solver loops index several parallel
+// arrays at once, where iterator zips would obscure the maths.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![allow(clippy::needless_range_loop)]
+
+pub mod cooling;
+pub mod datacenter;
+pub mod engine;
+pub mod environment;
+pub mod error;
+pub mod experiment;
+pub mod fan;
+pub mod migration;
+pub mod power;
+pub mod sensor;
+pub mod server;
+pub mod telemetry;
+pub mod thermal;
+pub mod time;
+pub mod vm;
+pub mod vmm;
+pub mod workload;
+
+pub use datacenter::Datacenter;
+pub use engine::{Event, SimEvent, Simulation};
+pub use environment::AmbientModel;
+pub use error::SimError;
+pub use experiment::{CaseGenerator, ConfigSnapshot, ExperimentConfig, ExperimentOutcome};
+pub use server::{Server, ServerId, ServerSpec};
+pub use time::{SimDuration, SimTime};
+pub use vm::{Vm, VmId, VmSpec};
+pub use workload::TaskProfile;

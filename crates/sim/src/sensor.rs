@@ -1,0 +1,160 @@
+//! Temperature sensor model.
+//!
+//! Real CPU temperature telemetry (IPMI / `coretemp`) is quantized — most
+//! digital thermal sensors report whole degrees — and noisy. The paper's
+//! training records come from such sensors, so the learner must absorb
+//! this error; the MSE floor it reports (~0.7 in Fig. 1(c)) is largely
+//! sensor error. [`TemperatureSensor`] reproduces both effects with a
+//! seeded RNG for deterministic experiments.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Sensor characteristics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SensorConfig {
+    /// Standard deviation of zero-mean Gaussian read noise (°C).
+    pub noise_sigma: f64,
+    /// Reading granularity (°C); 1.0 mimics whole-degree DTS sensors,
+    /// 0 disables quantization.
+    pub quantization: f64,
+}
+
+impl SensorConfig {
+    /// Validates and constructs a config.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative noise or quantization.
+    #[must_use]
+    pub fn new(noise_sigma: f64, quantization: f64) -> Self {
+        assert!(noise_sigma >= 0.0, "negative noise sigma");
+        assert!(quantization >= 0.0, "negative quantization");
+        SensorConfig {
+            noise_sigma,
+            quantization,
+        }
+    }
+
+    /// An idealised noiseless, continuous sensor (useful in tests).
+    #[must_use]
+    pub fn ideal() -> Self {
+        SensorConfig {
+            noise_sigma: 0.0,
+            quantization: 0.0,
+        }
+    }
+}
+
+impl Default for SensorConfig {
+    /// Whole-degree quantization with 0.4 °C read noise — typical of the
+    /// on-die DTS plus IPMI path.
+    fn default() -> Self {
+        SensorConfig {
+            noise_sigma: 0.4,
+            quantization: 1.0,
+        }
+    }
+}
+
+/// A stateful sensor: owns its RNG so experiment replays are exact.
+#[derive(Debug, Clone)]
+pub struct TemperatureSensor {
+    config: SensorConfig,
+    rng: StdRng,
+}
+
+impl TemperatureSensor {
+    /// Creates a sensor with its own RNG stream.
+    #[must_use]
+    pub fn new(config: SensorConfig, seed: u64) -> Self {
+        TemperatureSensor {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Produces one reading of `true_temp_c`.
+    pub fn read(&mut self, true_temp_c: f64) -> f64 {
+        let noisy = true_temp_c + self.gaussian() * self.config.noise_sigma;
+        if self.config.quantization > 0.0 {
+            (noisy / self.config.quantization).round() * self.config.quantization
+        } else {
+            noisy
+        }
+    }
+
+    /// Sensor configuration.
+    #[must_use]
+    pub fn config(&self) -> SensorConfig {
+        self.config
+    }
+
+    /// Standard Box–Muller Gaussian sample.
+    fn gaussian(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_sensor_is_exact() {
+        let mut s = TemperatureSensor::new(SensorConfig::ideal(), 1);
+        assert_eq!(s.read(53.21), 53.21);
+    }
+
+    #[test]
+    fn quantization_rounds_to_grid() {
+        let mut s = TemperatureSensor::new(SensorConfig::new(0.0, 1.0), 1);
+        assert_eq!(s.read(53.4), 53.0);
+        assert_eq!(s.read(53.6), 54.0);
+        let mut half = TemperatureSensor::new(SensorConfig::new(0.0, 0.5), 1);
+        assert_eq!(half.read(53.3), 53.5);
+    }
+
+    #[test]
+    fn noise_is_zero_mean_and_has_requested_sigma() {
+        let mut s = TemperatureSensor::new(SensorConfig::new(0.5, 0.0), 42);
+        let n = 20_000;
+        let readings: Vec<f64> = (0..n).map(|_| s.read(50.0)).collect();
+        let mean = readings.iter().sum::<f64>() / n as f64;
+        let var = readings
+            .iter()
+            .map(|r| (r - mean) * (r - mean))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 50.0).abs() < 0.02, "mean = {mean}");
+        assert!((var.sqrt() - 0.5).abs() < 0.02, "sigma = {}", var.sqrt());
+    }
+
+    #[test]
+    fn sensor_is_seed_deterministic() {
+        let run = |seed| {
+            let mut s = TemperatureSensor::new(SensorConfig::default(), seed);
+            (0..20).map(|i| s.read(40.0 + i as f64)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn default_config_quantizes_to_whole_degrees() {
+        let mut s = TemperatureSensor::new(SensorConfig::default(), 3);
+        for _ in 0..50 {
+            let r = s.read(47.3);
+            assert_eq!(r, r.round());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "negative noise")]
+    fn negative_sigma_panics() {
+        let _ = SensorConfig::new(-0.1, 0.0);
+    }
+}

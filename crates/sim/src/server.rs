@@ -1,0 +1,597 @@
+//! Physical servers: capacity, hosted VMs, thermal state and sensors.
+
+use crate::error::SimError;
+use crate::fan::{FanBank, FanSpeed};
+use crate::power::PowerModel;
+use crate::sensor::{SensorConfig, TemperatureSensor};
+use crate::thermal::{ThermalNetwork, ThermalParams, ThermalState};
+use crate::time::SimTime;
+use crate::vm::{Vm, VmId};
+use crate::vmm::{split_power, CoreScheduler, MultiCoreNetwork, SchedulingPolicy};
+use serde::{Deserialize, Serialize};
+
+/// Opaque server identifier (index into the datacenter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ServerId(usize);
+
+impl ServerId {
+    /// Wraps a raw index.
+    #[must_use]
+    pub fn new(raw: usize) -> Self {
+        ServerId(raw)
+    }
+
+    /// The raw index.
+    #[must_use]
+    pub fn raw(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for ServerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "server-{}", self.0)
+    }
+}
+
+/// Static configuration of a server — the θ_cpu, θ_memory, θ_fan inputs of
+/// the paper's Eq. (2), plus the physical models behind them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerSpec {
+    name: String,
+    cores: u32,
+    ghz_per_core: f64,
+    memory_gb: f64,
+    fans: FanBank,
+    power: PowerModel,
+    thermal: ThermalParams,
+    sensor: SensorConfig,
+    /// When set, the server models per-core temperatures with this vCPU
+    /// scheduling policy, and the sensor reports the hottest core.
+    core_scheduling: Option<SchedulingPolicy>,
+}
+
+impl ServerSpec {
+    /// A commodity server with models scaled to the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero cores or non-positive clock/memory.
+    #[must_use]
+    pub fn commodity(
+        name: impl Into<String>,
+        cores: u32,
+        ghz_per_core: f64,
+        memory_gb: f64,
+        fan_count: u32,
+    ) -> Self {
+        assert!(cores > 0, "server needs cores");
+        assert!(ghz_per_core > 0.0, "server needs a positive clock");
+        assert!(memory_gb > 0.0, "server needs memory");
+        ServerSpec {
+            name: name.into(),
+            cores,
+            ghz_per_core,
+            memory_gb,
+            fans: FanBank::new(fan_count),
+            power: PowerModel::for_capacity(cores, ghz_per_core),
+            thermal: ThermalParams::default(),
+            sensor: SensorConfig::default(),
+            core_scheduling: None,
+        }
+    }
+
+    /// The testbed-like default: 16 cores @ 2.4 GHz, 64 GB, 4 fans.
+    #[must_use]
+    pub fn standard(name: impl Into<String>) -> Self {
+        ServerSpec::commodity(name, 16, 2.4, 64.0, 4)
+    }
+
+    /// Overrides the fan bank.
+    #[must_use]
+    pub fn with_fans(mut self, fans: FanBank) -> Self {
+        self.fans = fans;
+        self
+    }
+
+    /// Overrides the power model.
+    #[must_use]
+    pub fn with_power(mut self, power: PowerModel) -> Self {
+        self.power = power;
+        self
+    }
+
+    /// Overrides the thermal parameters.
+    #[must_use]
+    pub fn with_thermal(mut self, thermal: ThermalParams) -> Self {
+        self.thermal = thermal;
+        self
+    }
+
+    /// Overrides the sensor model.
+    #[must_use]
+    pub fn with_sensor(mut self, sensor: SensorConfig) -> Self {
+        self.sensor = sensor;
+        self
+    }
+
+    /// Enables per-core thermal modelling with the given vCPU scheduling
+    /// policy: the sensor then reports the hottest core, as DTS-based
+    /// monitoring does.
+    #[must_use]
+    pub fn with_core_scheduling(mut self, policy: SchedulingPolicy) -> Self {
+        self.core_scheduling = Some(policy);
+        self
+    }
+
+    /// The per-core scheduling policy, when per-core modelling is on.
+    #[must_use]
+    pub fn core_scheduling(&self) -> Option<SchedulingPolicy> {
+        self.core_scheduling
+    }
+
+    /// Human-readable name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Physical core count.
+    #[must_use]
+    pub fn cores(&self) -> u32 {
+        self.cores
+    }
+
+    /// Per-core clock (GHz).
+    #[must_use]
+    pub fn ghz_per_core(&self) -> f64 {
+        self.ghz_per_core
+    }
+
+    /// Installed memory (GB) — θ_memory.
+    #[must_use]
+    pub fn memory_gb(&self) -> f64 {
+        self.memory_gb
+    }
+
+    /// Aggregate CPU capacity in core·GHz — θ_cpu.
+    #[must_use]
+    pub fn theta_cpu(&self) -> f64 {
+        self.cores as f64 * self.ghz_per_core
+    }
+
+    /// Fan bank configuration.
+    #[must_use]
+    pub fn fans(&self) -> FanBank {
+        self.fans
+    }
+
+    /// Power model.
+    #[must_use]
+    pub fn power(&self) -> PowerModel {
+        self.power
+    }
+
+    /// Thermal network parameters.
+    #[must_use]
+    pub fn thermal(&self) -> ThermalParams {
+        self.thermal
+    }
+
+    /// Sensor model.
+    #[must_use]
+    pub fn sensor(&self) -> SensorConfig {
+        self.sensor
+    }
+}
+
+/// A live server: hosted VMs plus thermal and sensor state.
+#[derive(Debug, Clone)]
+pub struct Server {
+    id: ServerId,
+    spec: ServerSpec,
+    fans: FanBank,
+    vms: Vec<Vm>,
+    network: ThermalNetwork,
+    core_model: Option<(CoreScheduler, MultiCoreNetwork)>,
+    sensor: TemperatureSensor,
+    /// Extra vCPU-units of load imposed by in-flight migrations.
+    migration_overhead: f64,
+    /// Utilization computed during the last step, for telemetry.
+    last_utilization: f64,
+    /// Power computed during the last step (W).
+    last_power: f64,
+}
+
+impl Server {
+    /// Creates a server in thermal equilibrium with `ambient_c`.
+    #[must_use]
+    pub fn new(id: ServerId, spec: ServerSpec, ambient_c: f64, seed: u64) -> Self {
+        let network = ThermalNetwork::new(spec.thermal(), ambient_c);
+        let sensor = TemperatureSensor::new(spec.sensor(), seed ^ (id.raw() as u64) << 17);
+        let fans = spec.fans();
+        let core_model = spec.core_scheduling().map(|policy| {
+            (
+                CoreScheduler::new(spec.cores() as usize, policy),
+                MultiCoreNetwork::from_lumped(spec.thermal(), spec.cores() as usize, ambient_c),
+            )
+        });
+        Server {
+            id,
+            spec,
+            fans,
+            vms: Vec::new(),
+            network,
+            core_model,
+            sensor,
+            migration_overhead: 0.0,
+            last_utilization: 0.0,
+            last_power: 0.0,
+        }
+    }
+
+    /// Identifier.
+    #[must_use]
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// Static spec.
+    #[must_use]
+    pub fn spec(&self) -> &ServerSpec {
+        &self.spec
+    }
+
+    /// Current fan bank (speed may differ from the spec if a policy or
+    /// event changed it).
+    #[must_use]
+    pub fn fans(&self) -> FanBank {
+        self.fans
+    }
+
+    /// Sets the fan speed level.
+    pub fn set_fan_speed(&mut self, speed: FanSpeed) {
+        self.fans.set_speed(speed);
+    }
+
+    /// Injects a fan failure: `n` more fans stop spinning.
+    pub fn fail_fans(&mut self, n: u32) {
+        self.fans.fail(n);
+    }
+
+    /// Repairs all failed fans.
+    pub fn repair_fans(&mut self) {
+        self.fans.repair();
+    }
+
+    /// Hosted VMs.
+    #[must_use]
+    pub fn vms(&self) -> &[Vm] {
+        &self.vms
+    }
+
+    /// Mutable access to hosted VMs (engine use).
+    pub fn vms_mut(&mut self) -> &mut [Vm] {
+        &mut self.vms
+    }
+
+    /// Places a VM on this server.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InsufficientMemory`] if configured memory would exceed
+    /// installed memory. CPU is intentionally *not* checked: clouds
+    /// overcommit CPU, and oversubscription is one of the heterogeneity
+    /// effects the paper's learner must capture.
+    pub fn boot_vm(&mut self, vm: Vm) -> Result<(), SimError> {
+        let used: f64 = self.vms.iter().map(|v| v.spec().memory_gb()).sum();
+        let requested = vm.spec().memory_gb();
+        if used + requested > self.spec.memory_gb() {
+            return Err(SimError::InsufficientMemory {
+                server: self.id,
+                requested_gb: requested,
+                available_gb: self.spec.memory_gb() - used,
+            });
+        }
+        self.vms.push(vm);
+        Ok(())
+    }
+
+    /// Removes and returns a VM (for stop or migration cut-over).
+    pub fn take_vm(&mut self, id: VmId) -> Option<Vm> {
+        let idx = self.vms.iter().position(|v| v.id() == id)?;
+        Some(self.vms.remove(idx))
+    }
+
+    /// Whether this server hosts the VM.
+    #[must_use]
+    pub fn hosts(&self, id: VmId) -> bool {
+        self.vms.iter().any(|v| v.id() == id)
+    }
+
+    /// Number of hosted VMs.
+    #[must_use]
+    pub fn vm_count(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// Adds (or removes, with a negative value) migration CPU overhead in
+    /// vCPU units.
+    pub fn add_migration_overhead(&mut self, delta_vcpus: f64) {
+        self.migration_overhead = (self.migration_overhead + delta_vcpus).max(0.0);
+    }
+
+    /// Aggregate CPU utilization in `[0, 1]` at time `t`: total vCPU demand
+    /// (plus migration overhead) over physical cores, saturating at 1.
+    pub fn cpu_utilization(&mut self, t: SimTime) -> f64 {
+        let demand: f64 =
+            self.vms.iter_mut().map(|vm| vm.cpu_demand(t)).sum::<f64>() + self.migration_overhead;
+        (demand / self.spec.cores() as f64).min(1.0)
+    }
+
+    /// Actively used memory across VMs (GB).
+    #[must_use]
+    pub fn active_memory_gb(&self) -> f64 {
+        self.vms.iter().map(Vm::active_memory_gb).sum()
+    }
+
+    /// Advances the server's physics by `dt_secs` at time `t` under
+    /// `ambient_c`, updating utilization, power, and the thermal network.
+    ///
+    /// With per-core modelling enabled
+    /// ([`ServerSpec::with_core_scheduling`]), per-VM demand is scheduled
+    /// onto cores, package power splits proportionally to core load, and
+    /// the reported die temperature is the hottest core.
+    pub fn step(&mut self, t: SimTime, ambient_c: f64, dt_secs: f64) {
+        // One demand query per VM per step (workload generators advance on
+        // each query).
+        let mut demands: Vec<f64> = self.vms.iter_mut().map(|vm| vm.cpu_demand(t)).collect();
+        if self.migration_overhead > 0.0 {
+            demands.push(self.migration_overhead);
+        }
+        let total_demand: f64 = demands.iter().sum();
+        let util = (total_demand / self.spec.cores() as f64).min(1.0);
+        let power = self.spec.power().total_power(util, self.active_memory_gb());
+        let r_sa = self.fans.sink_resistance();
+        match &mut self.core_model {
+            Some((scheduler, network)) => {
+                let core_utils = scheduler.assign(&demands);
+                let per_core = split_power(power, self.spec.power().idle_watts(), &core_utils);
+                network.step(&per_core, ambient_c, r_sa, dt_secs);
+            }
+            None => self.network.step(power, ambient_c, r_sa, dt_secs),
+        }
+        self.last_utilization = util;
+        self.last_power = power;
+    }
+
+    /// True die temperature (°C) — ground truth, not observable in a real
+    /// deployment. With per-core modelling this is the hottest core.
+    #[must_use]
+    pub fn die_temperature(&self) -> f64 {
+        match &self.core_model {
+            Some((_, network)) => network.hottest_core(),
+            None => self.network.die_temperature(),
+        }
+    }
+
+    /// Per-core temperatures when per-core modelling is enabled.
+    #[must_use]
+    pub fn core_temperatures(&self) -> Option<&[f64]> {
+        self.core_model.as_ref().map(|(_, n)| n.core_temperatures())
+    }
+
+    /// One sensor reading of the die temperature (noisy, quantized) — what
+    /// a real deployment observes.
+    pub fn read_sensor(&mut self) -> f64 {
+        let t = self.die_temperature();
+        self.sensor.read(t)
+    }
+
+    /// The steady-state die temperature if current conditions persisted —
+    /// used by ground-truth oracles in tests.
+    #[must_use]
+    pub fn steady_state_die(&self, utilization: f64, ambient_c: f64) -> f64 {
+        let power = self
+            .spec
+            .power()
+            .total_power(utilization, self.active_memory_gb());
+        self.network
+            .steady_state(power, ambient_c, self.fans.sink_resistance())
+            .die_c
+    }
+
+    /// Utilization from the most recent [`Server::step`].
+    #[must_use]
+    pub fn last_utilization(&self) -> f64 {
+        self.last_utilization
+    }
+
+    /// Power from the most recent [`Server::step`] (W).
+    #[must_use]
+    pub fn last_power(&self) -> f64 {
+        self.last_power
+    }
+
+    /// Heat this server currently dumps into the room (W), including fans.
+    #[must_use]
+    pub fn room_heat_watts(&self) -> f64 {
+        self.last_power + self.fans.fan_power()
+    }
+
+    /// Overrides the thermal state (experiment warm starts).
+    pub fn set_thermal_state(&mut self, state: ThermalState) {
+        self.network.set_state(state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::VmSpec;
+    use crate::workload::TaskProfile;
+
+    fn server() -> Server {
+        Server::new(ServerId::new(0), ServerSpec::standard("s0"), 25.0, 42)
+    }
+
+    fn vm(id: u64, vcpus: u32, mem: f64, task: TaskProfile) -> Vm {
+        Vm::new(
+            VmId::new(id),
+            VmSpec::new(format!("vm{id}"), vcpus, mem, task),
+            SimTime::ZERO,
+            id,
+        )
+    }
+
+    #[test]
+    fn spec_theta_cpu() {
+        let s = ServerSpec::standard("x");
+        assert!((s.theta_cpu() - 38.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boot_respects_memory_capacity() {
+        let mut s = server();
+        assert!(s.boot_vm(vm(1, 2, 40.0, TaskProfile::Mixed)).is_ok());
+        assert!(s.boot_vm(vm(2, 2, 20.0, TaskProfile::Mixed)).is_ok());
+        let err = s.boot_vm(vm(3, 2, 10.0, TaskProfile::Mixed)).unwrap_err();
+        assert!(matches!(err, SimError::InsufficientMemory { .. }));
+        assert_eq!(s.vm_count(), 2);
+    }
+
+    #[test]
+    fn cpu_overcommit_is_allowed_but_saturates() {
+        let mut s = server();
+        for i in 0..10 {
+            s.boot_vm(vm(i, 4, 4.0, TaskProfile::CpuBound)).unwrap();
+        }
+        // 40 vcpus at ~0.9 on 16 cores: saturated.
+        let u = s.cpu_utilization(SimTime::from_secs(10));
+        assert_eq!(u, 1.0);
+    }
+
+    #[test]
+    fn take_vm_removes_and_returns() {
+        let mut s = server();
+        s.boot_vm(vm(1, 1, 2.0, TaskProfile::Idle)).unwrap();
+        assert!(s.hosts(VmId::new(1)));
+        let out = s.take_vm(VmId::new(1)).unwrap();
+        assert_eq!(out.id(), VmId::new(1));
+        assert!(!s.hosts(VmId::new(1)));
+        assert!(s.take_vm(VmId::new(1)).is_none());
+    }
+
+    #[test]
+    fn idle_server_stays_near_ambient_plus_idle_power_rise() {
+        let mut s = server();
+        for sec in 0..1200 {
+            s.step(SimTime::from_secs(sec), 25.0, 1.0);
+        }
+        // Idle power still produces some rise, but die stays modest.
+        let t = s.die_temperature();
+        assert!(t > 25.0 && t < 45.0, "idle die temp {t}");
+    }
+
+    #[test]
+    fn loaded_server_runs_hotter_than_idle() {
+        let mut idle = server();
+        let mut busy = Server::new(ServerId::new(1), ServerSpec::standard("s1"), 25.0, 43);
+        for i in 0..8 {
+            busy.boot_vm(vm(i, 2, 4.0, TaskProfile::CpuBound)).unwrap();
+        }
+        for sec in 0..1200 {
+            idle.step(SimTime::from_secs(sec), 25.0, 1.0);
+            busy.step(SimTime::from_secs(sec), 25.0, 1.0);
+        }
+        assert!(
+            busy.die_temperature() > idle.die_temperature() + 8.0,
+            "busy {} vs idle {}",
+            busy.die_temperature(),
+            idle.die_temperature()
+        );
+    }
+
+    #[test]
+    fn migration_overhead_raises_utilization() {
+        let mut s = server();
+        s.boot_vm(vm(1, 4, 8.0, TaskProfile::Mixed)).unwrap();
+        let base = s.cpu_utilization(SimTime::from_secs(1));
+        s.add_migration_overhead(2.0);
+        let with = s.cpu_utilization(SimTime::from_secs(1));
+        assert!(with > base);
+        s.add_migration_overhead(-5.0); // clamps at zero
+        let cleared = s.cpu_utilization(SimTime::from_secs(1));
+        assert!(cleared <= with);
+    }
+
+    #[test]
+    fn sensor_reading_tracks_die_temperature() {
+        let mut s = server();
+        for i in 0..4 {
+            s.boot_vm(vm(i, 4, 8.0, TaskProfile::CpuBound)).unwrap();
+        }
+        for sec in 0..900 {
+            s.step(SimTime::from_secs(sec), 25.0, 1.0);
+        }
+        let true_t = s.die_temperature();
+        let mean_reading: f64 = (0..100).map(|_| s.read_sensor()).sum::<f64>() / 100.0;
+        assert!(
+            (mean_reading - true_t).abs() < 0.5,
+            "{mean_reading} vs {true_t}"
+        );
+    }
+
+    #[test]
+    fn more_fans_cooler_die_at_same_load() {
+        let few = ServerSpec::commodity("few", 16, 2.4, 64.0, 2);
+        let many = ServerSpec::commodity("many", 16, 2.4, 64.0, 6);
+        let mut a = Server::new(ServerId::new(0), few, 25.0, 1);
+        let mut b = Server::new(ServerId::new(1), many, 25.0, 1);
+        for i in 0..4 {
+            a.boot_vm(vm(i, 4, 8.0, TaskProfile::CpuBound)).unwrap();
+            b.boot_vm(vm(10 + i, 4, 8.0, TaskProfile::CpuBound))
+                .unwrap();
+        }
+        for sec in 0..1200 {
+            a.step(SimTime::from_secs(sec), 25.0, 1.0);
+            b.step(SimTime::from_secs(sec), 25.0, 1.0);
+        }
+        assert!(b.die_temperature() < a.die_temperature() - 2.0);
+    }
+
+    #[test]
+    fn per_core_mode_reports_hottest_core() {
+        use crate::vmm::SchedulingPolicy;
+        // Same workload, pinned vs balanced scheduling: pinned concentrates
+        // heat so the reported (hottest-core) temperature is higher.
+        let run = |policy: SchedulingPolicy| {
+            let spec = ServerSpec::standard("pc").with_core_scheduling(policy);
+            let mut s = Server::new(ServerId::new(0), spec, 25.0, 9);
+            // Two 4-vCPU cpu-bound VMs on 16 cores: skew is possible.
+            s.boot_vm(vm(1, 4, 8.0, TaskProfile::CpuBound)).unwrap();
+            s.boot_vm(vm(2, 4, 8.0, TaskProfile::CpuBound)).unwrap();
+            for sec in 0..1200 {
+                s.step(SimTime::from_secs(sec), 25.0, 1.0);
+            }
+            assert!(s.core_temperatures().is_some());
+            s.die_temperature()
+        };
+        let pinned = run(SchedulingPolicy::Pinned);
+        let balanced = run(SchedulingPolicy::Balanced);
+        assert!(
+            pinned > balanced + 2.0,
+            "pinned {pinned} not hotter than balanced {balanced}"
+        );
+        // Lumped mode has no core view.
+        let lumped = Server::new(ServerId::new(1), ServerSpec::standard("l"), 25.0, 9);
+        assert!(lumped.core_temperatures().is_none());
+    }
+
+    #[test]
+    fn room_heat_includes_fans() {
+        let mut s = server();
+        s.step(SimTime::ZERO, 25.0, 1.0);
+        assert!(s.room_heat_watts() > s.last_power());
+    }
+}

@@ -1,0 +1,231 @@
+//! Time-series recording: what a monitoring agent would collect from the
+//! VMM and sensors.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// A time-stamped scalar series.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    times: Vec<f64>,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    #[must_use]
+    pub fn new() -> Self {
+        TimeSeries::default()
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes the last sample (series are monotone).
+    pub fn push(&mut self, t: SimTime, value: f64) {
+        let secs = t.as_secs_f64();
+        if let Some(last) = self.times.last() {
+            assert!(
+                secs >= *last,
+                "time series going backwards: {secs} after {last}"
+            );
+        }
+        self.times.push(secs);
+        self.values.push(value);
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// `true` when no samples have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Sample timestamps (seconds).
+    #[must_use]
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Sample values.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Iterates `(time_secs, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.times.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// Mean of the values sampled at or after `from` — Eq. (1)'s
+    /// "average CPU temperature after `t_break`". Returns `None` if no
+    /// samples qualify.
+    #[must_use]
+    pub fn mean_after(&self, from: SimTime) -> Option<f64> {
+        let from = from.as_secs_f64();
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for (t, v) in self.iter() {
+            if t >= from {
+                sum += v;
+                n += 1;
+            }
+        }
+        (n > 0).then(|| sum / n as f64)
+    }
+
+    /// The value at or immediately before `t` (step interpolation), or
+    /// `None` before the first sample.
+    #[must_use]
+    pub fn value_at(&self, t: SimTime) -> Option<f64> {
+        let secs = t.as_secs_f64();
+        match self.times.partition_point(|x| *x <= secs) {
+            0 => None,
+            n => Some(self.values[n - 1]),
+        }
+    }
+
+    /// The most recent sample.
+    #[must_use]
+    pub fn last(&self) -> Option<(f64, f64)> {
+        Some((*self.times.last()?, *self.values.last()?))
+    }
+
+    /// Minimum and maximum values, or `None` when empty.
+    #[must_use]
+    pub fn min_max(&self) -> Option<(f64, f64)> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for v in &self.values {
+            lo = lo.min(*v);
+            hi = hi.max(*v);
+        }
+        Some((lo, hi))
+    }
+
+    /// Serialises as two-column CSV with a header.
+    #[must_use]
+    pub fn to_csv(&self, value_name: &str) -> String {
+        let mut out = format!("time_s,{value_name}\n");
+        for (t, v) in self.iter() {
+            let _ = writeln!(out, "{t},{v}");
+        }
+        out
+    }
+}
+
+impl FromIterator<(f64, f64)> for TimeSeries {
+    fn from_iter<I: IntoIterator<Item = (f64, f64)>>(iter: I) -> Self {
+        let mut ts = TimeSeries::new();
+        for (t, v) in iter {
+            ts.push(SimTime::from_millis((t * 1000.0).round() as u64), v);
+        }
+        ts
+    }
+}
+
+/// Everything recorded about one server during a run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServerTrace {
+    /// Noisy quantized sensor readings — what the learner sees.
+    pub sensor_c: TimeSeries,
+    /// True die temperature — ground truth for evaluation.
+    pub die_c: TimeSeries,
+    /// Aggregate CPU utilization in `[0, 1]`.
+    pub utilization: TimeSeries,
+    /// Power draw (W).
+    pub power_w: TimeSeries,
+    /// Ambient temperature the server saw (°C).
+    pub ambient_c: TimeSeries,
+}
+
+impl ServerTrace {
+    /// An empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        ServerTrace::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> TimeSeries {
+        let mut ts = TimeSeries::new();
+        for s in 0..10 {
+            ts.push(SimTime::from_secs(s), s as f64 * 2.0);
+        }
+        ts
+    }
+
+    #[test]
+    fn push_and_len() {
+        let ts = series();
+        assert_eq!(ts.len(), 10);
+        assert!(!ts.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn non_monotone_push_panics() {
+        let mut ts = TimeSeries::new();
+        ts.push(SimTime::from_secs(5), 0.0);
+        ts.push(SimTime::from_secs(4), 0.0);
+    }
+
+    #[test]
+    fn mean_after_matches_eq1_semantics() {
+        let ts = series();
+        // values at t≥6: 12,14,16,18 → mean 15.
+        assert_eq!(ts.mean_after(SimTime::from_secs(6)), Some(15.0));
+        // Past the end: none.
+        assert_eq!(ts.mean_after(SimTime::from_secs(100)), None);
+        // From zero: mean of 0..18 step 2 = 9.
+        assert_eq!(ts.mean_after(SimTime::ZERO), Some(9.0));
+    }
+
+    #[test]
+    fn value_at_steps() {
+        let ts = series();
+        assert_eq!(ts.value_at(SimTime::from_secs(3)), Some(6.0));
+        assert_eq!(ts.value_at(SimTime::from_millis(3500)), Some(6.0));
+        assert_eq!(ts.value_at(SimTime::from_secs(999)), Some(18.0));
+        let empty = TimeSeries::new();
+        assert_eq!(empty.value_at(SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn min_max_and_last() {
+        let ts = series();
+        assert_eq!(ts.min_max(), Some((0.0, 18.0)));
+        assert_eq!(ts.last(), Some((9.0, 18.0)));
+        assert_eq!(TimeSeries::new().min_max(), None);
+    }
+
+    #[test]
+    fn csv_round_numbers() {
+        let mut ts = TimeSeries::new();
+        ts.push(SimTime::from_secs(1), 42.5);
+        let csv = ts.to_csv("temp_c");
+        assert_eq!(csv, "time_s,temp_c\n1,42.5\n");
+    }
+
+    #[test]
+    fn from_iterator() {
+        let ts: TimeSeries = vec![(0.0, 1.0), (1.5, 2.0)].into_iter().collect();
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.value_at(SimTime::from_millis(1500)), Some(2.0));
+    }
+}

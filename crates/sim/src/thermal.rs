@@ -1,0 +1,350 @@
+//! Lumped-parameter (RC network) thermal model of one server's CPU.
+//!
+//! Two thermal nodes — the CPU **die** and its **heatsink** — connected by
+//! conduction resistance `R_ds`, with the sink coupled to ambient air
+//! through the fan-dependent convective resistance `R_sa`
+//! (see [`crate::fan::FanBank::sink_resistance`]):
+//!
+//! ```text
+//!   P ──▶ [die C_d] ──R_ds── [sink C_s] ──R_sa── ambient
+//! ```
+//!
+//! This is the same physics the paper's RC-model baseline \[5\] assumes, and
+//! it produces the first-order exponential approach to a load-dependent
+//! steady state that Eq. (1)/(3) of the paper presuppose. The *simulated
+//! ground truth* uses it with full knowledge of per-VM power; the paper's
+//! point is that a learner must predict the steady state without that
+//! knowledge.
+
+use serde::{Deserialize, Serialize};
+
+/// Static parameters of the two-node network.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalParams {
+    /// Die heat capacity (J/K). Small: the die reacts in seconds.
+    pub c_die: f64,
+    /// Heatsink + spreader heat capacity (J/K). Large: minutes-scale.
+    pub c_sink: f64,
+    /// Die→sink conduction resistance (K/W).
+    pub r_die_sink: f64,
+}
+
+impl ThermalParams {
+    /// Validates and constructs parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is non-positive.
+    #[must_use]
+    pub fn new(c_die: f64, c_sink: f64, r_die_sink: f64) -> Self {
+        assert!(
+            c_die > 0.0 && c_sink > 0.0 && r_die_sink > 0.0,
+            "thermal params must be positive"
+        );
+        ThermalParams {
+            c_die,
+            c_sink,
+            r_die_sink,
+        }
+    }
+
+    /// The slowest time constant (s) of the network for a given sink
+    /// resistance — roughly `C_sink · (R_sa + R_ds)`; the system is within
+    /// 1% of steady state after ~5 of these.
+    #[must_use]
+    pub fn dominant_time_constant(&self, r_sink_amb: f64) -> f64 {
+        self.c_sink * (r_sink_amb + self.r_die_sink)
+    }
+}
+
+impl Default for ThermalParams {
+    /// Commodity 2U server: ~7 s die time constant, ~2 min sink time
+    /// constant at four medium fans, chosen so the system stabilises within
+    /// the paper's `t_break = 600 s`.
+    fn default() -> Self {
+        ThermalParams {
+            c_die: 150.0,
+            c_sink: 1100.0,
+            r_die_sink: 0.05,
+        }
+    }
+}
+
+/// Mutable thermal state: the two node temperatures (°C).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalState {
+    /// CPU die (junction) temperature — what the sensor reports.
+    pub die_c: f64,
+    /// Heatsink temperature.
+    pub sink_c: f64,
+}
+
+impl ThermalState {
+    /// Both nodes in equilibrium with the given ambient (a powered-off or
+    /// long-idle machine).
+    #[must_use]
+    pub fn at_ambient(ambient_c: f64) -> Self {
+        ThermalState {
+            die_c: ambient_c,
+            sink_c: ambient_c,
+        }
+    }
+}
+
+/// The integrating thermal network.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalNetwork {
+    params: ThermalParams,
+    state: ThermalState,
+}
+
+impl ThermalNetwork {
+    /// A network starting in equilibrium with `ambient_c`.
+    #[must_use]
+    pub fn new(params: ThermalParams, ambient_c: f64) -> Self {
+        ThermalNetwork {
+            params,
+            state: ThermalState::at_ambient(ambient_c),
+        }
+    }
+
+    /// Current state.
+    #[must_use]
+    pub fn state(&self) -> ThermalState {
+        self.state
+    }
+
+    /// Die temperature (°C) — the quantity the paper predicts.
+    #[must_use]
+    pub fn die_temperature(&self) -> f64 {
+        self.state.die_c
+    }
+
+    /// Parameters.
+    #[must_use]
+    pub fn params(&self) -> ThermalParams {
+        self.params
+    }
+
+    /// Overrides the state (e.g. to start an experiment from a prior
+    /// operating point, the paper's φ(0)).
+    pub fn set_state(&mut self, state: ThermalState) {
+        self.state = state;
+    }
+
+    /// Advances the network by `dt_secs` under constant heat input
+    /// `power_w`, ambient `ambient_c` and sink resistance `r_sink_amb`.
+    ///
+    /// Integrates with classic RK4, sub-stepping so the internal step never
+    /// exceeds 1 s (the die time constant is ~7 s; RK4 at 1 s is deep inside
+    /// its stability region and accurate to ~1e-6 K here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt_secs` or `r_sink_amb` is non-positive.
+    pub fn step(&mut self, power_w: f64, ambient_c: f64, r_sink_amb: f64, dt_secs: f64) {
+        assert!(dt_secs > 0.0, "step: non-positive dt");
+        assert!(r_sink_amb > 0.0, "step: non-positive sink resistance");
+        let substeps = dt_secs.ceil().max(1.0) as usize;
+        let h = dt_secs / substeps as f64;
+        for _ in 0..substeps {
+            self.state = rk4_step(self.params, self.state, power_w, ambient_c, r_sink_amb, h);
+        }
+    }
+
+    /// Closed-form steady state under constant conditions: the temperatures
+    /// the network converges to as `t → ∞`.
+    #[must_use]
+    pub fn steady_state(&self, power_w: f64, ambient_c: f64, r_sink_amb: f64) -> ThermalState {
+        steady_state(self.params, power_w, ambient_c, r_sink_amb)
+    }
+}
+
+/// Closed-form steady state of the two-node chain: all of `P` flows through
+/// both resistances, so `T_sink = T_amb + P·R_sa` and
+/// `T_die = T_sink + P·R_ds`.
+#[must_use]
+pub fn steady_state(
+    params: ThermalParams,
+    power_w: f64,
+    ambient_c: f64,
+    r_sink_amb: f64,
+) -> ThermalState {
+    let sink = ambient_c + power_w * r_sink_amb;
+    let die = sink + power_w * params.r_die_sink;
+    ThermalState {
+        die_c: die,
+        sink_c: sink,
+    }
+}
+
+fn derivatives(
+    p: ThermalParams,
+    s: ThermalState,
+    power_w: f64,
+    ambient_c: f64,
+    r_sa: f64,
+) -> (f64, f64) {
+    let q_ds = (s.die_c - s.sink_c) / p.r_die_sink;
+    let q_sa = (s.sink_c - ambient_c) / r_sa;
+    ((power_w - q_ds) / p.c_die, (q_ds - q_sa) / p.c_sink)
+}
+
+fn rk4_step(
+    p: ThermalParams,
+    s: ThermalState,
+    power_w: f64,
+    ambient_c: f64,
+    r_sa: f64,
+    h: f64,
+) -> ThermalState {
+    let f = |st: ThermalState| derivatives(p, st, power_w, ambient_c, r_sa);
+    let k1 = f(s);
+    let k2 = f(ThermalState {
+        die_c: s.die_c + 0.5 * h * k1.0,
+        sink_c: s.sink_c + 0.5 * h * k1.1,
+    });
+    let k3 = f(ThermalState {
+        die_c: s.die_c + 0.5 * h * k2.0,
+        sink_c: s.sink_c + 0.5 * h * k2.1,
+    });
+    let k4 = f(ThermalState {
+        die_c: s.die_c + h * k3.0,
+        sink_c: s.sink_c + h * k3.1,
+    });
+    ThermalState {
+        die_c: s.die_c + h / 6.0 * (k1.0 + 2.0 * k2.0 + 2.0 * k3.0 + k4.0),
+        sink_c: s.sink_c + h / 6.0 * (k1.1 + 2.0 * k2.1 + 2.0 * k3.1 + k4.1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const R_SA: f64 = 0.10; // four medium fans, roughly
+
+    fn network() -> ThermalNetwork {
+        ThermalNetwork::new(ThermalParams::default(), 25.0)
+    }
+
+    #[test]
+    fn zero_power_stays_at_ambient() {
+        let mut n = network();
+        n.step(0.0, 25.0, R_SA, 600.0);
+        assert!((n.die_temperature() - 25.0).abs() < 1e-9);
+        assert!((n.state().sink_c - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn converges_to_closed_form_steady_state() {
+        let mut n = network();
+        let target = n.steady_state(180.0, 25.0, R_SA);
+        for _ in 0..2000 {
+            n.step(180.0, 25.0, R_SA, 1.0);
+        }
+        assert!((n.die_temperature() - target.die_c).abs() < 1e-3);
+        assert!((n.state().sink_c - target.sink_c).abs() < 1e-3);
+    }
+
+    #[test]
+    fn steady_state_values_are_physical() {
+        let s = steady_state(ThermalParams::default(), 180.0, 25.0, R_SA);
+        // 25 + 180*0.10 = 43 at sink, + 180*0.05 = 52 at die.
+        assert!((s.sink_c - 43.0).abs() < 1e-12);
+        assert!((s.die_c - 52.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warming_is_monotone_from_cold_start() {
+        let mut n = network();
+        let mut prev = n.die_temperature();
+        for _ in 0..600 {
+            n.step(150.0, 25.0, R_SA, 1.0);
+            let t = n.die_temperature();
+            assert!(t >= prev - 1e-9, "die cooled while warming up");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn cooling_after_load_drop() {
+        let mut n = network();
+        for _ in 0..1200 {
+            n.step(200.0, 25.0, R_SA, 1.0);
+        }
+        let hot = n.die_temperature();
+        for _ in 0..1200 {
+            n.step(50.0, 25.0, R_SA, 1.0);
+        }
+        assert!(n.die_temperature() < hot - 5.0);
+    }
+
+    #[test]
+    fn step_size_invariance() {
+        // Integrating 300 s in one call or in 300 calls must agree closely.
+        let mut a = network();
+        let mut b = network();
+        a.step(170.0, 22.0, R_SA, 300.0);
+        for _ in 0..300 {
+            b.step(170.0, 22.0, R_SA, 1.0);
+        }
+        assert!((a.die_temperature() - b.die_temperature()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn higher_ambient_raises_stable_temperature() {
+        let p = ThermalParams::default();
+        let cold = steady_state(p, 150.0, 18.0, R_SA);
+        let warm = steady_state(p, 150.0, 28.0, R_SA);
+        assert!((warm.die_c - cold.die_c - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_sink_resistance_cools_the_die() {
+        let p = ThermalParams::default();
+        let few_fans = steady_state(p, 150.0, 25.0, 0.15);
+        let many_fans = steady_state(p, 150.0, 25.0, 0.08);
+        assert!(many_fans.die_c < few_fans.die_c);
+    }
+
+    #[test]
+    fn settles_within_break_time_at_typical_fan_levels() {
+        // The paper's t_break = 600 s; with defaults and 4 medium fans the
+        // die must be within 1.5 °C of steady state by then.
+        let mut n = network();
+        let target = n.steady_state(180.0, 25.0, R_SA).die_c;
+        for _ in 0..600 {
+            n.step(180.0, 25.0, R_SA, 1.0);
+        }
+        assert!(
+            (n.die_temperature() - target).abs() < 1.5,
+            "not settled: {} vs {}",
+            n.die_temperature(),
+            target
+        );
+    }
+
+    #[test]
+    fn dominant_time_constant_matches_observed_settling() {
+        let p = ThermalParams::default();
+        let tau = p.dominant_time_constant(R_SA);
+        assert!((100.0..300.0).contains(&tau), "tau = {tau}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive dt")]
+    fn zero_dt_panics() {
+        network().step(100.0, 25.0, R_SA, 0.0);
+    }
+
+    #[test]
+    fn set_state_overrides() {
+        let mut n = network();
+        n.set_state(ThermalState {
+            die_c: 60.0,
+            sink_c: 50.0,
+        });
+        assert_eq!(n.die_temperature(), 60.0);
+    }
+}

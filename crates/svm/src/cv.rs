@@ -1,0 +1,166 @@
+//! K-fold cross-validation.
+//!
+//! The paper selects SVR hyper-parameters "using easygrid … with 10-fold
+//! validation"; [`kfold_indices`] produces the folds and [`cross_validate_svr`]
+//! scores one parameter set exactly the way `easygrid` drives LIBSVM.
+
+use crate::data::Dataset;
+use crate::error::SvmError;
+use crate::metrics;
+use crate::svr::{SvrModel, SvrParams};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Splits `n` sample indices into `k` disjoint folds of near-equal size
+/// (sizes differ by at most one), shuffled with `rng`.
+///
+/// # Errors
+///
+/// [`SvmError::TooFewSamples`] if `n < k`, and
+/// [`SvmError::InvalidParameter`] if `k < 2`.
+pub fn kfold_indices<R: Rng>(n: usize, k: usize, rng: &mut R) -> Result<Vec<Vec<usize>>, SvmError> {
+    if k < 2 {
+        return Err(SvmError::invalid(
+            "k",
+            format!("need at least 2 folds, got {k}"),
+        ));
+    }
+    if n < k {
+        return Err(SvmError::TooFewSamples {
+            samples: n,
+            required: k,
+        });
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+    let mut folds = vec![Vec::with_capacity(n / k + 1); k];
+    for (pos, idx) in order.into_iter().enumerate() {
+        folds[pos % k].push(idx);
+    }
+    Ok(folds)
+}
+
+/// Result of a cross-validation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CvResult {
+    /// Per-fold mean squared error.
+    pub fold_mse: Vec<f64>,
+    /// Mean of [`CvResult::fold_mse`].
+    pub mean_mse: f64,
+}
+
+/// K-fold cross-validated MSE of an ε-SVR parameter set.
+///
+/// Each fold is held out once; the model trains on the remaining folds and
+/// is scored on the held-out one. The dataset is assumed already scaled
+/// (fit the scaler outside if leakage matters for your experiment; the
+/// paper's protocol scales once over the training file, as `svm-scale`
+/// does).
+///
+/// # Errors
+///
+/// Propagates fold-construction and training errors.
+pub fn cross_validate_svr<R: Rng>(
+    data: &Dataset,
+    params: SvrParams,
+    k: usize,
+    rng: &mut R,
+) -> Result<CvResult, SvmError> {
+    let folds = kfold_indices(data.len(), k, rng)?;
+    let mut fold_mse = Vec::with_capacity(k);
+    for held_out in &folds {
+        let train_idx: Vec<usize> = folds
+            .iter()
+            .filter(|f| !std::ptr::eq(*f, held_out))
+            .flatten()
+            .copied()
+            .collect();
+        let train = data.subset(&train_idx);
+        let test = data.subset(held_out);
+        let model = SvrModel::train(&train, params)?;
+        let preds = model.predict_dataset(&test);
+        fold_mse.push(metrics::mse(test.targets(), &preds));
+    }
+    let mean_mse = fold_mse.iter().sum::<f64>() / fold_mse.len() as f64;
+    Ok(CvResult { fold_mse, mean_mse })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::Kernel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn folds_partition_all_indices() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let folds = kfold_indices(23, 5, &mut rng).unwrap();
+        assert_eq!(folds.len(), 5);
+        let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..23).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fold_sizes_differ_by_at_most_one() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let folds = kfold_indices(10, 3, &mut rng).unwrap();
+        let sizes: Vec<usize> = folds.iter().map(Vec::len).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max - min <= 1, "sizes = {sizes:?}");
+    }
+
+    #[test]
+    fn too_few_samples_is_an_error() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(matches!(
+            kfold_indices(3, 5, &mut rng),
+            Err(SvmError::TooFewSamples {
+                samples: 3,
+                required: 5
+            })
+        ));
+    }
+
+    #[test]
+    fn one_fold_is_an_error() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(kfold_indices(10, 1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn folds_are_seed_deterministic() {
+        let a = kfold_indices(20, 4, &mut StdRng::seed_from_u64(9)).unwrap();
+        let b = kfold_indices(20, 4, &mut StdRng::seed_from_u64(9)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cv_on_learnable_function_has_low_mse() {
+        // y = 2x + 1, easily learnable: CV MSE must be small.
+        let xs: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64 * 0.1]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x[0] + 1.0).collect();
+        let ds = Dataset::from_parts(xs, ys).unwrap();
+        let params = SvrParams::new()
+            .with_c(100.0)
+            .with_epsilon(0.01)
+            .with_kernel(Kernel::Linear);
+        let mut rng = StdRng::seed_from_u64(4);
+        let result = cross_validate_svr(&ds, params, 5, &mut rng).unwrap();
+        assert_eq!(result.fold_mse.len(), 5);
+        assert!(result.mean_mse < 0.05, "mean mse = {}", result.mean_mse);
+    }
+
+    #[test]
+    fn cv_mean_is_mean_of_folds() {
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0]).collect();
+        let ds = Dataset::from_parts(xs, ys).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let r = cross_validate_svr(&ds, SvrParams::new(), 4, &mut rng).unwrap();
+        let mean = r.fold_mse.iter().sum::<f64>() / 4.0;
+        assert!((r.mean_mse - mean).abs() < 1e-12);
+    }
+}

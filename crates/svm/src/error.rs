@@ -1,0 +1,116 @@
+//! Error type for the SVM library.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by dataset construction, parsing, training and
+/// prediction.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SvmError {
+    /// A dataset, fold, or prediction input had inconsistent sizes.
+    DimensionMismatch {
+        /// The size the operation required.
+        expected: usize,
+        /// The size it received.
+        actual: usize,
+    },
+    /// An operation that needs at least one sample received none.
+    EmptyDataset,
+    /// A libsvm-format line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A hyper-parameter was outside its valid domain.
+    InvalidParameter {
+        /// Parameter name, e.g. `"c"`.
+        name: &'static str,
+        /// Description of the violated constraint.
+        message: String,
+    },
+    /// The SMO solver hit its iteration cap before reaching the requested
+    /// KKT tolerance. The model produced up to that point is usually still
+    /// usable; callers that care can retrain with looser tolerance.
+    DidNotConverge {
+        /// Iterations performed.
+        iterations: usize,
+    },
+    /// Cross-validation was asked for more folds than samples.
+    TooFewSamples {
+        /// Samples available.
+        samples: usize,
+        /// Folds (or minimum samples) requested.
+        required: usize,
+    },
+}
+
+impl SvmError {
+    pub(crate) fn parse(line: usize, message: impl Into<String>) -> Self {
+        SvmError::Parse {
+            line,
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn invalid(name: &'static str, message: impl Into<String>) -> Self {
+        SvmError::InvalidParameter {
+            name,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SvmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SvmError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            SvmError::EmptyDataset => write!(f, "dataset contains no samples"),
+            SvmError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            SvmError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+            SvmError::DidNotConverge { iterations } => {
+                write!(f, "solver did not converge within {iterations} iterations")
+            }
+            SvmError::TooFewSamples { samples, required } => {
+                write!(
+                    f,
+                    "too few samples: have {samples}, need at least {required}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for SvmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = SvmError::DimensionMismatch {
+            expected: 3,
+            actual: 2,
+        };
+        assert_eq!(e.to_string(), "dimension mismatch: expected 3, got 2");
+        let e = SvmError::parse(4, "bad token");
+        assert_eq!(e.to_string(), "parse error on line 4: bad token");
+        let e = SvmError::invalid("c", "must be positive");
+        assert_eq!(e.to_string(), "invalid parameter `c`: must be positive");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SvmError>();
+    }
+}

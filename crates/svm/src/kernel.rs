@@ -1,0 +1,382 @@
+//! Kernel functions for support vector machines.
+//!
+//! The paper trains its stable-temperature model with LIBSVM using the
+//! **Radial Basis Function** kernel; linear, polynomial and sigmoid kernels
+//! are provided as well so the benchmark harness can ablate the choice
+//! (see `DESIGN.md` §6.2).
+
+use crate::linalg::{dot, squared_distance};
+use serde::{Deserialize, Serialize};
+
+/// A kernel function `K(x, z)` over dense feature vectors.
+///
+/// All variants are cheap `Copy` values; the expensive state (kernel rows)
+/// is cached by the solver, not by the kernel itself.
+///
+/// ```
+/// use vmtherm_svm::kernel::Kernel;
+///
+/// let k = Kernel::rbf(0.5);
+/// let same = k.eval(&[1.0, 2.0], &[1.0, 2.0]);
+/// assert!((same - 1.0).abs() < 1e-12); // RBF of identical points is 1
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Kernel {
+    /// `K(x, z) = x · z`
+    Linear,
+    /// `K(x, z) = (gamma * x · z + coef0)^degree`
+    Polynomial {
+        /// Scale applied to the inner product.
+        gamma: f64,
+        /// Additive constant inside the power.
+        coef0: f64,
+        /// Polynomial degree (LIBSVM default: 3).
+        degree: u32,
+    },
+    /// `K(x, z) = exp(-gamma * |x - z|^2)` — the paper's choice.
+    Rbf {
+        /// Inverse width of the Gaussian.
+        gamma: f64,
+    },
+    /// `K(x, z) = tanh(gamma * x · z + coef0)`
+    Sigmoid {
+        /// Scale applied to the inner product.
+        gamma: f64,
+        /// Additive constant inside the tanh.
+        coef0: f64,
+    },
+}
+
+impl Kernel {
+    /// Convenience constructor for the RBF kernel.
+    #[must_use]
+    pub fn rbf(gamma: f64) -> Self {
+        Kernel::Rbf { gamma }
+    }
+
+    /// Convenience constructor for the polynomial kernel with LIBSVM-style
+    /// defaults (`coef0 = 0`, `degree = 3`).
+    #[must_use]
+    pub fn polynomial(gamma: f64) -> Self {
+        Kernel::Polynomial {
+            gamma,
+            coef0: 0.0,
+            degree: 3,
+        }
+    }
+
+    /// Evaluates `K(x, z)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` and `z` have different lengths.
+    #[must_use]
+    pub fn eval(&self, x: &[f64], z: &[f64]) -> f64 {
+        match *self {
+            Kernel::Linear => dot(x, z),
+            Kernel::Polynomial {
+                gamma,
+                coef0,
+                degree,
+            } => (gamma * dot(x, z) + coef0).powi(degree as i32),
+            Kernel::Rbf { gamma } => (-gamma * squared_distance(x, z)).exp(),
+            Kernel::Sigmoid { gamma, coef0 } => (gamma * dot(x, z) + coef0).tanh(),
+        }
+    }
+
+    /// The `gamma` hyper-parameter if this kernel has one.
+    #[must_use]
+    pub fn gamma(&self) -> Option<f64> {
+        match *self {
+            Kernel::Linear => None,
+            Kernel::Polynomial { gamma, .. }
+            | Kernel::Rbf { gamma }
+            | Kernel::Sigmoid { gamma, .. } => Some(gamma),
+        }
+    }
+
+    /// Returns a copy of this kernel with `gamma` replaced, leaving other
+    /// parameters untouched. A no-op for [`Kernel::Linear`].
+    #[must_use]
+    pub fn with_gamma(self, new_gamma: f64) -> Self {
+        match self {
+            Kernel::Linear => Kernel::Linear,
+            Kernel::Polynomial { coef0, degree, .. } => Kernel::Polynomial {
+                gamma: new_gamma,
+                coef0,
+                degree,
+            },
+            Kernel::Rbf { .. } => Kernel::Rbf { gamma: new_gamma },
+            Kernel::Sigmoid { coef0, .. } => Kernel::Sigmoid {
+                gamma: new_gamma,
+                coef0,
+            },
+        }
+    }
+}
+
+impl Default for Kernel {
+    /// The paper's kernel: RBF with `gamma = 1.0` (tuned by grid search in
+    /// practice).
+    fn default() -> Self {
+        Kernel::Rbf { gamma: 1.0 }
+    }
+}
+
+impl std::fmt::Display for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Kernel::Linear => write!(f, "linear"),
+            Kernel::Polynomial {
+                gamma,
+                coef0,
+                degree,
+            } => {
+                write!(f, "poly(gamma={gamma}, coef0={coef0}, degree={degree})")
+            }
+            Kernel::Rbf { gamma } => write!(f, "rbf(gamma={gamma})"),
+            Kernel::Sigmoid { gamma, coef0 } => {
+                write!(f, "sigmoid(gamma={gamma}, coef0={coef0})")
+            }
+        }
+    }
+}
+
+/// Computes the full symmetric kernel (Gram) matrix for a set of points.
+///
+/// Used by tests and small-problem utilities; the SMO solver computes rows
+/// on demand through [`RowCache`] instead of materialising the full matrix.
+#[must_use]
+pub fn gram_matrix(kernel: Kernel, points: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let n = points.len();
+    let mut g = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in i..n {
+            let v = kernel.eval(&points[i], &points[j]);
+            g[i][j] = v;
+            g[j][i] = v;
+        }
+    }
+    g
+}
+
+/// An LRU cache of kernel-matrix rows.
+///
+/// The SMO solver touches rows `i` and `j` of the (implicit) kernel matrix on
+/// every iteration; recomputing a row costs `O(n · d)`. Training sets in this
+/// project are small enough that most rows fit in cache, but the LRU bound
+/// keeps memory use predictable for large sweeps.
+#[derive(Debug)]
+pub struct RowCache {
+    rows: Vec<Option<Vec<f64>>>,
+    /// Recency stamps; larger = more recent.
+    stamps: Vec<u64>,
+    clock: u64,
+    cached: usize,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl RowCache {
+    /// Creates a cache able to hold up to `capacity` rows of an `n`-row
+    /// matrix. A `capacity` of zero is clamped to one so the solver can
+    /// always hold its working row.
+    #[must_use]
+    pub fn new(n: usize, capacity: usize) -> Self {
+        RowCache {
+            rows: vec![None; n],
+            stamps: vec![0; n],
+            clock: 0,
+            cached: 0,
+            capacity: capacity.max(1),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Returns row `i`, computing it with `compute` on a miss.
+    ///
+    /// The returned slice lives as long as the cache is not mutated again,
+    /// so callers clone when they need two rows at once.
+    pub fn row<F>(&mut self, i: usize, compute: F) -> &[f64]
+    where
+        F: FnOnce() -> Vec<f64>,
+    {
+        self.clock += 1;
+        if self.rows[i].is_none() {
+            self.misses += 1;
+            if self.cached >= self.capacity {
+                self.evict_lru(i);
+            }
+            self.rows[i] = Some(compute());
+            self.cached += 1;
+        } else {
+            self.hits += 1;
+        }
+        self.stamps[i] = self.clock;
+        self.rows[i].as_deref().expect("row just inserted")
+    }
+
+    fn evict_lru(&mut self, keep: usize) {
+        let victim = self
+            .rows
+            .iter()
+            .enumerate()
+            .filter(|(idx, r)| r.is_some() && *idx != keep)
+            .min_by_key(|(idx, _)| self.stamps[*idx])
+            .map(|(idx, _)| idx);
+        if let Some(v) = victim {
+            self.rows[v] = None;
+            self.cached -= 1;
+        }
+    }
+
+    /// Number of cache hits since construction.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of cache misses since construction.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of rows currently resident.
+    #[must_use]
+    pub fn resident(&self) -> usize {
+        self.cached
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_kernel_is_dot_product() {
+        let k = Kernel::Linear;
+        assert_eq!(k.eval(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+
+    #[test]
+    fn rbf_is_one_at_zero_distance_and_decays() {
+        let k = Kernel::rbf(0.7);
+        assert!((k.eval(&[1.0, 1.0], &[1.0, 1.0]) - 1.0).abs() < 1e-15);
+        let near = k.eval(&[0.0], &[0.1]);
+        let far = k.eval(&[0.0], &[2.0]);
+        assert!(near > far);
+        assert!(far > 0.0);
+    }
+
+    #[test]
+    fn rbf_matches_closed_form() {
+        let k = Kernel::rbf(0.5);
+        let v = k.eval(&[0.0, 0.0], &[1.0, 1.0]);
+        assert!((v - (-0.5 * 2.0f64).exp()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn polynomial_degree_one_matches_scaled_dot() {
+        let k = Kernel::Polynomial {
+            gamma: 2.0,
+            coef0: 1.0,
+            degree: 1,
+        };
+        assert_eq!(k.eval(&[1.0], &[3.0]), 7.0);
+    }
+
+    #[test]
+    fn polynomial_default_degree_is_three() {
+        let k = Kernel::polynomial(1.0);
+        assert_eq!(k.eval(&[1.0], &[2.0]), 8.0);
+    }
+
+    #[test]
+    fn sigmoid_bounded() {
+        let k = Kernel::Sigmoid {
+            gamma: 10.0,
+            coef0: 0.0,
+        };
+        let v = k.eval(&[5.0], &[5.0]);
+        assert!((-1.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn with_gamma_replaces_only_gamma() {
+        let k = Kernel::Polynomial {
+            gamma: 1.0,
+            coef0: 2.0,
+            degree: 4,
+        };
+        match k.with_gamma(9.0) {
+            Kernel::Polynomial {
+                gamma,
+                coef0,
+                degree,
+            } => {
+                assert_eq!(gamma, 9.0);
+                assert_eq!(coef0, 2.0);
+                assert_eq!(degree, 4);
+            }
+            other => panic!("unexpected kernel {other:?}"),
+        }
+        assert_eq!(Kernel::Linear.with_gamma(3.0), Kernel::Linear);
+    }
+
+    #[test]
+    fn gamma_accessor() {
+        assert_eq!(Kernel::Linear.gamma(), None);
+        assert_eq!(Kernel::rbf(0.25).gamma(), Some(0.25));
+    }
+
+    #[test]
+    fn gram_matrix_is_symmetric_with_unit_diagonal_for_rbf() {
+        let pts = vec![vec![0.0, 1.0], vec![1.0, 0.0], vec![2.0, 2.0]];
+        let g = gram_matrix(Kernel::rbf(1.0), &pts);
+        for i in 0..3 {
+            assert!((g[i][i] - 1.0).abs() < 1e-15);
+            for j in 0..3 {
+                assert_eq!(g[i][j], g[j][i]);
+            }
+        }
+    }
+
+    #[test]
+    fn row_cache_hits_and_misses() {
+        let mut cache = RowCache::new(4, 2);
+        let r = cache.row(0, || vec![0.0; 4]).to_vec();
+        assert_eq!(r.len(), 4);
+        let _ = cache.row(0, || panic!("must be cached"));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn row_cache_evicts_least_recently_used() {
+        let mut cache = RowCache::new(3, 2);
+        let _ = cache.row(0, || vec![0.0]);
+        let _ = cache.row(1, || vec![1.0]);
+        let _ = cache.row(0, || panic!("0 cached")); // refresh 0
+        let _ = cache.row(2, || vec![2.0]); // evicts 1
+        assert_eq!(cache.resident(), 2);
+        let _ = cache.row(1, || vec![1.0]); // recompute: miss
+        assert_eq!(cache.misses(), 4);
+    }
+
+    #[test]
+    fn row_cache_zero_capacity_clamps() {
+        let mut cache = RowCache::new(2, 0);
+        let _ = cache.row(0, || vec![0.0]);
+        let _ = cache.row(1, || vec![1.0]);
+        assert_eq!(cache.resident(), 1);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Kernel::Linear.to_string(), "linear");
+        assert_eq!(Kernel::rbf(2.0).to_string(), "rbf(gamma=2)");
+    }
+}

@@ -1,0 +1,518 @@
+//! ε-Support Vector Regression — the model family the paper trains with
+//! LIBSVM 3.17 to predict the stable CPU temperature ψ_stable from the
+//! Eq. (2) feature vector.
+
+use crate::data::Dataset;
+use crate::error::SvmError;
+use crate::kernel::Kernel;
+use crate::smo::{self, QMatrix, RegressionQ, SolveOptions};
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters for ε-SVR training.
+///
+/// Use the builder-style setters; the defaults match LIBSVM's
+/// (`C = 1`, `ε = 0.1`, RBF kernel, tolerance `1e-3`).
+///
+/// ```
+/// use vmtherm_svm::kernel::Kernel;
+/// use vmtherm_svm::svr::SvrParams;
+///
+/// let params = SvrParams::new()
+///     .with_c(8.0)
+///     .with_epsilon(0.05)
+///     .with_kernel(Kernel::rbf(0.5));
+/// assert_eq!(params.c(), 8.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SvrParams {
+    c: f64,
+    epsilon: f64,
+    kernel: Kernel,
+    tolerance: f64,
+    max_iterations: usize,
+    cache_rows: usize,
+    shrinking: bool,
+}
+
+impl SvrParams {
+    /// LIBSVM-default parameters.
+    #[must_use]
+    pub fn new() -> Self {
+        SvrParams {
+            c: 1.0,
+            epsilon: 0.1,
+            kernel: Kernel::default(),
+            tolerance: 1e-3,
+            max_iterations: 10_000_000,
+            cache_rows: 4096,
+            shrinking: true,
+        }
+    }
+
+    /// Sets the regularisation constant `C` (> 0).
+    #[must_use]
+    pub fn with_c(mut self, c: f64) -> Self {
+        self.c = c;
+        self
+    }
+
+    /// Sets the ε-insensitive tube half-width (>= 0).
+    #[must_use]
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the kernel.
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Sets the KKT stopping tolerance (> 0).
+    #[must_use]
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Caps solver iterations.
+    #[must_use]
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Sets the kernel row-cache capacity (rows).
+    #[must_use]
+    pub fn with_cache_rows(mut self, cache_rows: usize) -> Self {
+        self.cache_rows = cache_rows;
+        self
+    }
+
+    /// Enables or disables the shrinking heuristic (LIBSVM `-h`); on by
+    /// default. The solution is the same either way (up to tolerance) —
+    /// shrinking only changes how much work the solver does.
+    #[must_use]
+    pub fn with_shrinking(mut self, shrinking: bool) -> Self {
+        self.shrinking = shrinking;
+        self
+    }
+
+    /// Regularisation constant `C`.
+    #[must_use]
+    pub fn c(&self) -> f64 {
+        self.c
+    }
+
+    /// Tube half-width ε.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Kernel function.
+    #[must_use]
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// KKT tolerance.
+    #[must_use]
+    pub fn tolerance(&self) -> f64 {
+        self.tolerance
+    }
+
+    fn validate(&self) -> Result<(), SvmError> {
+        if !(self.c > 0.0) {
+            return Err(SvmError::invalid(
+                "c",
+                format!("must be > 0, got {}", self.c),
+            ));
+        }
+        if !(self.epsilon >= 0.0) {
+            return Err(SvmError::invalid(
+                "epsilon",
+                format!("must be >= 0, got {}", self.epsilon),
+            ));
+        }
+        if !(self.tolerance > 0.0) {
+            return Err(SvmError::invalid(
+                "tolerance",
+                format!("must be > 0, got {}", self.tolerance),
+            ));
+        }
+        if let Some(g) = self.kernel.gamma() {
+            if !(g > 0.0) {
+                return Err(SvmError::invalid("gamma", format!("must be > 0, got {g}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for SvrParams {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A trained ε-SVR model: support vectors, their coefficients
+/// `β_i = α_i − α*_i`, and the bias.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SvrModel {
+    kernel: Kernel,
+    support_vectors: Vec<Vec<f64>>,
+    coefficients: Vec<f64>,
+    bias: f64,
+    dim: usize,
+    iterations: usize,
+    converged: bool,
+}
+
+impl SvrModel {
+    /// Trains an ε-SVR on `train` with the given parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`SvmError::EmptyDataset`] for an empty training set and
+    /// [`SvmError::InvalidParameter`] for out-of-domain hyper-parameters.
+    /// A solver that hits its iteration cap still returns a model
+    /// (matching LIBSVM, which warns and continues); [`SvrModel::converged`]
+    /// reports the status.
+    ///
+    /// ```
+    /// use vmtherm_svm::data::Dataset;
+    /// use vmtherm_svm::kernel::Kernel;
+    /// use vmtherm_svm::svr::{SvrModel, SvrParams};
+    ///
+    /// // y = 2x, four points.
+    /// let ds = Dataset::from_parts(
+    ///     vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]],
+    ///     vec![0.0, 2.0, 4.0, 6.0],
+    /// )?;
+    /// let params = SvrParams::new().with_c(100.0).with_epsilon(0.01).with_kernel(Kernel::Linear);
+    /// let model = SvrModel::train(&ds, params)?;
+    /// assert!((model.predict(&[1.5]) - 3.0).abs() < 0.1);
+    /// # Ok::<(), vmtherm_svm::error::SvmError>(())
+    /// ```
+    pub fn train(train: &Dataset, params: SvrParams) -> Result<Self, SvmError> {
+        params.validate()?;
+        if train.is_empty() {
+            return Err(SvmError::EmptyDataset);
+        }
+        let l = train.len();
+        let points = train.features();
+        let y_targets = train.targets();
+
+        // ε-SVR dual in expanded form (LIBSVM's solve_epsilon_svr):
+        // variables 0..l are α (sign +1) with p_i = ε − y_i,
+        // variables l..2l are α* (sign −1) with p_i = ε + y_i.
+        let mut p = Vec::with_capacity(2 * l);
+        let mut signs = Vec::with_capacity(2 * l);
+        for &yi in y_targets {
+            p.push(params.epsilon - yi);
+        }
+        for &yi in y_targets {
+            p.push(params.epsilon + yi);
+        }
+        signs.extend(std::iter::repeat_n(1.0, l));
+        signs.extend(std::iter::repeat_n(-1.0, l));
+        let c = vec![params.c; 2 * l];
+
+        let mut q = RegressionQ::new(params.kernel, points, params.cache_rows);
+        let solution = smo::solve(
+            &mut q,
+            &p,
+            &signs,
+            &c,
+            vec![0.0; 2 * l],
+            SolveOptions {
+                tolerance: params.tolerance,
+                max_iterations: params.max_iterations,
+                shrinking: params.shrinking,
+            },
+        );
+        debug_assert_eq!(q.len(), 2 * l);
+
+        // β_i = α_i − α*_i; keep only support vectors (β != 0).
+        let mut support_vectors = Vec::new();
+        let mut coefficients = Vec::new();
+        for i in 0..l {
+            let beta = solution.alpha[i] - solution.alpha[l + i];
+            if beta != 0.0 {
+                support_vectors.push(points[i].clone());
+                coefficients.push(beta);
+            }
+        }
+
+        Ok(SvrModel {
+            kernel: params.kernel,
+            support_vectors,
+            coefficients,
+            bias: -solution.rho,
+            dim: train.dim(),
+            iterations: solution.iterations,
+            converged: solution.converged,
+        })
+    }
+
+    /// Predicts the target for one feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the training dimensionality.
+    #[must_use]
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(
+            x.len(),
+            self.dim,
+            "predict: dim {} != model dim {}",
+            x.len(),
+            self.dim
+        );
+        self.support_vectors
+            .iter()
+            .zip(&self.coefficients)
+            .map(|(sv, b)| b * self.kernel.eval(sv, x))
+            .sum::<f64>()
+            + self.bias
+    }
+
+    /// Predicts targets for every sample of a dataset.
+    #[must_use]
+    pub fn predict_dataset(&self, ds: &Dataset) -> Vec<f64> {
+        ds.features().iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// Number of support vectors retained.
+    #[must_use]
+    pub fn num_support_vectors(&self) -> usize {
+        self.support_vectors.len()
+    }
+
+    /// The bias term `b`.
+    #[must_use]
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    /// The kernel the model was trained with.
+    #[must_use]
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// Feature dimensionality the model expects.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Solver iterations used during training.
+    #[must_use]
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Whether the solver reached its KKT tolerance.
+    #[must_use]
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    /// Destructures the model for serialisation:
+    /// `(kernel, bias, dim, coefficients, support_vectors)`.
+    pub(crate) fn parts(&self) -> (Kernel, f64, usize, &[f64], &[Vec<f64>]) {
+        (
+            self.kernel,
+            self.bias,
+            self.dim,
+            &self.coefficients,
+            &self.support_vectors,
+        )
+    }
+
+    /// Rebuilds a model from serialised parts, validating consistency.
+    pub(crate) fn from_parts(
+        kernel: Kernel,
+        support_vectors: Vec<Vec<f64>>,
+        coefficients: Vec<f64>,
+        bias: f64,
+        dim: usize,
+    ) -> Result<Self, SvmError> {
+        if support_vectors.len() != coefficients.len() {
+            return Err(SvmError::DimensionMismatch {
+                expected: support_vectors.len(),
+                actual: coefficients.len(),
+            });
+        }
+        for sv in &support_vectors {
+            if sv.len() != dim {
+                return Err(SvmError::DimensionMismatch {
+                    expected: dim,
+                    actual: sv.len(),
+                });
+            }
+        }
+        Ok(SvrModel {
+            kernel,
+            support_vectors,
+            coefficients,
+            bias,
+            dim,
+            iterations: 0,
+            converged: true,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::mse;
+
+    fn line_dataset() -> Dataset {
+        // y = 3x − 1 over a few points.
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 * 0.5]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x[0] - 1.0).collect();
+        Dataset::from_parts(xs, ys).unwrap()
+    }
+
+    #[test]
+    fn fits_linear_function_with_linear_kernel() {
+        let params = SvrParams::new()
+            .with_c(1000.0)
+            .with_epsilon(0.01)
+            .with_kernel(Kernel::Linear);
+        let model = SvrModel::train(&line_dataset(), params).unwrap();
+        assert!(model.converged());
+        for x in [0.25, 1.7, 4.2] {
+            let want = 3.0 * x - 1.0;
+            assert!((model.predict(&[x]) - want).abs() < 0.1, "x={x}");
+        }
+    }
+
+    #[test]
+    fn training_predictions_within_epsilon_tube() {
+        // With large C the training residuals must be within ~ε.
+        let ds = line_dataset();
+        let eps = 0.05;
+        let params = SvrParams::new()
+            .with_c(1e4)
+            .with_epsilon(eps)
+            .with_kernel(Kernel::Linear);
+        let model = SvrModel::train(&ds, params).unwrap();
+        for (x, y) in ds.iter() {
+            let r = (model.predict(x) - y).abs();
+            assert!(r <= eps + 0.02, "residual {r} exceeds tube");
+        }
+    }
+
+    #[test]
+    fn rbf_fits_nonlinear_function() {
+        let xs: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 * 0.25]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x[0]).sin() * 5.0 + 20.0).collect();
+        let ds = Dataset::from_parts(xs, ys).unwrap();
+        let params = SvrParams::new()
+            .with_c(100.0)
+            .with_epsilon(0.05)
+            .with_kernel(Kernel::rbf(0.5));
+        let model = SvrModel::train(&ds, params).unwrap();
+        let preds = model.predict_dataset(&ds);
+        assert!(
+            mse(ds.targets(), &preds) < 0.05,
+            "mse = {}",
+            mse(ds.targets(), &preds)
+        );
+    }
+
+    #[test]
+    fn single_sample_predicts_its_target() {
+        let ds = Dataset::from_parts(vec![vec![1.0, 2.0]], vec![42.0]).unwrap();
+        let model = SvrModel::train(&ds, SvrParams::new()).unwrap();
+        assert!((model.predict(&[1.0, 2.0]) - 42.0).abs() <= 0.1 + 1e-9);
+    }
+
+    #[test]
+    fn constant_targets_yield_constant_model() {
+        let xs: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64]).collect();
+        let ds = Dataset::from_parts(xs, vec![7.0; 8]).unwrap();
+        let model = SvrModel::train(&ds, SvrParams::new()).unwrap();
+        // All targets inside one tube: no support vectors needed, bias ≈ 7.
+        assert!((model.predict(&[3.5]) - 7.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let ds = line_dataset();
+        assert!(matches!(
+            SvrModel::train(&ds, SvrParams::new().with_c(0.0)),
+            Err(SvmError::InvalidParameter { name: "c", .. })
+        ));
+        assert!(matches!(
+            SvrModel::train(&ds, SvrParams::new().with_epsilon(-1.0)),
+            Err(SvmError::InvalidParameter {
+                name: "epsilon",
+                ..
+            })
+        ));
+        assert!(matches!(
+            SvrModel::train(&ds, SvrParams::new().with_kernel(Kernel::rbf(0.0))),
+            Err(SvmError::InvalidParameter { name: "gamma", .. })
+        ));
+        assert!(matches!(
+            SvrModel::train(&ds, SvrParams::new().with_tolerance(0.0)),
+            Err(SvmError::InvalidParameter {
+                name: "tolerance",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_dataset() {
+        let ds = Dataset::new(1);
+        assert!(matches!(
+            SvrModel::train(&ds, SvrParams::new()),
+            Err(SvmError::EmptyDataset)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "predict: dim")]
+    fn predict_wrong_dim_panics() {
+        let model = SvrModel::train(&line_dataset(), SvrParams::new()).unwrap();
+        let _ = model.predict(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn support_vector_count_bounded_by_samples() {
+        let ds = line_dataset();
+        let model = SvrModel::train(&ds, SvrParams::new()).unwrap();
+        assert!(model.num_support_vectors() <= ds.len());
+    }
+
+    #[test]
+    fn larger_epsilon_gives_sparser_model() {
+        let xs: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64 * 0.3]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0].cos() * 3.0).collect();
+        let ds = Dataset::from_parts(xs, ys).unwrap();
+        let tight = SvrModel::train(
+            &ds,
+            SvrParams::new()
+                .with_epsilon(0.001)
+                .with_kernel(Kernel::rbf(1.0)),
+        )
+        .unwrap();
+        let loose = SvrModel::train(
+            &ds,
+            SvrParams::new()
+                .with_epsilon(0.5)
+                .with_kernel(Kernel::rbf(1.0)),
+        )
+        .unwrap();
+        assert!(loose.num_support_vectors() <= tight.num_support_vectors());
+    }
+}

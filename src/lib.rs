@@ -1,0 +1,34 @@
+//! # vmtherm
+//!
+//! Umbrella crate for the **vmtherm** workspace — a production-quality Rust
+//! reproduction of *"Virtual Machine Level Temperature Profiling and
+//! Prediction in Cloud Datacenters"* (Wu et al., ICDCS 2016).
+//!
+//! It re-exports the three member crates:
+//!
+//! - [`svm`] (`vmtherm-svm`) — ε-SVR/C-SVC with an SMO solver, kernels,
+//!   scaling, cross-validation and grid search (the LIBSVM + easygrid
+//!   substitute).
+//! - [`sim`] (`vmtherm-sim`) — the datacenter thermal simulator standing in
+//!   for the paper's physical testbed.
+//! - [`core`] (`vmtherm-core`) — the paper's contribution: stable (SVR) and
+//!   dynamic (calibrated curve) CPU temperature prediction, baselines,
+//!   evaluation, and thermal management.
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and
+//! `vmtherm-bench` for the figure-regeneration harness.
+//!
+//! ```
+//! use vmtherm::core::WarmupCurve;
+//!
+//! let curve = WarmupCurve::standard(30.0, 60.0);
+//! assert_eq!(curve.value(0.0), 30.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+pub use vmtherm_core as core;
+pub use vmtherm_sim as sim;
+pub use vmtherm_svm as svm;

@@ -1,0 +1,166 @@
+//! Cross-crate baseline comparison: the paper's positioning claims.
+//!
+//! Traditional approaches "assume homogeneous workload characteristics"
+//! and "are unable to capture task resource heterogeneity" — so on a
+//! heterogeneous multi-tenant test set the SVR must beat the RC model [5],
+//! the task-profile table [4], and linear regression; while on the
+//! *homogeneous* workloads those baselines were designed for, they remain
+//! competitive.
+
+use vmtherm::core::baseline::{LinearStablePredictor, RcModelPredictor, TaskProfilePredictor};
+use vmtherm::core::features::FeatureEncoding;
+use vmtherm::core::stable::{run_experiments, StablePredictor, TrainingOptions};
+use vmtherm::sim::{
+    CaseGenerator, ExperimentConfig, ExperimentOutcome, ServerSpec, SimDuration, TaskProfile,
+    VmSpec,
+};
+use vmtherm::svm::kernel::Kernel;
+use vmtherm::svm::metrics::mse;
+use vmtherm::svm::svr::SvrParams;
+
+fn heterogeneous_campaign(n: usize, gen_seed: u64) -> Vec<ExperimentOutcome> {
+    let mut generator = CaseGenerator::new(gen_seed);
+    let configs: Vec<_> = generator
+        .random_cases(n, gen_seed * 31)
+        .into_iter()
+        .map(|c| c.with_duration(SimDuration::from_secs(1000)))
+        .collect();
+    run_experiments(&configs)
+}
+
+/// Homogeneous single-task experiments: `count` copies of the same VM.
+fn homogeneous_outcome(task: TaskProfile, count: usize, seed: u64) -> ExperimentOutcome {
+    let server = ServerSpec::commodity("homo", 16, 2.4, 64.0, 4);
+    let vms = (0..count)
+        .map(|i| VmSpec::new(format!("vm{i}"), 2, 4.0, task))
+        .collect();
+    ExperimentConfig::new(server, vms, 25.0, seed)
+        .with_duration(SimDuration::from_secs(1000))
+        .run()
+}
+
+fn svr_model(train: &[ExperimentOutcome]) -> StablePredictor {
+    let options = TrainingOptions::new().with_params(
+        SvrParams::new()
+            .with_c(128.0)
+            .with_epsilon(0.05)
+            .with_kernel(Kernel::rbf(0.02)),
+    );
+    StablePredictor::fit(train, &options).expect("training")
+}
+
+#[test]
+fn svr_beats_linear_regression_on_heterogeneous_cases() {
+    let train = heterogeneous_campaign(120, 42);
+    let test = heterogeneous_campaign(15, 999);
+    let svr = svr_model(&train);
+    let linear = LinearStablePredictor::fit(&train, FeatureEncoding::Full, 1e-3).expect("linear");
+    let actual: Vec<f64> = test.iter().map(|o| o.psi_stable).collect();
+    let svr_preds: Vec<f64> = test.iter().map(|o| svr.predict(&o.snapshot)).collect();
+    let lin_preds: Vec<f64> = test.iter().map(|o| linear.predict(&o.snapshot)).collect();
+    let (svr_mse, lin_mse) = (mse(&actual, &svr_preds), mse(&actual, &lin_preds));
+    assert!(svr_mse < lin_mse, "svr {svr_mse} vs linear {lin_mse}");
+}
+
+#[test]
+fn task_profile_table_works_only_for_homogeneous_tenancy() {
+    // Build the [4]-style table from homogeneous profiling runs.
+    let mut profiling = Vec::new();
+    for task in [TaskProfile::CpuBound, TaskProfile::Idle, TaskProfile::Mixed] {
+        for count in [2usize, 4, 6, 8] {
+            profiling.push(homogeneous_outcome(task, count, count as u64));
+        }
+    }
+    let table = TaskProfilePredictor::fit_from_outcomes(&profiling);
+    assert_eq!(table.table_len(), 12);
+
+    // On homogeneous cases it profiled, it is accurate.
+    let fresh = homogeneous_outcome(TaskProfile::CpuBound, 6, 99);
+    let predicted = table.predict_stable(&fresh.snapshot).expect("profiled");
+    assert!(
+        (predicted - fresh.psi_stable).abs() < 2.5,
+        "homogeneous error {}",
+        (predicted - fresh.psi_stable).abs()
+    );
+
+    // On a heterogeneous case, its dominant-task heuristic misfires badly
+    // when the dominant tag hides very different co-tenants.
+    let server = ServerSpec::commodity("het", 16, 2.4, 64.0, 4);
+    let vms = vec![
+        VmSpec::new("a", 4, 4.0, TaskProfile::Idle),
+        VmSpec::new("b", 4, 4.0, TaskProfile::Idle),
+        VmSpec::new("c", 2, 4.0, TaskProfile::CpuBound),
+        VmSpec::new("d", 2, 4.0, TaskProfile::CpuBound),
+        VmSpec::new("e", 2, 4.0, TaskProfile::CpuBound),
+        VmSpec::new("f", 2, 4.0, TaskProfile::CpuBound),
+    ];
+    let het = ExperimentConfig::new(server, vms, 25.0, 5)
+        .with_duration(SimDuration::from_secs(1000))
+        .run();
+    // Dominant by vCPU share: cpu-bound (8 vs 8... tie broken by index) —
+    // either way the table entry for 6 homogeneous VMs of one task does
+    // not describe this mix.
+    if let Ok(p) = table.predict_stable(&het.snapshot) {
+        let table_err = (p - het.psi_stable).abs();
+        // And the SVR trained on heterogeneous data does better.
+        let train = heterogeneous_campaign(120, 42);
+        let svr = svr_model(&train);
+        let svr_err = (svr.predict(&het.snapshot) - het.psi_stable).abs();
+        assert!(
+            svr_err < table_err,
+            "svr err {svr_err} not below task-profile err {table_err}"
+        );
+    }
+}
+
+#[test]
+fn rc_model_is_calibration_bound() {
+    // The RC baseline is exact for the workload it was calibrated on
+    // (homogeneous mixed VMs) but biased for cpu-bound tenants at the
+    // same VM count — the homogeneity failure the paper describes.
+    let mixed = homogeneous_outcome(TaskProfile::Mixed, 4, 1);
+    let hot = homogeneous_outcome(TaskProfile::CpuBound, 4, 1);
+
+    // Calibrate per-VM watts so the RC steady state matches the mixed run.
+    let ambient = 25.0;
+    let r_total = 0.15;
+    let p_base = 76.0;
+    let per_vm = ((mixed.psi_stable - ambient) / r_total - p_base) / 4.0;
+    let mut rc = RcModelPredictor::new(130.0, r_total, p_base, per_vm, ambient);
+    rc.set_vm_count(4);
+
+    let mixed_err = (rc.steady_state_estimate() - mixed.psi_stable).abs();
+    let hot_err = (rc.steady_state_estimate() - hot.psi_stable).abs();
+    assert!(mixed_err < 0.5, "calibration workload error {mixed_err}");
+    assert!(
+        hot_err > mixed_err + 2.0,
+        "rc model unexpectedly fine on cpu-bound: {hot_err} vs {mixed_err}"
+    );
+}
+
+#[test]
+fn svr_generalizes_across_task_mixes_where_baselines_cannot() {
+    let train = heterogeneous_campaign(120, 42);
+    let svr = svr_model(&train);
+    // Same VM count, three very different mixes — predictions must spread.
+    let server = ServerSpec::commodity("spread", 16, 2.4, 64.0, 4);
+    let mk = |task: TaskProfile, seed: u64| {
+        let vms = (0..6)
+            .map(|i| VmSpec::new(format!("v{i}"), 2, 4.0, task))
+            .collect();
+        ExperimentConfig::new(server.clone(), vms, 25.0, seed)
+            .with_duration(SimDuration::from_secs(1000))
+            .run()
+    };
+    let idle = mk(TaskProfile::Idle, 1);
+    let busy = mk(TaskProfile::CpuBound, 1);
+    let p_idle = svr.predict(&idle.snapshot);
+    let p_busy = svr.predict(&busy.snapshot);
+    assert!(
+        p_busy - p_idle > 5.0,
+        "svr failed to separate mixes: idle {p_idle} vs busy {p_busy}"
+    );
+    // And both predictions are close to their measured values.
+    assert!((p_idle - idle.psi_stable).abs() < 2.5);
+    assert!((p_busy - busy.psi_stable).abs() < 2.5);
+}

@@ -1,0 +1,148 @@
+//! Closed-loop test of the cooling-optimization extension: predict a safe
+//! setpoint, then *simulate at that setpoint* and verify the fleet stays
+//! under the thermal limit while cooling power drops.
+
+use vmtherm::core::interval::IntervalPredictor;
+use vmtherm::core::setpoint::{SetpointOptimizer, SetpointSearch};
+use vmtherm::core::stable::{run_experiments, StablePredictor, TrainingOptions};
+use vmtherm::sim::cooling::CoolingModel;
+use vmtherm::sim::experiment::ConfigSnapshot;
+use vmtherm::sim::{
+    AmbientModel, CaseGenerator, Datacenter, ServerId, ServerSpec, SimDuration, SimTime,
+    Simulation, TaskProfile, VmSpec,
+};
+use vmtherm::svm::kernel::Kernel;
+use vmtherm::svm::svr::SvrParams;
+
+const SERVERS: usize = 4;
+const LIMIT_C: f64 = 66.0;
+
+fn fleet(supply_c: f64, seed: u64) -> Simulation {
+    let mut dc = Datacenter::new();
+    for i in 0..SERVERS {
+        dc.add_server(
+            ServerSpec::standard(format!("n{i}")),
+            supply_c,
+            seed + i as u64,
+        );
+    }
+    let mut sim = Simulation::new(dc, AmbientModel::Fixed(supply_c), seed);
+    for i in 0..SERVERS {
+        for j in 0..4 {
+            let task = if (i + j) % 2 == 0 {
+                TaskProfile::CpuBound
+            } else {
+                TaskProfile::Mixed
+            };
+            sim.boot_vm_now(
+                ServerId::new(i),
+                VmSpec::new(format!("v{i}{j}"), 4, 4.0, task),
+            )
+            .expect("boot");
+        }
+    }
+    sim
+}
+
+#[test]
+fn predicted_setpoint_is_verified_safe_and_saves_cooling_power() {
+    // Train + conformal margin on separate splits.
+    let mut generator = CaseGenerator::new(12);
+    let all: Vec<_> = generator
+        .random_cases(120, 800)
+        .into_iter()
+        .map(|c| c.with_duration(SimDuration::from_secs(1000)))
+        .collect();
+    let outcomes = run_experiments(&all);
+    let (train, calib) = outcomes.split_at(90);
+    let model = StablePredictor::fit(
+        train,
+        &TrainingOptions::new().with_params(
+            SvrParams::new()
+                .with_c(128.0)
+                .with_epsilon(0.05)
+                .with_kernel(Kernel::rbf(0.02)),
+        ),
+    )
+    .expect("training");
+    let margin = IntervalPredictor::calibrate(model.clone(), calib)
+        .expect("calibration")
+        .quantile(0.05);
+
+    // Snapshot the fleet and optimize.
+    let baseline = 16.0;
+    let probe = fleet(baseline, 77);
+    let hosts: Vec<ConfigSnapshot> = (0..SERVERS)
+        .map(|i| ConfigSnapshot::capture(&probe, ServerId::new(i), baseline))
+        .collect();
+    let search = SetpointSearch {
+        min_supply_c: baseline,
+        max_supply_c: 32.0,
+        max_die_c: LIMIT_C,
+        safety_margin_c: margin,
+        resolution_c: 0.5,
+    };
+    let optimizer =
+        SetpointOptimizer::new(model, CoolingModel::default(), search).expect("optimizer");
+    let advice = optimizer
+        .optimize(&hosts, &[0.0; SERVERS], 5_000.0)
+        .expect("feasible setpoint");
+
+    // The advice must actually raise the setpoint and save power.
+    assert!(
+        advice.supply_c > baseline + 1.0,
+        "no headroom found: {}",
+        advice.supply_c
+    );
+    assert!(
+        advice.saving_fraction() > 0.05,
+        "saving {}",
+        advice.saving_fraction()
+    );
+    assert!(advice.predicted_peak_c <= LIMIT_C);
+
+    // Closed loop: run the fleet at the advised setpoint; measured peak
+    // must respect the limit.
+    let mut verify = fleet(advice.supply_c, 77);
+    verify.run_until(SimTime::from_secs(1500));
+    let (_, peak) = verify.datacenter().hottest().expect("fleet");
+    assert!(
+        peak <= LIMIT_C,
+        "measured peak {peak} violated the {LIMIT_C} limit at advised setpoint {}",
+        advice.supply_c
+    );
+}
+
+#[test]
+fn infeasible_fleet_gets_no_advice() {
+    let mut generator = CaseGenerator::new(12);
+    let configs: Vec<_> = generator
+        .random_cases(40, 800)
+        .into_iter()
+        .map(|c| c.with_duration(SimDuration::from_secs(900)))
+        .collect();
+    let outcomes = run_experiments(&configs);
+    let model = StablePredictor::fit(
+        &outcomes,
+        &TrainingOptions::new().with_params(
+            SvrParams::new()
+                .with_c(128.0)
+                .with_epsilon(0.05)
+                .with_kernel(Kernel::rbf(0.02)),
+        ),
+    )
+    .expect("training");
+    let probe = fleet(16.0, 5);
+    let hosts: Vec<ConfigSnapshot> = (0..SERVERS)
+        .map(|i| ConfigSnapshot::capture(&probe, ServerId::new(i), 16.0))
+        .collect();
+    let search = SetpointSearch {
+        max_die_c: 30.0, // colder than any loaded server can run
+        ..SetpointSearch::default()
+    };
+    let optimizer =
+        SetpointOptimizer::new(model, CoolingModel::default(), search).expect("optimizer");
+    assert!(optimizer
+        .optimize(&hosts, &[0.0; SERVERS], 5_000.0)
+        .is_none());
+}

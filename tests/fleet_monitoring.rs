@@ -1,0 +1,150 @@
+//! Cross-crate integration of the deployment layer: a [`FleetMonitor`]
+//! tracking a live simulation through churn *and* an [`OnlineTrainer`]
+//! keeping the stable model fresh — the two pieces a long-running
+//! deployment combines.
+
+use vmtherm::core::dynamic::DynamicConfig;
+use vmtherm::core::monitor::FleetMonitor;
+use vmtherm::core::online::OnlineTrainer;
+use vmtherm::core::stable::{run_experiments, StablePredictor, TrainingOptions};
+use vmtherm::sim::{
+    AmbientModel, CaseGenerator, Datacenter, Event, ServerId, ServerSpec, SimDuration, SimTime,
+    Simulation, TaskProfile, VmSpec,
+};
+use vmtherm::svm::kernel::Kernel;
+use vmtherm::svm::svr::SvrParams;
+
+fn options() -> TrainingOptions {
+    TrainingOptions::new().with_params(
+        SvrParams::new()
+            .with_c(128.0)
+            .with_epsilon(0.05)
+            .with_kernel(Kernel::rbf(0.02)),
+    )
+}
+
+fn stable_model(seed: u64, n: usize) -> StablePredictor {
+    let mut generator = CaseGenerator::new(seed);
+    let configs: Vec<_> = generator
+        .random_cases(n, seed * 13)
+        .into_iter()
+        .map(|c| c.with_duration(SimDuration::from_secs(900)))
+        .collect();
+    let outcomes = run_experiments(&configs);
+    StablePredictor::fit(&outcomes, &options()).expect("training")
+}
+
+#[test]
+fn monitor_tracks_fleet_through_migration_and_ambient_step() {
+    let mut dc = Datacenter::new();
+    for i in 0..4 {
+        dc.add_server(ServerSpec::standard(format!("n{i}")), 24.0, i as u64);
+    }
+    let mut sim = Simulation::new(dc, AmbientModel::Fixed(24.0), 5);
+    let mut vms = Vec::new();
+    for i in 0..4 {
+        for j in 0..2 {
+            let task = if (i + j) % 2 == 0 {
+                TaskProfile::CpuBound
+            } else {
+                TaskProfile::Mixed
+            };
+            vms.push(
+                sim.boot_vm_now(
+                    ServerId::new(i),
+                    VmSpec::new(format!("v{i}{j}"), 2, 4.0, task),
+                )
+                .expect("boot"),
+            );
+        }
+    }
+    // Churn: a migration mid-run and an ambient step late.
+    sim.schedule(
+        SimTime::from_secs(500),
+        Event::MigrateVm {
+            vm: vms[0],
+            dest: ServerId::new(3),
+        },
+    );
+    sim.schedule(
+        SimTime::from_secs(1100),
+        Event::SetAmbient(AmbientModel::Fixed(26.0)),
+    );
+
+    let mut monitor =
+        FleetMonitor::new(stable_model(42, 60), DynamicConfig::new(), 4, 60.0).expect("monitor");
+    for _ in 0..1600 {
+        sim.step();
+        monitor.observe(&sim, 24.0);
+    }
+
+    // Every server scored forecasts; fleet error stays in the dynamic
+    // band despite the migration and ambient step.
+    for i in 0..4 {
+        let stats = monitor.stats(ServerId::new(i));
+        assert!(
+            stats.scored > 1200,
+            "server {i} scored only {}",
+            stats.scored
+        );
+        assert!(stats.mse() < 4.0, "server {i} mse {}", stats.mse());
+    }
+    assert!(
+        monitor.fleet_mse() < 3.0,
+        "fleet mse {}",
+        monitor.fleet_mse()
+    );
+    // The migration actually happened (source lost the VM).
+    assert_eq!(sim.datacenter().locate_vm(vms[0]), Some(ServerId::new(3)));
+}
+
+#[test]
+fn online_trainer_feeds_monitor_with_fresh_models() {
+    // Deploy with a model trained on few records, stream more records via
+    // the online trainer, and verify the refreshed model predicts a probe
+    // configuration better than the cold-start model.
+    let mut trainer = OnlineTrainer::new(60, 20, options());
+    let mut generator = CaseGenerator::new(7);
+    let initial: Vec<_> = generator
+        .random_cases(20, 100)
+        .into_iter()
+        .map(|c| c.with_duration(SimDuration::from_secs(900)))
+        .collect();
+    for outcome in run_experiments(&initial) {
+        trainer.push(outcome).expect("push");
+    }
+    let cold = trainer.model().expect("cold model").clone();
+
+    let more: Vec<_> = generator
+        .random_cases(40, 9_000)
+        .into_iter()
+        .map(|c| c.with_duration(SimDuration::from_secs(900)))
+        .collect();
+    for outcome in run_experiments(&more) {
+        trainer.push(outcome).expect("push");
+    }
+    let warm = trainer.model().expect("warm model").clone();
+    assert!(trainer.retrain_count() >= 2);
+
+    // Probe on fresh held-out cases: the 60-record model must not be worse
+    // overall than the 20-record one.
+    let mut probe_gen = CaseGenerator::new(999);
+    let probes: Vec<_> = probe_gen
+        .random_cases(10, 77)
+        .into_iter()
+        .map(|c| c.with_duration(SimDuration::from_secs(900)))
+        .collect();
+    let outcomes = run_experiments(&probes);
+    let err = |m: &StablePredictor| -> f64 {
+        outcomes
+            .iter()
+            .map(|o| (m.predict(&o.snapshot) - o.psi_stable).powi(2))
+            .sum::<f64>()
+            / outcomes.len() as f64
+    };
+    let (cold_mse, warm_mse) = (err(&cold), err(&warm));
+    assert!(
+        warm_mse <= cold_mse * 1.2 + 0.05,
+        "more data made things worse: cold {cold_mse} vs warm {warm_mse}"
+    );
+}

@@ -1,0 +1,160 @@
+//! Thermal management end-to-end: predictions driving placement and
+//! migration decisions against the live simulator, closing the loop the
+//! paper motivates ("thermal management … minimizing temperature
+//! distribution disparity").
+
+use vmtherm::core::manager::{MigrationAdvisor, PlacementAdvisor};
+use vmtherm::core::stable::{run_experiments, StablePredictor, TrainingOptions};
+use vmtherm::sim::experiment::{ConfigSnapshot, VmInfo};
+use vmtherm::sim::{
+    AmbientModel, CaseGenerator, Datacenter, Event, ServerId, ServerSpec, SimDuration, SimTime,
+    Simulation, TaskProfile, VmSpec,
+};
+use vmtherm::svm::kernel::Kernel;
+use vmtherm::svm::svr::SvrParams;
+
+fn model() -> StablePredictor {
+    let mut generator = CaseGenerator::new(42);
+    let configs: Vec<_> = generator
+        .random_cases(100, 1_000)
+        .into_iter()
+        .map(|c| c.with_duration(SimDuration::from_secs(1000)))
+        .collect();
+    let outcomes = run_experiments(&configs);
+    StablePredictor::fit(
+        &outcomes,
+        &TrainingOptions::new().with_params(
+            SvrParams::new()
+                .with_c(128.0)
+                .with_epsilon(0.05)
+                .with_kernel(Kernel::rbf(0.02)),
+        ),
+    )
+    .expect("training")
+}
+
+/// Cluster with heterogeneous cooling: fans 2..=5.
+fn cluster(seed: u64) -> Simulation {
+    let mut dc = Datacenter::new();
+    for (i, fans) in [2u32, 3, 4, 5].iter().enumerate() {
+        dc.add_server(
+            ServerSpec::commodity(format!("n{i}"), 16, 2.4, 64.0, *fans),
+            24.0,
+            seed + i as u64,
+        );
+    }
+    Simulation::new(dc, AmbientModel::Fixed(24.0), seed)
+}
+
+#[test]
+fn advised_placement_lowers_peak_temperature() {
+    let advisor = PlacementAdvisor::new(model());
+    let stream: Vec<VmSpec> = (0..8)
+        .map(|i| {
+            let task = if i % 2 == 0 {
+                TaskProfile::CpuBound
+            } else {
+                TaskProfile::WebServer
+            };
+            VmSpec::new(format!("vm{i}"), 2, 4.0, task)
+        })
+        .collect();
+
+    // Naive: everything on the worst-cooled server 0.
+    let mut naive = cluster(50);
+    for spec in &stream {
+        naive
+            .boot_vm_now(ServerId::new(0), spec.clone())
+            .expect("boot");
+    }
+    naive.run_until(SimTime::from_secs(1000));
+    let naive_peak = naive.datacenter().hottest().expect("fleet").1;
+
+    // Advised: each VM to the predicted-coolest post-placement host.
+    let mut advised = cluster(50);
+    for spec in &stream {
+        let candidates: Vec<ConfigSnapshot> = (0..4)
+            .map(|i| ConfigSnapshot::capture(&advised, ServerId::new(i), 24.0))
+            .collect();
+        let vm = VmInfo {
+            vcpus: spec.vcpus(),
+            memory_gb: spec.memory_gb(),
+            task: spec.task(),
+        };
+        let (best, _) = advisor.best(&candidates, &vm).expect("candidates");
+        advised
+            .boot_vm_now(ServerId::new(best), spec.clone())
+            .expect("boot");
+    }
+    advised.run_until(SimTime::from_secs(1000));
+    let advised_peak = advised.datacenter().hottest().expect("fleet").1;
+
+    assert!(
+        advised_peak < naive_peak - 3.0,
+        "advised peak {advised_peak} not clearly below naive {naive_peak}"
+    );
+}
+
+#[test]
+fn migration_advice_executes_and_cools_the_hot_host() {
+    let m = model();
+    // Overload server 0 (2 fans) while server 3 (5 fans) idles.
+    let mut sim = cluster(60);
+    let mut ids = Vec::new();
+    for i in 0..7 {
+        ids.push(
+            sim.boot_vm_now(
+                ServerId::new(0),
+                VmSpec::new(format!("hog{i}"), 2, 4.0, TaskProfile::CpuBound),
+            )
+            .expect("boot"),
+        );
+    }
+    sim.run_until(SimTime::from_secs(900));
+    let hot_before = sim
+        .datacenter()
+        .server(ServerId::new(0))
+        .expect("s0")
+        .die_temperature();
+
+    // Ask the advisor.
+    let candidates: Vec<ConfigSnapshot> = (0..4)
+        .map(|i| ConfigSnapshot::capture(&sim, ServerId::new(i), 24.0))
+        .collect();
+    let advisor = MigrationAdvisor::new(m, 45.0, 64.0);
+    let advice = advisor
+        .advise(&candidates)
+        .expect("hot host must trigger advice");
+    assert_eq!(advice.from, 0, "hot host is server 0");
+    assert_ne!(advice.to, 0);
+
+    // Execute it in the simulator.
+    let vm_id = sim
+        .datacenter()
+        .server(ServerId::new(advice.from))
+        .expect("src")
+        .vms()[advice.vm_index]
+        .id();
+    sim.schedule(
+        sim.now(),
+        Event::MigrateVm {
+            vm: vm_id,
+            dest: ServerId::new(advice.to),
+        },
+    );
+    sim.run_for(SimDuration::from_secs(600));
+    let hot_after = sim
+        .datacenter()
+        .server(ServerId::new(0))
+        .expect("s0")
+        .die_temperature();
+    assert!(
+        hot_after < hot_before - 1.0,
+        "migration failed to cool source: {hot_before} -> {hot_after}"
+    );
+    assert_eq!(
+        sim.datacenter().locate_vm(vm_id),
+        Some(ServerId::new(advice.to)),
+        "vm did not land on advised destination"
+    );
+}

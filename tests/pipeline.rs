@@ -1,0 +1,109 @@
+//! End-to-end integration: the full paper pipeline across all three crates
+//! (simulate experiments → encode Eq. (2) records → scale → train SVR →
+//! predict ψ_stable on unseen configurations).
+
+use vmtherm::core::eval::evaluate_stable;
+use vmtherm::core::features::FeatureEncoding;
+use vmtherm::core::stable::{
+    dataset_from_outcomes, run_experiments, StablePredictor, TrainingOptions,
+};
+use vmtherm::sim::{CaseGenerator, ExperimentConfig, SimDuration};
+use vmtherm::svm::kernel::Kernel;
+use vmtherm::svm::svr::SvrParams;
+
+fn campaign(n: usize, gen_seed: u64, case_seed: u64) -> Vec<vmtherm::sim::ExperimentOutcome> {
+    let mut generator = CaseGenerator::new(gen_seed);
+    let configs: Vec<ExperimentConfig> = generator
+        .random_cases(n, case_seed)
+        .into_iter()
+        .map(|c| c.with_duration(SimDuration::from_secs(1000)))
+        .collect();
+    run_experiments(&configs)
+}
+
+fn options() -> TrainingOptions {
+    TrainingOptions::new().with_params(
+        SvrParams::new()
+            .with_c(128.0)
+            .with_epsilon(0.05)
+            .with_kernel(Kernel::rbf(0.02)),
+    )
+}
+
+#[test]
+fn stable_pipeline_reaches_paper_band_on_held_out_cases() {
+    let train = campaign(120, 42, 1_000);
+    let test = campaign(15, 999, 50_000);
+    let model = StablePredictor::fit(&train, &options()).expect("training");
+    let report = evaluate_stable(&model, &test);
+    // The paper's Fig. 1(a) band is MSE <= 1.10 with 200 records and grid
+    // search; with 120 records and fixed params we allow modest slack.
+    assert!(report.mse < 2.0, "held-out MSE {} out of band", report.mse);
+    assert!(report.max_error < 5.0, "max error {}", report.max_error);
+}
+
+#[test]
+fn pipeline_is_fully_deterministic() {
+    let run = || {
+        let train = campaign(25, 7, 300);
+        let model = StablePredictor::fit(&train, &options()).expect("training");
+        let probe = &train[0].snapshot;
+        model.predict(probe)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn dataset_round_trips_through_libsvm_format() {
+    // The Eq. (2) records survive the libsvm text format — so records can
+    // be inspected/exchanged with the original LIBSVM tooling.
+    let outcomes = campaign(8, 3, 77);
+    let ds = dataset_from_outcomes(&outcomes, FeatureEncoding::Full);
+    let text = ds.to_libsvm();
+    let back = vmtherm::svm::data::Dataset::from_libsvm(&text, ds.dim()).expect("parse");
+    assert_eq!(ds.len(), back.len());
+    for i in 0..ds.len() {
+        assert!((ds.target(i) - back.target(i)).abs() < 1e-9);
+        for (a, b) in ds.feature(i).iter().zip(back.feature(i)) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn predictions_respond_to_each_eq2_input() {
+    // Perturbing each factor of Eq. (2) moves the prediction in the
+    // physically expected direction.
+    let train = campaign(120, 42, 1_000);
+    let model = StablePredictor::fit(&train, &options()).expect("training");
+    let base = campaign(1, 5, 123).remove(0).snapshot;
+
+    // delta_env: warmer room → warmer prediction.
+    let mut warm = base.clone();
+    warm.ambient_c = base.ambient_c + 5.0;
+    assert!(
+        model.predict(&warm) > model.predict(&base),
+        "ambient rise must raise prediction"
+    );
+
+    // theta_fan: more airflow → cooler.
+    let mut fanned = base.clone();
+    fanned.fan_count += 2;
+    fanned.fan_airflow_cfm *= 1.5;
+    assert!(
+        model.predict(&fanned) < model.predict(&base),
+        "more fans must cool"
+    );
+
+    // xi_vm: extra cpu-bound VM → warmer.
+    let mut loaded = base.clone();
+    loaded.vms.push(vmtherm::sim::experiment::VmInfo {
+        vcpus: 4,
+        memory_gb: 4.0,
+        task: vmtherm::sim::TaskProfile::CpuBound,
+    });
+    assert!(
+        model.predict(&loaded) > model.predict(&base),
+        "extra load must warm"
+    );
+}
