@@ -12,6 +12,7 @@ use vmtherm_core::curve::WarmupCurve;
 use vmtherm_core::dynamic::{DynamicConfig, DynamicPredictor};
 use vmtherm_core::features::FeatureEncoding;
 use vmtherm_core::predictor::OnlinePredictor;
+use vmtherm_core::units::{Celsius, Seconds};
 use vmtherm_sim::experiment::{ConfigSnapshot, VmInfo};
 use vmtherm_sim::workload::TaskProfile;
 
@@ -45,12 +46,12 @@ fn bench_dynamic_step(c: &mut Criterion) {
                 cfg = cfg.without_calibration();
             }
             let mut p = DynamicPredictor::new(cfg).expect("config");
-            p.anchor(0.0, 30.0, 60.0);
+            p.anchor(Seconds::ZERO, Celsius::new(30.0), Celsius::new(60.0));
             let mut t = 0.0;
             b.iter(|| {
                 t += 1.0;
-                p.observe(t, black_box(45.0));
-                black_box(p.predict_ahead(t, 60.0))
+                p.observe(Seconds::new(t), black_box(Celsius::new(45.0)));
+                black_box(p.predict_ahead(Seconds::new(t), Seconds::new(60.0)))
             });
         });
     }
@@ -73,7 +74,7 @@ fn bench_feature_encoding(c: &mut Criterion) {
 }
 
 fn bench_curve_and_calibrator(c: &mut Criterion) {
-    let curve = WarmupCurve::standard(30.0, 60.0);
+    let curve = WarmupCurve::standard(Celsius::new(30.0), Celsius::new(60.0));
     c.bench_function("warmup_curve_value", |b| {
         let mut t = 0.0;
         b.iter(|| {
@@ -81,7 +82,7 @@ fn bench_curve_and_calibrator(c: &mut Criterion) {
             if t > 600.0 {
                 t = 0.0;
             }
-            black_box(curve.value(t))
+            black_box(curve.value(Seconds::new(t)))
         });
     });
     c.bench_function("calibrator_observe", |b| {
@@ -89,7 +90,11 @@ fn bench_curve_and_calibrator(c: &mut Criterion) {
         let mut t = 0.0;
         b.iter(|| {
             t += 15.0;
-            cal.observe(t, black_box(50.3), black_box(50.0))
+            cal.observe(
+                Seconds::new(t),
+                black_box(Celsius::new(50.3)),
+                black_box(Celsius::new(50.0)),
+            )
         });
     });
 }

@@ -2,6 +2,7 @@
 //! wall-clock second the substrate delivers, across fleet sizes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vmtherm_sim::units::Celsius;
 use vmtherm_sim::workload::TaskProfile;
 use vmtherm_sim::{
     AmbientModel, Datacenter, ServerId, ServerSpec, SimDuration, Simulation, VmSpec,
@@ -10,7 +11,11 @@ use vmtherm_sim::{
 fn build_sim(servers: usize, vms_per_server: usize) -> Simulation {
     let mut dc = Datacenter::new();
     for i in 0..servers {
-        dc.add_server(ServerSpec::standard(format!("n{i}")), 25.0, i as u64);
+        dc.add_server(
+            ServerSpec::standard(format!("n{i}")),
+            Celsius::new(25.0),
+            i as u64,
+        );
     }
     let mut sim = Simulation::new(dc, AmbientModel::Fixed(25.0), 1);
     for s in 0..servers {

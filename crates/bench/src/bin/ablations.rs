@@ -17,6 +17,7 @@ use vmtherm_core::dynamic::{DynamicConfig, DynamicPredictor};
 use vmtherm_core::eval::{evaluate_dynamic, evaluate_stable};
 use vmtherm_core::features::FeatureEncoding;
 use vmtherm_core::stable::{run_experiments, StablePredictor, TrainingOptions};
+use vmtherm_core::units::Seconds;
 use vmtherm_sim::{CaseGenerator, SimDuration, SimTime};
 use vmtherm_svm::kernel::Kernel;
 use vmtherm_svm::svr::SvrParams;
@@ -47,10 +48,10 @@ fn main() {
                 let mut p = DynamicPredictor::new(
                     DynamicConfig::new()
                         .with_lambda(lambda)
-                        .with_update_interval(15.0),
+                        .with_update_interval(Seconds::new(15.0)),
                 )
                 .expect("config");
-                evaluate_dynamic(&mut p, &s.series, 60.0, &s.anchors).mse
+                evaluate_dynamic(&mut p, &s.series, Seconds::new(60.0), &s.anchors).mse
             })
             .sum::<f64>()
             / scenarios.len() as f64;
@@ -149,11 +150,11 @@ fn main() {
     let s = &scenarios[1];
     let with_anchor = {
         let mut p = DynamicPredictor::new(DynamicConfig::new()).expect("config");
-        evaluate_dynamic(&mut p, &s.series, 60.0, &s.anchors).mse
+        evaluate_dynamic(&mut p, &s.series, Seconds::new(60.0), &s.anchors).mse
     };
     let without_anchor = {
         let mut p = DynamicPredictor::new(DynamicConfig::new()).expect("config");
-        evaluate_dynamic(&mut p, &s.series, 60.0, &s.anchors[..1]).mse
+        evaluate_dynamic(&mut p, &s.series, Seconds::new(60.0), &s.anchors[..1]).mse
     };
     println!("re-anchor at reconfiguration: MSE = {with_anchor:.3}");
     println!("single anchor at t=0 only:    MSE = {without_anchor:.3}");
@@ -180,7 +181,7 @@ fn main() {
                 let mut cfg = DynamicConfig::new();
                 cfg.delta = delta;
                 let mut p = DynamicPredictor::new(cfg).expect("config");
-                evaluate_dynamic(&mut p, &s.series, 60.0, &s.anchors).mse
+                evaluate_dynamic(&mut p, &s.series, Seconds::new(60.0), &s.anchors).mse
             })
             .sum::<f64>()
             / scenarios.len() as f64;

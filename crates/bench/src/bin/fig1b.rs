@@ -15,6 +15,7 @@
 use vmtherm_bench::{dynamic_scenario, score_dynamic, train_stable_model, training_campaign};
 use vmtherm_core::baseline::LastValuePredictor;
 use vmtherm_core::eval::evaluate_online;
+use vmtherm_core::units::Seconds;
 
 const GAP_SECS: f64 = 60.0;
 
@@ -46,7 +47,7 @@ fn main() {
     let calibrated = score_dynamic(&scenario, GAP_SECS, UPDATE_SECS, true);
     let uncalibrated = score_dynamic(&scenario, GAP_SECS, UPDATE_SECS, false);
     let mut last_value = LastValuePredictor::new();
-    let naive = evaluate_online(&mut last_value, &scenario.series, GAP_SECS);
+    let naive = evaluate_online(&mut last_value, &scenario.series, Seconds::new(GAP_SECS));
 
     // The figure: empirical vs the two model arms, sampled every 60 s.
     println!("   t |  empirical  calibrated  uncalibrated");

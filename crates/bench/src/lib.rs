@@ -6,6 +6,8 @@
 //! is built here once so `fig1a`, `fig1b`, `fig1c` and the ablation
 //! harness all run the *same* pipeline with the same constants.
 
+#![deny(unsafe_code)]
+
 use vmtherm_core::dynamic::{DynamicConfig, DynamicPredictor};
 use vmtherm_core::eval::{evaluate_dynamic, AnchorPoint, DynamicEvalReport};
 use vmtherm_core::stable::{run_experiments, StablePredictor, TrainingOptions};
@@ -18,6 +20,7 @@ use vmtherm_sim::{
 };
 use vmtherm_svm::kernel::Kernel;
 use vmtherm_svm::svr::SvrParams;
+use vmtherm_units::{Celsius, Seconds};
 
 /// Size of the training campaign behind the deployed model.
 pub const TRAIN_CASES: usize = 200;
@@ -96,7 +99,7 @@ pub fn dynamic_scenario(
 ) -> DynamicScenario {
     let mut dc = Datacenter::new();
     let server = ServerSpec::commodity("dyn", 16, 2.4, 64.0, fans);
-    let sid = dc.add_server(server, ambient, seed);
+    let sid = dc.add_server(server, Celsius::new(ambient), seed);
     let mut sim = Simulation::new(dc, AmbientModel::Fixed(ambient), seed);
 
     let tasks = [
@@ -111,7 +114,7 @@ pub fn dynamic_scenario(
         sim.boot_vm_now(sid, VmSpec::new(format!("vm-{i}"), 2, 4.0, task))
             .expect("scenario VM placement");
     }
-    let snapshot_before = ConfigSnapshot::capture(&sim, sid, ambient);
+    let snapshot_before = ConfigSnapshot::capture(&sim, sid, Celsius::new(ambient));
 
     for j in 0..burst_vms {
         sim.schedule(
@@ -124,7 +127,7 @@ pub fn dynamic_scenario(
     }
     sim.run_until(SimTime::from_secs(total_secs));
 
-    let snapshot_after = ConfigSnapshot::capture(&sim, sid, ambient);
+    let snapshot_after = ConfigSnapshot::capture(&sim, sid, Celsius::new(ambient));
     let series = sim.trace(sid).expect("trace").sensor_c.clone();
 
     let anchors = vec![
@@ -154,7 +157,7 @@ pub fn score_dynamic(
     update_secs: f64,
     calibrate: bool,
 ) -> DynamicEvalReport {
-    let mut cfg = DynamicConfig::new().with_update_interval(update_secs);
+    let mut cfg = DynamicConfig::new().with_update_interval(Seconds::new(update_secs));
     if !calibrate {
         cfg = cfg.without_calibration();
     }
@@ -162,7 +165,7 @@ pub fn score_dynamic(
     evaluate_dynamic(
         &mut predictor,
         &scenario.series,
-        gap_secs,
+        Seconds::new(gap_secs),
         &scenario.anchors,
     )
 }

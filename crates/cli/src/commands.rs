@@ -11,6 +11,7 @@ use vmtherm_core::stable::{
     dataset_from_outcomes, run_experiments, StablePredictor, TrainingOptions,
 };
 use vmtherm_sim::experiment::ConfigSnapshot;
+use vmtherm_sim::units::{Celsius, Seconds, Watts};
 use vmtherm_sim::{
     AmbientModel, CaseGenerator, Datacenter, Event, ServerSpec, SimDuration, SimTime, Simulation,
     TaskProfile, VmSpec,
@@ -175,7 +176,7 @@ fn monitor(flags: &Flags) -> Result<String, String> {
     // Build and run the scenario.
     let mut dc = Datacenter::new();
     let server = ServerSpec::commodity("monitored", 16, 2.4, 64.0, fans);
-    let sid = dc.add_server(server, ambient, seed);
+    let sid = dc.add_server(server, Celsius::new(ambient), seed);
     let mut sim = Simulation::new(dc, AmbientModel::Fixed(ambient), seed);
     let tasks = [
         TaskProfile::CpuBound,
@@ -191,7 +192,7 @@ fn monitor(flags: &Flags) -> Result<String, String> {
         )
         .map_err(|e| format!("placement: {e}"))?;
     }
-    let before = ConfigSnapshot::capture(&sim, sid, ambient);
+    let before = ConfigSnapshot::capture(&sim, sid, Celsius::new(ambient));
     sim.schedule(
         SimTime::from_secs(burst_at),
         Event::BootVm {
@@ -200,7 +201,7 @@ fn monitor(flags: &Flags) -> Result<String, String> {
         },
     );
     sim.run_until(SimTime::from_secs(secs));
-    let after = ConfigSnapshot::capture(&sim, sid, ambient);
+    let after = ConfigSnapshot::capture(&sim, sid, Celsius::new(ambient));
     let series = sim.trace(sid).map_err(|e| e.to_string())?.sensor_c.clone();
     let anchors = vec![
         AnchorPoint {
@@ -213,9 +214,10 @@ fn monitor(flags: &Flags) -> Result<String, String> {
         },
     ];
 
-    let mut predictor = DynamicPredictor::new(DynamicConfig::new().with_update_interval(update))
-        .map_err(|e| e.to_string())?;
-    let report = evaluate_dynamic(&mut predictor, &series, gap, &anchors);
+    let mut predictor =
+        DynamicPredictor::new(DynamicConfig::new().with_update_interval(Seconds::new(update)))
+            .map_err(|e| e.to_string())?;
+    let report = evaluate_dynamic(&mut predictor, &series, Seconds::new(gap), &anchors);
 
     // CSV: target time, empirical, forecast.
     let mut csv = String::from("time_s,empirical_c,forecast_c\n");
@@ -246,7 +248,7 @@ fn watchdog(flags: &Flags) -> Result<String, String> {
     let model = load_model(model_path)?;
 
     let mut dc = Datacenter::new();
-    let sid = dc.add_server(ServerSpec::standard("watched"), ambient, seed);
+    let sid = dc.add_server(ServerSpec::standard("watched"), Celsius::new(ambient), seed);
     let mut sim = Simulation::new(dc, AmbientModel::Fixed(ambient), seed);
     let tasks = [
         TaskProfile::CpuBound,
@@ -260,7 +262,7 @@ fn watchdog(flags: &Flags) -> Result<String, String> {
         )
         .map_err(|e| format!("placement: {e}"))?;
     }
-    let snapshot = ConfigSnapshot::capture(&sim, sid, ambient);
+    let snapshot = ConfigSnapshot::capture(&sim, sid, Celsius::new(ambient));
     let predicted = model.predict(&snapshot);
     if fail > 0 {
         sim.schedule(
@@ -292,7 +294,7 @@ fn watchdog(flags: &Flags) -> Result<String, String> {
             .map(|(_, v)| v)
             .collect();
         let mean = window.iter().sum::<f64>() / window.len().max(1) as f64;
-        if let Some(a) = watchdog.observe(&snapshot, mean) {
+        if let Some(a) = watchdog.observe(&snapshot, Celsius::new(mean)) {
             if alarm_at.is_none() {
                 alarm_at = Some(start + 120);
                 out.push_str(&format!(
@@ -337,7 +339,7 @@ fn setpoint(flags: &Flags) -> Result<String, String> {
     for i in 0..servers {
         dc.add_server(
             ServerSpec::standard(format!("n{i}")),
-            min_c,
+            Celsius::new(min_c),
             seed + i as u64,
         );
     }
@@ -358,7 +360,7 @@ fn setpoint(flags: &Flags) -> Result<String, String> {
     }
     sim.run_until(SimTime::from_secs(60));
     let hosts: Vec<ConfigSnapshot> = (0..servers)
-        .map(|i| ConfigSnapshot::capture(&sim, vmtherm_sim::ServerId::new(i), min_c))
+        .map(|i| ConfigSnapshot::capture(&sim, vmtherm_sim::ServerId::new(i), Celsius::new(min_c)))
         .collect();
     let heat_w = sim.datacenter().room_heat_kw() * 1000.0;
 
@@ -375,7 +377,7 @@ fn setpoint(flags: &Flags) -> Result<String, String> {
         search,
     )
     .map_err(|e| e.to_string())?;
-    match optimizer.optimize(&hosts, &vec![0.0; servers], heat_w) {
+    match optimizer.optimize(&hosts, &vec![0.0; servers], Watts::new(heat_w)) {
         Some(advice) => Ok(format!(
             "fleet: {servers} servers x {vms_per} VMs, heat load {:.1} kW\n\
              thermal limit: die <= {limit} C (margin {margin} C)\n\

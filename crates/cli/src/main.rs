@@ -4,6 +4,8 @@
 //!
 //! See `vmtherm --help` (or [`commands::USAGE`]) for the command list.
 
+#![deny(unsafe_code)]
+
 mod args;
 mod commands;
 

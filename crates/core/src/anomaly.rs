@@ -23,6 +23,7 @@ use vmtherm_svm::data::Dataset;
 use vmtherm_svm::kernel::Kernel;
 use vmtherm_svm::oneclass::{OneClassModel, OneClassParams};
 use vmtherm_svm::scale::{ScaleMethod, Scaler};
+use vmtherm_units::Celsius;
 
 /// Which way the temperature deviates from prediction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -152,9 +153,13 @@ impl ThermalWatchdog {
     }
 
     /// Feeds one settled observation of a server.
-    pub fn observe(&mut self, snapshot: &ConfigSnapshot, measured_stable_c: f64) -> Option<Alarm> {
+    pub fn observe(
+        &mut self,
+        snapshot: &ConfigSnapshot,
+        measured_stable_c: Celsius,
+    ) -> Option<Alarm> {
         let predicted = self.model.predict(snapshot);
-        self.detector.observe(measured_stable_c - predicted)
+        self.detector.observe(measured_stable_c.get() - predicted)
     }
 
     /// Clears detector state (after an alarm was handled or the fleet
@@ -228,15 +233,15 @@ impl NoveltyDetector {
     /// `true` when the observed stable temperature is inconsistent with
     /// healthy behaviour for such a configuration.
     #[must_use]
-    pub fn is_anomalous(&self, snapshot: &ConfigSnapshot, observed_stable_c: f64) -> bool {
+    pub fn is_anomalous(&self, snapshot: &ConfigSnapshot, observed_stable_c: Celsius) -> bool {
         self.score(snapshot, observed_stable_c) < 0.0
     }
 
     /// The signed decision value (negative = anomalous), for thresholding
     /// and ranking.
     #[must_use]
-    pub fn score(&self, snapshot: &ConfigSnapshot, observed_stable_c: f64) -> f64 {
-        let x = vec![self.predictor.predict(snapshot), observed_stable_c];
+    pub fn score(&self, snapshot: &ConfigSnapshot, observed_stable_c: Celsius) -> f64 {
+        let x = vec![self.predictor.predict(snapshot), observed_stable_c.get()];
         self.model.decision_value(&self.scaler.transform(&x))
     }
 }
@@ -333,7 +338,9 @@ mod tests {
         // Healthy observations: no alarm.
         for o in outcomes.iter().take(20) {
             assert!(
-                watchdog.observe(&o.snapshot, o.psi_stable).is_none(),
+                watchdog
+                    .observe(&o.snapshot, Celsius::new(o.psi_stable))
+                    .is_none(),
                 "false alarm on healthy record"
             );
         }
@@ -343,7 +350,9 @@ mod tests {
         let victim = &outcomes[0];
         let mut alarm = None;
         for _ in 0..20 {
-            if let Some(a) = watchdog.observe(&victim.snapshot, victim.psi_stable + 6.0) {
+            if let Some(a) =
+                watchdog.observe(&victim.snapshot, Celsius::new(victim.psi_stable + 6.0))
+            {
                 alarm = Some(a);
                 break;
             }
@@ -362,7 +371,7 @@ mod tests {
         // Healthy joint vectors are mostly inliers.
         let healthy_flags = outcomes
             .iter()
-            .filter(|o| detector.is_anomalous(&o.snapshot, o.psi_stable))
+            .filter(|o| detector.is_anomalous(&o.snapshot, Celsius::new(o.psi_stable)))
             .count();
         assert!(
             (healthy_flags as f64) < 0.25 * outcomes.len() as f64,
@@ -371,7 +380,7 @@ mod tests {
         // A +8 °C shifted response is flagged for most configurations.
         let faulty_flags = outcomes
             .iter()
-            .filter(|o| detector.is_anomalous(&o.snapshot, o.psi_stable + 8.0))
+            .filter(|o| detector.is_anomalous(&o.snapshot, Celsius::new(o.psi_stable + 8.0)))
             .count();
         assert!(
             (faulty_flags as f64) > 0.7 * outcomes.len() as f64,
@@ -380,8 +389,8 @@ mod tests {
         // Scores order correctly.
         let o = &outcomes[3];
         assert!(
-            detector.score(&o.snapshot, o.psi_stable)
-                > detector.score(&o.snapshot, o.psi_stable + 8.0)
+            detector.score(&o.snapshot, Celsius::new(o.psi_stable))
+                > detector.score(&o.snapshot, Celsius::new(o.psi_stable + 8.0))
         );
     }
 

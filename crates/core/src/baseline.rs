@@ -22,6 +22,7 @@ use crate::predictor::OnlinePredictor;
 use std::collections::{HashMap, VecDeque};
 use vmtherm_sim::experiment::{ConfigSnapshot, ExperimentOutcome};
 use vmtherm_sim::workload::TaskProfile;
+use vmtherm_units::{Celsius, Seconds, Watts};
 
 /// Predicts that the temperature never changes: ψ(t + Δ) = φ(t).
 #[derive(Debug, Clone, Default)]
@@ -38,11 +39,11 @@ impl LastValuePredictor {
 }
 
 impl OnlinePredictor for LastValuePredictor {
-    fn observe(&mut self, _t_secs: f64, measured_c: f64) {
-        self.last = Some(measured_c);
+    fn observe(&mut self, _t_secs: Seconds, measured_c: Celsius) {
+        self.last = Some(measured_c.get());
     }
 
-    fn predict_ahead(&self, _t_secs: f64, _gap_secs: f64) -> f64 {
+    fn predict_ahead(&self, _t_secs: Seconds, _gap_secs: Seconds) -> f64 {
         self.last.unwrap_or(f64::NAN)
     }
 
@@ -75,14 +76,14 @@ impl MovingAveragePredictor {
 }
 
 impl OnlinePredictor for MovingAveragePredictor {
-    fn observe(&mut self, _t_secs: f64, measured_c: f64) {
+    fn observe(&mut self, _t_secs: Seconds, measured_c: Celsius) {
         if self.buffer.len() == self.window {
             self.buffer.pop_front();
         }
-        self.buffer.push_back(measured_c);
+        self.buffer.push_back(measured_c.get());
     }
 
-    fn predict_ahead(&self, _t_secs: f64, _gap_secs: f64) -> f64 {
+    fn predict_ahead(&self, _t_secs: Seconds, _gap_secs: Seconds) -> f64 {
         if self.buffer.is_empty() {
             f64::NAN
         } else {
@@ -123,15 +124,21 @@ impl RcModelPredictor {
     ///
     /// Panics on non-positive `tau_secs` or `r_total`.
     #[must_use]
-    pub fn new(tau_secs: f64, r_total: f64, p_base: f64, p_per_vm: f64, ambient_c: f64) -> Self {
-        assert!(tau_secs > 0.0, "tau must be positive");
+    pub fn new(
+        tau_secs: Seconds,
+        r_total: f64,
+        p_base: Watts,
+        p_per_vm: Watts,
+        ambient_c: Celsius,
+    ) -> Self {
+        assert!(tau_secs.get() > 0.0, "tau must be positive");
         assert!(r_total > 0.0, "thermal resistance must be positive");
         RcModelPredictor {
-            tau_secs,
+            tau_secs: tau_secs.get(),
             r_total,
-            p_base,
-            p_per_vm,
-            ambient_c,
+            p_base: p_base.get(),
+            p_per_vm: p_per_vm.get(),
+            ambient_c: ambient_c.get(),
             vm_count: 0,
             last: None,
         }
@@ -142,8 +149,14 @@ impl RcModelPredictor {
     /// medium VMs — which is exactly why it misfires on heterogeneous
     /// tenancy).
     #[must_use]
-    pub fn standard(ambient_c: f64) -> Self {
-        RcModelPredictor::new(130.0, 0.15, 76.0, 15.0, ambient_c)
+    pub fn standard(ambient_c: Celsius) -> Self {
+        RcModelPredictor::new(
+            Seconds::new(130.0),
+            0.15,
+            Watts::new(76.0),
+            Watts::new(15.0),
+            ambient_c,
+        )
     }
 
     /// Updates the VM count (its only view of ξ_VM).
@@ -159,16 +172,16 @@ impl RcModelPredictor {
 }
 
 impl OnlinePredictor for RcModelPredictor {
-    fn observe(&mut self, _t_secs: f64, measured_c: f64) {
-        self.last = Some(measured_c);
+    fn observe(&mut self, _t_secs: Seconds, measured_c: Celsius) {
+        self.last = Some(measured_c.get());
     }
 
-    fn predict_ahead(&self, _t_secs: f64, gap_secs: f64) -> f64 {
+    fn predict_ahead(&self, _t_secs: Seconds, gap_secs: Seconds) -> f64 {
         let Some(current) = self.last else {
             return f64::NAN;
         };
         let t_inf = self.steady_state_estimate();
-        t_inf + (current - t_inf) * (-gap_secs / self.tau_secs).exp()
+        t_inf + (current - t_inf) * (-gap_secs.get() / self.tau_secs).exp()
     }
 
     fn name(&self) -> &str {
@@ -195,8 +208,8 @@ impl TaskProfilePredictor {
 
     /// Adds one profiling measurement: `count` instances of `task` ran at
     /// `stable_c` stable temperature.
-    pub fn add_profile(&mut self, task: TaskProfile, count: usize, stable_c: f64) {
-        self.table.insert((task, count), stable_c);
+    pub fn add_profile(&mut self, task: TaskProfile, count: usize, stable_c: Celsius) {
+        self.table.insert((task, count), stable_c.get());
     }
 
     /// Builds a table from *homogeneous* experiment outcomes, skipping any
@@ -210,7 +223,7 @@ impl TaskProfilePredictor {
                 continue;
             };
             if o.snapshot.vms.iter().all(|v| v.task == first.task) {
-                p.add_profile(first.task, o.snapshot.vms.len(), o.psi_stable);
+                p.add_profile(first.task, o.snapshot.vms.len(), Celsius::new(o.psi_stable));
             }
         }
         p
@@ -268,9 +281,9 @@ pub fn dominant_task(snapshot: &ConfigSnapshot) -> Option<TaskProfile> {
 }
 
 impl OnlinePredictor for TaskProfilePredictor {
-    fn observe(&mut self, _t_secs: f64, _measured_c: f64) {}
+    fn observe(&mut self, _t_secs: Seconds, _measured_c: Celsius) {}
 
-    fn predict_ahead(&self, _t_secs: f64, _gap_secs: f64) -> f64 {
+    fn predict_ahead(&self, _t_secs: Seconds, _gap_secs: Seconds) -> f64 {
         self.current_prediction.unwrap_or(f64::NAN)
     }
 
@@ -375,6 +388,14 @@ mod tests {
     use super::*;
     use vmtherm_sim::experiment::VmInfo;
 
+    fn c(v: f64) -> Celsius {
+        Celsius::new(v)
+    }
+
+    fn s(v: f64) -> Seconds {
+        Seconds::new(v)
+    }
+
     fn snapshot(tasks: &[(TaskProfile, u32)]) -> ConfigSnapshot {
         ConfigSnapshot {
             theta_cpu: 38.4,
@@ -396,20 +417,20 @@ mod tests {
     #[test]
     fn last_value_predicts_last() {
         let mut p = LastValuePredictor::new();
-        assert!(p.predict_ahead(0.0, 60.0).is_nan());
-        p.observe(0.0, 41.0);
-        p.observe(1.0, 43.0);
-        assert_eq!(p.predict_ahead(1.0, 60.0), 43.0);
+        assert!(p.predict_ahead(s(0.0), s(60.0)).is_nan());
+        p.observe(s(0.0), c(41.0));
+        p.observe(s(1.0), c(43.0));
+        assert_eq!(p.predict_ahead(s(1.0), s(60.0)), 43.0);
     }
 
     #[test]
     fn moving_average_windows() {
         let mut p = MovingAveragePredictor::new(3);
         for (t, v) in [(0.0, 1.0), (1.0, 2.0), (2.0, 3.0), (3.0, 4.0)] {
-            p.observe(t, v);
+            p.observe(s(t), c(v));
         }
         // window holds 2,3,4.
-        assert_eq!(p.predict_ahead(3.0, 10.0), 3.0);
+        assert_eq!(p.predict_ahead(s(3.0), s(10.0)), 3.0);
     }
 
     #[test]
@@ -420,22 +441,23 @@ mod tests {
 
     #[test]
     fn rc_model_relaxes_exponentially() {
-        let mut p = RcModelPredictor::new(100.0, 0.1, 50.0, 10.0, 25.0);
+        let mut p =
+            RcModelPredictor::new(s(100.0), 0.1, Watts::new(50.0), Watts::new(10.0), c(25.0));
         p.set_vm_count(5);
         // T∞ = 25 + (50 + 50)*0.1 = 35.
         assert_eq!(p.steady_state_estimate(), 35.0);
-        p.observe(0.0, 55.0);
-        let after_tau = p.predict_ahead(0.0, 100.0);
+        p.observe(s(0.0), c(55.0));
+        let after_tau = p.predict_ahead(s(0.0), s(100.0));
         // 35 + 20/e ≈ 42.36.
         assert!((after_tau - (35.0 + 20.0 / std::f64::consts::E)).abs() < 1e-9);
         // Long horizon → steady state.
-        assert!((p.predict_ahead(0.0, 1e6) - 35.0).abs() < 1e-9);
+        assert!((p.predict_ahead(s(0.0), s(1e6)) - 35.0).abs() < 1e-9);
     }
 
     #[test]
     fn rc_model_blind_to_heterogeneity() {
         // Same VM count, wildly different tasks → identical RC estimate.
-        let mut p = RcModelPredictor::standard(25.0);
+        let mut p = RcModelPredictor::standard(c(25.0));
         p.set_vm_count(4);
         let est_idle = p.steady_state_estimate();
         p.set_vm_count(4);
@@ -458,8 +480,8 @@ mod tests {
     #[test]
     fn task_profile_lookup_and_fallback() {
         let mut p = TaskProfilePredictor::new();
-        p.add_profile(TaskProfile::CpuBound, 4, 60.0);
-        p.add_profile(TaskProfile::CpuBound, 8, 68.0);
+        p.add_profile(TaskProfile::CpuBound, 4, c(60.0));
+        p.add_profile(TaskProfile::CpuBound, 8, c(68.0));
         let s4 = snapshot(&[(TaskProfile::CpuBound, 2); 4]);
         assert_eq!(p.predict_stable(&s4).unwrap(), 60.0);
         // Unprofiled count 5 → nearest (4).
@@ -495,10 +517,10 @@ mod tests {
     #[test]
     fn task_profile_online_interface() {
         let mut p = TaskProfilePredictor::new();
-        p.add_profile(TaskProfile::CpuBound, 2, 58.0);
-        assert!(p.predict_ahead(0.0, 60.0).is_nan());
+        p.add_profile(TaskProfile::CpuBound, 2, c(58.0));
+        assert!(p.predict_ahead(s(0.0), s(60.0)).is_nan());
         p.set_snapshot(&snapshot(&[(TaskProfile::CpuBound, 2); 2]));
-        assert_eq!(p.predict_ahead(0.0, 60.0), 58.0);
+        assert_eq!(p.predict_ahead(s(0.0), s(60.0)), 58.0);
     }
 
     #[test]

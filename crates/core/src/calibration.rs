@@ -12,6 +12,8 @@
 //! At an anchor (t = 0) γ starts at 0 (Eq. 4).
 
 use serde::{Deserialize, Serialize};
+use vmtherm_units::constants::{paper_delta_update, PAPER_LAMBDA};
+use vmtherm_units::{Celsius, Seconds};
 
 /// The γ accumulator with its λ and Δ_update bookkeeping.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -24,28 +26,25 @@ pub struct Calibrator {
 }
 
 impl Calibrator {
-    /// The paper's learning rate.
-    pub const DEFAULT_LAMBDA: f64 = 0.8;
-
     /// Creates a calibrator with γ = 0.
     ///
     /// # Panics
     ///
     /// Panics unless `0 ≤ lambda ≤ 1` and `update_interval_secs > 0`.
     #[must_use]
-    pub fn new(lambda: f64, update_interval_secs: f64) -> Self {
+    pub fn new(lambda: f64, update_interval_secs: Seconds) -> Self {
         assert!(
             (0.0..=1.0).contains(&lambda),
             "lambda must be in [0, 1], got {lambda}"
         );
         assert!(
-            update_interval_secs > 0.0,
+            update_interval_secs.get() > 0.0,
             "update interval must be positive"
         );
         Calibrator {
             gamma: 0.0,
             lambda,
-            update_interval_secs,
+            update_interval_secs: update_interval_secs.get(),
             last_update_secs: None,
             updates: 0,
         }
@@ -54,7 +53,7 @@ impl Calibrator {
     /// Paper defaults: λ = 0.8, Δ_update = 15 s.
     #[must_use]
     pub fn standard() -> Self {
-        Calibrator::new(Self::DEFAULT_LAMBDA, 15.0)
+        Calibrator::new(PAPER_LAMBDA, paper_delta_update())
     }
 
     /// Current calibration γ.
@@ -94,17 +93,18 @@ impl Calibrator {
     /// (Eq. 5). γ updates only when Δ_update has elapsed since the last
     /// update (the first offer always updates). Returns `true` when γ
     /// changed.
-    pub fn observe(&mut self, t_secs: f64, measured: f64, curve_value: f64) -> bool {
+    pub fn observe(&mut self, t_secs: Seconds, measured: Celsius, curve_value: Celsius) -> bool {
+        let t = t_secs.get();
         let due = match self.last_update_secs {
             None => true,
-            Some(last) => t_secs - last >= self.update_interval_secs - 1e-9,
+            Some(last) => t - last >= self.update_interval_secs - 1e-9,
         };
         if !due {
             return false;
         }
-        let dif = measured - (curve_value + self.gamma);
+        let dif = measured.get() - (curve_value.get() + self.gamma);
         self.gamma += self.lambda * dif;
-        self.last_update_secs = Some(t_secs);
+        self.last_update_secs = Some(t);
         self.updates += 1;
         true
     }
@@ -126,101 +126,109 @@ impl Default for Calibrator {
 mod tests {
     use super::*;
 
+    fn c(v: f64) -> Celsius {
+        Celsius::new(v)
+    }
+
+    fn s(v: f64) -> Seconds {
+        Seconds::new(v)
+    }
+
     #[test]
     fn starts_at_zero() {
-        let c = Calibrator::standard();
-        assert_eq!(c.gamma(), 0.0);
-        assert_eq!(c.calibrate(42.0), 42.0);
+        let cal = Calibrator::standard();
+        assert_eq!(cal.gamma(), 0.0);
+        assert_eq!(cal.calibrate(42.0), 42.0);
     }
 
     #[test]
     fn paper_worked_example() {
         // Paper §II: at t=15, φ(15) − ψ*(15) = dif, γ = λ·dif with γ
         // previously 0.
-        let mut c = Calibrator::new(0.8, 15.0);
+        let mut cal = Calibrator::new(0.8, s(15.0));
         // Suppose ψ*(15) = 50 and we measure 52: dif = 2, γ = 1.6.
-        assert!(c.observe(15.0, 52.0, 50.0));
-        assert!((c.gamma() - 1.6).abs() < 1e-12);
+        assert!(cal.observe(s(15.0), c(52.0), c(50.0)));
+        assert!((cal.gamma() - 1.6).abs() < 1e-12);
         // Prediction for t=75 with ψ*(75)=55: 55 + 1.6 = 56.6 (Eq. 7).
-        assert!((c.calibrate(55.0) - 56.6).abs() < 1e-12);
+        assert!((cal.calibrate(55.0) - 56.6).abs() < 1e-12);
     }
 
     #[test]
     fn respects_update_interval() {
-        let mut c = Calibrator::new(0.8, 15.0);
-        assert!(c.observe(0.0, 51.0, 50.0));
-        let g = c.gamma();
+        let mut cal = Calibrator::new(0.8, s(15.0));
+        assert!(cal.observe(s(0.0), c(51.0), c(50.0)));
+        let g = cal.gamma();
         // 10 s later: not due.
-        assert!(!c.observe(10.0, 60.0, 50.0));
-        assert_eq!(c.gamma(), g);
+        assert!(!cal.observe(s(10.0), c(60.0), c(50.0)));
+        assert_eq!(cal.gamma(), g);
         // 15 s after last update: due.
-        assert!(c.observe(15.0, 60.0, 50.0));
-        assert_ne!(c.gamma(), g);
-        assert_eq!(c.updates(), 2);
+        assert!(cal.observe(s(15.0), c(60.0), c(50.0)));
+        assert_ne!(cal.gamma(), g);
+        assert_eq!(cal.updates(), 2);
     }
 
     #[test]
     fn converges_to_constant_offset() {
         // If the real system sits exactly k above the curve, γ → k.
-        let mut c = Calibrator::new(0.8, 15.0);
+        let mut cal = Calibrator::new(0.8, s(15.0));
         let k = 3.0;
         for step in 0..20 {
             let t = step as f64 * 15.0;
-            c.observe(t, 50.0 + k, 50.0);
+            cal.observe(s(t), c(50.0 + k), c(50.0));
         }
-        assert!((c.gamma() - k).abs() < 1e-6, "gamma = {}", c.gamma());
+        assert!((cal.gamma() - k).abs() < 1e-6, "gamma = {}", cal.gamma());
     }
 
     #[test]
     fn lambda_zero_never_learns() {
-        let mut c = Calibrator::new(0.0, 15.0);
-        c.observe(0.0, 99.0, 50.0);
-        c.observe(15.0, 99.0, 50.0);
-        assert_eq!(c.gamma(), 0.0);
+        let mut cal = Calibrator::new(0.0, s(15.0));
+        cal.observe(s(0.0), c(99.0), c(50.0));
+        cal.observe(s(15.0), c(99.0), c(50.0));
+        assert_eq!(cal.gamma(), 0.0);
     }
 
     #[test]
     fn lambda_one_jumps_immediately() {
-        let mut c = Calibrator::new(1.0, 15.0);
-        c.observe(0.0, 57.0, 50.0);
-        assert_eq!(c.gamma(), 7.0);
+        let mut cal = Calibrator::new(1.0, s(15.0));
+        cal.observe(s(0.0), c(57.0), c(50.0));
+        assert_eq!(cal.gamma(), 7.0);
     }
 
     #[test]
     fn reset_restores_eq4_state() {
-        let mut c = Calibrator::standard();
-        c.observe(0.0, 60.0, 50.0);
-        assert_ne!(c.gamma(), 0.0);
-        c.reset();
-        assert_eq!(c.gamma(), 0.0);
-        assert_eq!(c.updates(), 0);
+        let mut cal = Calibrator::standard();
+        cal.observe(s(0.0), c(60.0), c(50.0));
+        assert_ne!(cal.gamma(), 0.0);
+        cal.reset();
+        assert_eq!(cal.gamma(), 0.0);
+        assert_eq!(cal.updates(), 0);
         // First observe after reset updates immediately again.
-        assert!(c.observe(100.0, 60.0, 50.0));
+        assert!(cal.observe(s(100.0), c(60.0), c(50.0)));
     }
 
     #[test]
     fn error_relative_to_calibrated_prediction() {
         // Eq. 5 compares against ψ* + γ, not raw ψ*: once γ has absorbed
         // the offset, a matching measurement must not move γ.
-        let mut c = Calibrator::new(1.0, 15.0);
-        c.observe(0.0, 53.0, 50.0); // γ = 3
-        assert!(c.observe(15.0, 53.0, 50.0));
+        let mut cal = Calibrator::new(1.0, s(15.0));
+        cal.observe(s(0.0), c(53.0), c(50.0)); // γ = 3
+        assert!(cal.observe(s(15.0), c(53.0), c(50.0)));
         assert!(
-            (c.gamma() - 3.0).abs() < 1e-12,
+            (cal.gamma() - 3.0).abs() < 1e-12,
             "gamma drifted: {}",
-            c.gamma()
+            cal.gamma()
         );
     }
 
     #[test]
     #[should_panic(expected = "lambda")]
     fn bad_lambda_panics() {
-        let _ = Calibrator::new(1.5, 15.0);
+        let _ = Calibrator::new(1.5, s(15.0));
     }
 
     #[test]
     #[should_panic(expected = "interval")]
     fn bad_interval_panics() {
-        let _ = Calibrator::new(0.5, 0.0);
+        let _ = Calibrator::new(0.5, s(0.0));
     }
 }

@@ -15,6 +15,8 @@ use crate::predictor::OnlinePredictor;
 use crate::stable::StablePredictor;
 use serde::{Deserialize, Serialize};
 use vmtherm_sim::experiment::ConfigSnapshot;
+use vmtherm_units::constants::{PAPER_DELTA_UPDATE_SECS, PAPER_LAMBDA, PAPER_T_BREAK_SECS};
+use vmtherm_units::{Celsius, Seconds};
 
 /// Tunables of the dynamic predictor.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -40,9 +42,9 @@ impl DynamicConfig {
     #[must_use]
     pub fn new() -> Self {
         DynamicConfig {
-            lambda: Calibrator::DEFAULT_LAMBDA,
-            update_interval_secs: 15.0,
-            t_break_secs: 600.0,
+            lambda: PAPER_LAMBDA,
+            update_interval_secs: PAPER_DELTA_UPDATE_SECS,
+            t_break_secs: PAPER_T_BREAK_SECS,
             delta: WarmupCurve::DEFAULT_DELTA,
             reset_gamma_on_anchor: true,
             calibrate: true,
@@ -58,8 +60,8 @@ impl DynamicConfig {
 
     /// Overrides Δ_update.
     #[must_use]
-    pub fn with_update_interval(mut self, secs: f64) -> Self {
-        self.update_interval_secs = secs;
+    pub fn with_update_interval(mut self, interval: Seconds) -> Self {
+        self.update_interval_secs = interval.get();
         self
     }
 
@@ -130,7 +132,7 @@ impl DynamicPredictor {
         };
         Ok(DynamicPredictor {
             config,
-            calibrator: Calibrator::new(config.lambda, config.update_interval_secs),
+            calibrator: Calibrator::new(config.lambda, Seconds::new(config.update_interval_secs)),
             anchor: None,
             name: name.to_string(),
         })
@@ -138,14 +140,14 @@ impl DynamicPredictor {
 
     /// Anchors a new curve at `t_secs`: the system sat at `phi0` (current
     /// measurement) and is predicted to stabilise at `psi_stable`.
-    pub fn anchor(&mut self, t_secs: f64, phi0: f64, psi_stable: f64) {
+    pub fn anchor(&mut self, t_secs: Seconds, phi0: Celsius, psi_stable: Celsius) {
         let curve = WarmupCurve::new(
             phi0,
             psi_stable,
-            self.config.t_break_secs,
+            Seconds::new(self.config.t_break_secs),
             self.config.delta,
         );
-        self.anchor = Some((t_secs, curve));
+        self.anchor = Some((t_secs.get(), curve));
         if self.config.reset_gamma_on_anchor {
             self.calibrator.reset();
         }
@@ -155,12 +157,12 @@ impl DynamicPredictor {
     /// (changed) configuration.
     pub fn anchor_with_model(
         &mut self,
-        t_secs: f64,
-        phi0: f64,
+        t_secs: Seconds,
+        phi0: Celsius,
         model: &StablePredictor,
         snapshot: &ConfigSnapshot,
     ) {
-        self.anchor(t_secs, phi0, model.predict(snapshot));
+        self.anchor(t_secs, phi0, Celsius::new(model.predict(snapshot)));
     }
 
     /// ψ*(t) — the uncalibrated curve value at absolute time `t_secs`.
@@ -168,12 +170,12 @@ impl DynamicPredictor {
     /// # Errors
     ///
     /// [`PredictError::NotReady`] before the first anchor.
-    pub fn curve_value(&self, t_secs: f64) -> Result<f64, PredictError> {
+    pub fn curve_value(&self, t_secs: Seconds) -> Result<f64, PredictError> {
         let (t0, curve) = self
             .anchor
             .as_ref()
             .ok_or(PredictError::NotReady("no anchor"))?;
-        Ok(curve.value(t_secs - t0))
+        Ok(curve.value(Seconds::new(t_secs.get() - t0)))
     }
 
     /// Current γ.
@@ -196,17 +198,18 @@ impl DynamicPredictor {
 }
 
 impl OnlinePredictor for DynamicPredictor {
-    fn observe(&mut self, t_secs: f64, measured_c: f64) {
+    fn observe(&mut self, t_secs: Seconds, measured_c: Celsius) {
         if !self.config.calibrate {
             return;
         }
         if let Ok(curve_value) = self.curve_value(t_secs) {
-            self.calibrator.observe(t_secs, measured_c, curve_value);
+            self.calibrator
+                .observe(t_secs, measured_c, Celsius::new(curve_value));
         }
     }
 
-    fn predict_ahead(&self, t_secs: f64, gap_secs: f64) -> f64 {
-        match self.curve_value(t_secs + gap_secs) {
+    fn predict_ahead(&self, t_secs: Seconds, gap_secs: Seconds) -> f64 {
+        match self.curve_value(Seconds::new(t_secs.get() + gap_secs.get())) {
             Ok(v) if self.config.calibrate => self.calibrator.calibrate(v),
             Ok(v) => v,
             // Un-anchored: nothing better than "no rise" — callers anchor
@@ -219,12 +222,12 @@ impl OnlinePredictor for DynamicPredictor {
         &self.name
     }
 
-    fn on_reconfiguration(&mut self, t_secs: f64, current_temp_c: f64) {
+    fn on_reconfiguration(&mut self, t_secs: Seconds, current_temp_c: Celsius) {
         // Keep the previous stable target if no model consulted: re-anchor
         // from the current temperature toward the same ψ_stable. Callers
         // with a stable model use `anchor_with_model` for a fresh target.
         if let Some((_, curve)) = self.anchor {
-            self.anchor(t_secs, current_temp_c, curve.psi_stable());
+            self.anchor(t_secs, current_temp_c, Celsius::new(curve.psi_stable()));
         }
     }
 }
@@ -232,6 +235,14 @@ impl OnlinePredictor for DynamicPredictor {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn c(v: f64) -> Celsius {
+        Celsius::new(v)
+    }
+
+    fn s(v: f64) -> Seconds {
+        Seconds::new(v)
+    }
 
     fn predictor(calibrate: bool) -> DynamicPredictor {
         let mut cfg = DynamicConfig::new();
@@ -242,8 +253,11 @@ mod tests {
     #[test]
     fn unanchored_predicts_nan() {
         let p = predictor(true);
-        assert!(p.predict_ahead(0.0, 60.0).is_nan());
-        assert!(matches!(p.curve_value(0.0), Err(PredictError::NotReady(_))));
+        assert!(p.predict_ahead(s(0.0), s(60.0)).is_nan());
+        assert!(matches!(
+            p.curve_value(s(0.0)),
+            Err(PredictError::NotReady(_))
+        ));
     }
 
     #[test]
@@ -251,14 +265,14 @@ mod tests {
         // If measurements match the curve exactly, γ stays ~0 and the
         // prediction equals the curve.
         let mut p = predictor(true);
-        p.anchor(0.0, 30.0, 60.0);
+        p.anchor(s(0.0), c(30.0), c(60.0));
         for t in (0..300).step_by(15) {
-            let truth = p.curve_value(t as f64).unwrap();
-            p.observe(t as f64, truth);
+            let truth = p.curve_value(s(t as f64)).unwrap();
+            p.observe(s(t as f64), c(truth));
         }
         assert!(p.gamma().abs() < 1e-9);
-        let pred = p.predict_ahead(300.0, 60.0);
-        assert!((pred - p.curve_value(360.0).unwrap()).abs() < 1e-9);
+        let pred = p.predict_ahead(s(300.0), s(60.0));
+        assert!((pred - p.curve_value(s(360.0)).unwrap()).abs() < 1e-9);
     }
 
     #[test]
@@ -267,19 +281,19 @@ mod tests {
         // converge onto it, uncalibrated stay 4 °C off.
         let mut cal = predictor(true);
         let mut uncal = predictor(false);
-        cal.anchor(0.0, 30.0, 60.0);
-        uncal.anchor(0.0, 30.0, 60.0);
+        cal.anchor(s(0.0), c(30.0), c(60.0));
+        uncal.anchor(s(0.0), c(30.0), c(60.0));
         let offset = 4.0;
         for step in 0..40 {
             let t = step as f64 * 15.0;
-            let measured = cal.curve_value(t).unwrap() + offset;
-            cal.observe(t, measured);
-            uncal.observe(t, measured);
+            let measured = cal.curve_value(s(t)).unwrap() + offset;
+            cal.observe(s(t), c(measured));
+            uncal.observe(s(t), c(measured));
         }
         let t = 600.0;
         let actual = 60.0 + offset;
-        let cal_err = (cal.predict_ahead(t, 60.0) - actual).abs();
-        let uncal_err = (uncal.predict_ahead(t, 60.0) - actual).abs();
+        let cal_err = (cal.predict_ahead(s(t), s(60.0)) - actual).abs();
+        let uncal_err = (uncal.predict_ahead(s(t), s(60.0)) - actual).abs();
         assert!(cal_err < 0.1, "calibrated error {cal_err}");
         assert!(
             (uncal_err - offset).abs() < 0.1,
@@ -290,10 +304,10 @@ mod tests {
     #[test]
     fn anchor_resets_gamma_by_default() {
         let mut p = predictor(true);
-        p.anchor(0.0, 30.0, 60.0);
-        p.observe(0.0, 40.0); // big dif → γ moves
+        p.anchor(s(0.0), c(30.0), c(60.0));
+        p.observe(s(0.0), c(40.0)); // big dif → γ moves
         assert!(p.gamma().abs() > 1.0);
-        p.anchor(100.0, 45.0, 70.0);
+        p.anchor(s(100.0), c(45.0), c(70.0));
         assert_eq!(p.gamma(), 0.0);
     }
 
@@ -302,38 +316,40 @@ mod tests {
         let mut cfg = DynamicConfig::new();
         cfg.reset_gamma_on_anchor = false;
         let mut p = DynamicPredictor::new(cfg).unwrap();
-        p.anchor(0.0, 30.0, 60.0);
-        p.observe(0.0, 40.0);
+        p.anchor(s(0.0), c(30.0), c(60.0));
+        p.observe(s(0.0), c(40.0));
         let g = p.gamma();
-        p.anchor(100.0, 45.0, 70.0);
+        p.anchor(s(100.0), c(45.0), c(70.0));
         assert_eq!(p.gamma(), g);
     }
 
     #[test]
     fn reconfiguration_reanchors_from_current_temp() {
         let mut p = predictor(true);
-        p.anchor(0.0, 30.0, 60.0);
-        p.on_reconfiguration(200.0, 48.0);
+        p.anchor(s(0.0), c(30.0), c(60.0));
+        p.on_reconfiguration(s(200.0), c(48.0));
         // New curve starts at 48 at t=200.
-        assert!((p.curve_value(200.0).unwrap() - 48.0).abs() < 1e-12);
+        assert!((p.curve_value(s(200.0)).unwrap() - 48.0).abs() < 1e-12);
         // Still heads to the same stable target.
-        assert!((p.curve_value(200.0 + 600.0).unwrap() - 60.0).abs() < 1e-12);
+        assert!((p.curve_value(s(200.0 + 600.0)).unwrap() - 60.0).abs() < 1e-12);
     }
 
     #[test]
     fn gap_semantics_match_eq8() {
         let mut p = predictor(true);
-        p.anchor(0.0, 30.0, 60.0);
+        p.anchor(s(0.0), c(30.0), c(60.0));
         // ψ(t + Δgap) = ψ*(t + Δgap) + γ with γ = 0.
-        let lhs = p.predict_ahead(100.0, 50.0);
-        let rhs = p.curve_value(150.0).unwrap();
+        let lhs = p.predict_ahead(s(100.0), s(50.0));
+        let rhs = p.curve_value(s(150.0)).unwrap();
         assert_eq!(lhs, rhs);
     }
 
     #[test]
     fn invalid_configs_rejected() {
         assert!(DynamicPredictor::new(DynamicConfig::new().with_lambda(2.0)).is_err());
-        assert!(DynamicPredictor::new(DynamicConfig::new().with_update_interval(0.0)).is_err());
+        let mut zero_interval = DynamicConfig::new();
+        zero_interval.update_interval_secs = 0.0;
+        assert!(DynamicPredictor::new(zero_interval).is_err());
         let mut bad = DynamicConfig::new();
         bad.delta = -1.0;
         assert!(DynamicPredictor::new(bad).is_err());

@@ -13,6 +13,7 @@ use vmtherm_sim::experiment::ExperimentOutcome;
 use vmtherm_sim::telemetry::TimeSeries;
 use vmtherm_sim::time::SimTime;
 use vmtherm_svm::metrics;
+use vmtherm_units::{Celsius, Seconds};
 
 /// One scored forecast.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,8 +55,9 @@ pub struct DynamicEvalReport {
 pub fn evaluate_online(
     predictor: &mut dyn OnlinePredictor,
     series: &TimeSeries,
-    gap_secs: f64,
+    gap_secs: Seconds,
 ) -> DynamicEvalReport {
+    let gap_secs = gap_secs.get();
     assert!(series.len() >= 2, "need at least two samples");
     assert!(gap_secs > 0.0, "gap must be positive");
     let times = series.times();
@@ -64,12 +66,12 @@ pub fn evaluate_online(
 
     let mut points = Vec::new();
     for (i, (&t, &v)) in times.iter().zip(values).enumerate() {
-        predictor.observe(t, v);
+        predictor.observe(Seconds::new(t), Celsius::new(v));
         let target = t + gap_secs;
         if target > end {
             continue;
         }
-        let predicted = predictor.predict_ahead(t, gap_secs);
+        let predicted = predictor.predict_ahead(Seconds::new(t), Seconds::new(gap_secs));
         if predicted.is_nan() {
             continue;
         }
@@ -144,9 +146,10 @@ impl DynamicEvalReport {
 pub fn evaluate_dynamic(
     predictor: &mut crate::dynamic::DynamicPredictor,
     series: &TimeSeries,
-    gap_secs: f64,
+    gap_secs: Seconds,
     anchors: &[AnchorPoint],
 ) -> DynamicEvalReport {
+    let gap_secs = gap_secs.get();
     assert!(!anchors.is_empty(), "need at least one anchor");
     assert!(
         anchors.windows(2).all(|w| w[0].t_secs <= w[1].t_secs),
@@ -163,16 +166,20 @@ pub fn evaluate_dynamic(
 
     for (i, (&t, &v)) in times.iter().zip(values).enumerate() {
         while next_anchor < anchors.len() && anchors[next_anchor].t_secs <= t + 1e-9 {
-            predictor.anchor(t, v, anchors[next_anchor].psi_stable);
+            predictor.anchor(
+                Seconds::new(t),
+                Celsius::new(v),
+                Celsius::new(anchors[next_anchor].psi_stable),
+            );
             next_anchor += 1;
         }
         use crate::predictor::OnlinePredictor as _;
-        predictor.observe(t, v);
+        predictor.observe(Seconds::new(t), Celsius::new(v));
         let target = t + gap_secs;
         if target > end {
             continue;
         }
-        let predicted = predictor.predict_ahead(t, gap_secs);
+        let predicted = predictor.predict_ahead(Seconds::new(t), Seconds::new(gap_secs));
         if predicted.is_nan() {
             continue;
         }
@@ -282,7 +289,7 @@ mod tests {
         // Ramp rises 0.1/s; last-value with gap 10 is always 1.0 low.
         let series = ramp_series(100);
         let mut p = LastValuePredictor::new();
-        let report = evaluate_online(&mut p, &series, 10.0);
+        let report = evaluate_online(&mut p, &series, Seconds::new(10.0));
         assert!(!report.points.is_empty());
         assert!((report.mse - 1.0).abs() < 1e-9, "mse = {}", report.mse);
         assert!((report.mae - 1.0).abs() < 1e-9);
@@ -293,15 +300,15 @@ mod tests {
     fn perfect_predictor_scores_zero() {
         struct Oracle;
         impl OnlinePredictor for Oracle {
-            fn observe(&mut self, _t: f64, _m: f64) {}
-            fn predict_ahead(&self, t: f64, gap: f64) -> f64 {
-                30.0 + (t + gap) * 0.1
+            fn observe(&mut self, _t: Seconds, _m: Celsius) {}
+            fn predict_ahead(&self, t: Seconds, gap: Seconds) -> f64 {
+                30.0 + (t.get() + gap.get()) * 0.1
             }
             fn name(&self) -> &str {
                 "oracle"
             }
         }
-        let report = evaluate_online(&mut Oracle, &ramp_series(50), 5.0);
+        let report = evaluate_online(&mut Oracle, &ramp_series(50), Seconds::new(5.0));
         assert!(report.mse < 1e-18);
     }
 
@@ -309,7 +316,7 @@ mod tests {
     fn forecasts_beyond_series_end_are_skipped() {
         let series = ramp_series(20);
         let mut p = LastValuePredictor::new();
-        let report = evaluate_online(&mut p, &series, 5.0);
+        let report = evaluate_online(&mut p, &series, Seconds::new(5.0));
         // Targets range 5..=19: 15 scored points (t = 0..=14).
         assert_eq!(report.points.len(), 15);
         assert!(report.points.iter().all(|pt| pt.t_secs <= 19.0));
@@ -324,10 +331,10 @@ mod tests {
             seen: usize,
         }
         impl OnlinePredictor for SlowStart {
-            fn observe(&mut self, _t: f64, _m: f64) {
+            fn observe(&mut self, _t: Seconds, _m: Celsius) {
                 self.seen += 1;
             }
-            fn predict_ahead(&self, _t: f64, _gap: f64) -> f64 {
+            fn predict_ahead(&self, _t: Seconds, _gap: Seconds) -> f64 {
                 if self.seen < 10 {
                     f64::NAN
                 } else {
@@ -338,7 +345,11 @@ mod tests {
                 "slow"
             }
         }
-        let report = evaluate_online(&mut SlowStart { seen: 0 }, &ramp_series(30), 5.0);
+        let report = evaluate_online(
+            &mut SlowStart { seen: 0 },
+            &ramp_series(30),
+            Seconds::new(5.0),
+        );
         assert_eq!(report.points.len(), 30 - 5 - 9);
     }
 
@@ -346,7 +357,7 @@ mod tests {
     #[should_panic(expected = "gap")]
     fn zero_gap_panics() {
         let mut p = LastValuePredictor::new();
-        let _ = evaluate_online(&mut p, &ramp_series(10), 0.0);
+        let _ = evaluate_online(&mut p, &ramp_series(10), Seconds::ZERO);
     }
 
     #[test]
@@ -355,15 +366,18 @@ mod tests {
         // Phase 1: warm from 30 toward 50; phase 2 (t >= 300): toward 60.
         // Build the "measured" series from the same curve family the
         // predictor uses, so a correctly-anchored predictor scores ~0.
-        let c1 = crate::curve::WarmupCurve::standard(30.0, 50.0);
-        let c2 = crate::curve::WarmupCurve::standard(c1.value(300.0), 60.0);
+        let c1 = crate::curve::WarmupCurve::standard(Celsius::new(30.0), Celsius::new(50.0));
+        let c2 = crate::curve::WarmupCurve::standard(
+            Celsius::new(c1.value(Seconds::new(300.0))),
+            Celsius::new(60.0),
+        );
         let series: TimeSeries = (0..900)
             .map(|s| {
                 let t = s as f64;
                 let v = if t < 300.0 {
-                    c1.value(t)
+                    c1.value(Seconds::new(t))
                 } else {
-                    c2.value(t - 300.0)
+                    c2.value(Seconds::new(t - 300.0))
                 };
                 (t, v)
             })
@@ -379,13 +393,13 @@ mod tests {
             },
         ];
         let mut p = DynamicPredictor::new(DynamicConfig::new()).unwrap();
-        let report = evaluate_dynamic(&mut p, &series, 60.0, &anchors);
+        let report = evaluate_dynamic(&mut p, &series, Seconds::new(60.0), &anchors);
         // Residual error comes only from forecasts issued just before the
         // (unannounced) phase change at t = 300.
         assert!(report.mse < 1.0, "mse = {}", report.mse);
         // Without the second anchor the predictor misses the phase change.
         let mut p2 = DynamicPredictor::new(DynamicConfig::new().without_calibration()).unwrap();
-        let report2 = evaluate_dynamic(&mut p2, &series, 60.0, &anchors[..1]);
+        let report2 = evaluate_dynamic(&mut p2, &series, Seconds::new(60.0), &anchors[..1]);
         assert!(
             report2.mse > report.mse,
             "{} vs {}",
@@ -399,7 +413,7 @@ mod tests {
     fn evaluate_dynamic_needs_anchor() {
         use crate::dynamic::{DynamicConfig, DynamicPredictor};
         let mut p = DynamicPredictor::new(DynamicConfig::new()).unwrap();
-        let _ = evaluate_dynamic(&mut p, &ramp_series(10), 5.0, &[]);
+        let _ = evaluate_dynamic(&mut p, &ramp_series(10), Seconds::new(5.0), &[]);
     }
 
     #[test]

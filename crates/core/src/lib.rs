@@ -32,6 +32,7 @@
 //! use vmtherm_core::dynamic::{DynamicConfig, DynamicPredictor};
 //! use vmtherm_core::predictor::OnlinePredictor;
 //! use vmtherm_core::stable::{run_experiments, StablePredictor, TrainingOptions};
+//! use vmtherm_core::units::{Celsius, Seconds};
 //! use vmtherm_sim::{CaseGenerator, SimDuration};
 //! use vmtherm_svm::svr::SvrParams;
 //!
@@ -54,9 +55,9 @@
 //! let snapshot = &outcomes[0].snapshot;
 //! let psi = stable.predict(snapshot);
 //! let mut dynamic = DynamicPredictor::new(DynamicConfig::new())?;
-//! dynamic.anchor(0.0, 25.0, psi);
-//! dynamic.observe(15.0, 31.0);
-//! let forecast = dynamic.predict_ahead(15.0, 60.0); // ψ(75) per Eq. (8)
+//! dynamic.anchor(Seconds::ZERO, Celsius::new(25.0), Celsius::new(psi));
+//! dynamic.observe(Seconds::new(15.0), Celsius::new(31.0));
+//! let forecast = dynamic.predict_ahead(Seconds::new(15.0), Seconds::new(60.0)); // ψ(75) per Eq. (8)
 //! assert!(forecast.is_finite());
 //! # Ok(())
 //! # }
@@ -86,6 +87,11 @@ pub mod online;
 pub mod predictor;
 pub mod setpoint;
 pub mod stable;
+/// Unit-safety newtypes shared across the workspace, re-exported from
+/// [`vmtherm_units`] so predictor callers need only one dependency.
+pub mod units {
+    pub use vmtherm_units::*;
+}
 
 pub use anomaly::{NoveltyDetector, ResidualDetector, ThermalWatchdog};
 pub use calibration::Calibrator;

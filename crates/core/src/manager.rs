@@ -21,6 +21,7 @@ use vmtherm_svm::data::Dataset;
 use vmtherm_svm::kernel::Kernel;
 use vmtherm_svm::scale::{ScaleMethod, Scaler};
 use vmtherm_svm::svc::{SvcModel, SvcParams};
+use vmtherm_units::Celsius;
 
 /// Returns a copy of `snapshot` with `vm` added — the hypothetical
 /// configuration a placement decision evaluates.
@@ -92,14 +93,14 @@ impl HotspotClassifier {
     pub fn fit(
         outcomes: &[ExperimentOutcome],
         encoding: FeatureEncoding,
-        threshold_c: f64,
+        threshold_c: Celsius,
     ) -> Result<Self, PredictError> {
         if outcomes.is_empty() {
             return Err(PredictError::NoTrainingData);
         }
         let mut raw = Dataset::new(encoding.dim());
         for o in outcomes {
-            let label = if o.psi_stable > threshold_c {
+            let label = if o.psi_stable > threshold_c.get() {
                 1.0
             } else {
                 -1.0
@@ -120,7 +121,7 @@ impl HotspotClassifier {
             encoding,
             scaler,
             model,
-            threshold_c,
+            threshold_c: threshold_c.get(),
         })
     }
 
@@ -166,11 +167,11 @@ impl MigrationAdvisor {
     ///
     /// Panics on a non-positive host memory.
     #[must_use]
-    pub fn new(predictor: StablePredictor, threshold_c: f64, host_memory_gb: f64) -> Self {
+    pub fn new(predictor: StablePredictor, threshold_c: Celsius, host_memory_gb: f64) -> Self {
         assert!(host_memory_gb > 0.0, "host memory must be positive");
         MigrationAdvisor {
             predictor,
-            threshold_c,
+            threshold_c: threshold_c.get(),
             host_memory_gb,
         }
     }
@@ -318,7 +319,8 @@ mod tests {
         let mut temps: Vec<f64> = outcomes.iter().map(|o| o.psi_stable).collect();
         temps.sort_by(f64::total_cmp);
         let threshold = temps[temps.len() / 2];
-        let clf = HotspotClassifier::fit(&outcomes, FeatureEncoding::Full, threshold).unwrap();
+        let clf = HotspotClassifier::fit(&outcomes, FeatureEncoding::Full, Celsius::new(threshold))
+            .unwrap();
         assert_eq!(clf.threshold_c(), threshold);
         let hot = host(&[(TaskProfile::CpuBound, 4); 8], 28.0);
         let cool = host(&[(TaskProfile::Idle, 1); 2], 18.0);
@@ -339,7 +341,7 @@ mod tests {
             .collect();
         let outcomes = crate::stable::run_experiments(&configs);
         assert!(matches!(
-            HotspotClassifier::fit(&outcomes, FeatureEncoding::Full, 500.0),
+            HotspotClassifier::fit(&outcomes, FeatureEncoding::Full, Celsius::new(500.0)),
             Err(PredictError::NoTrainingData)
         ));
     }
@@ -350,7 +352,7 @@ mod tests {
         let hot = host(&[(TaskProfile::CpuBound, 4); 8], 27.0);
         let cool = host(&[(TaskProfile::Idle, 1)], 21.0);
         let hot_pred = p.predict(&hot);
-        let advisor = MigrationAdvisor::new(p, hot_pred - 1.0, 64.0);
+        let advisor = MigrationAdvisor::new(p, Celsius::new(hot_pred - 1.0), 64.0);
         let advice = advisor.advise(&[hot, cool]).expect("advice expected");
         assert_eq!(advice.from, 0);
         assert_eq!(advice.to, 1);
@@ -361,7 +363,7 @@ mod tests {
         let p = trained_predictor();
         let a = host(&[(TaskProfile::Idle, 1)], 20.0);
         let b = host(&[(TaskProfile::Idle, 1)], 20.0);
-        let advisor = MigrationAdvisor::new(p, 90.0, 64.0);
+        let advisor = MigrationAdvisor::new(p, Celsius::new(90.0), 64.0);
         assert!(advisor.advise(&[a, b]).is_none());
     }
 
@@ -372,7 +374,7 @@ mod tests {
         // Destination memory nearly full: 15 VMs × 4 GB = 60; adding 4 → 64 fits exactly... use 16 to overflow.
         let full = host(&[(TaskProfile::Idle, 1); 16], 21.0);
         let hot_pred = p.predict(&hot);
-        let advisor = MigrationAdvisor::new(p, hot_pred - 1.0, 64.0);
+        let advisor = MigrationAdvisor::new(p, Celsius::new(hot_pred - 1.0), 64.0);
         // Destination full → no advice.
         assert!(advisor.advise(&[hot, full]).is_none());
     }

@@ -15,6 +15,7 @@ use crate::stable::StablePredictor;
 use std::collections::VecDeque;
 use vmtherm_sim::experiment::ConfigSnapshot;
 use vmtherm_sim::{ServerId, SimEvent, Simulation};
+use vmtherm_units::{Celsius, Seconds};
 
 /// Rolling forecast-accuracy statistics for one server.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -62,8 +63,9 @@ impl FleetMonitor {
         stable: StablePredictor,
         config: DynamicConfig,
         servers: usize,
-        gap_secs: f64,
+        gap_secs: Seconds,
     ) -> Result<Self, PredictError> {
+        let gap_secs = gap_secs.get();
         if !(gap_secs > 0.0) {
             return Err(PredictError::invalid(
                 "gap_secs",
@@ -106,7 +108,7 @@ impl FleetMonitor {
     /// # Panics
     ///
     /// Panics if the simulation has more servers than the monitor.
-    pub fn observe(&mut self, sim: &Simulation, ambient_c: f64) {
+    pub fn observe(&mut self, sim: &Simulation, ambient_c: Celsius) {
         let n = self.servers();
         assert!(
             sim.datacenter().len() <= n,
@@ -119,15 +121,13 @@ impl FleetMonitor {
             self.anchored = true;
             for idx in 0..sim.datacenter().len() {
                 let sid = ServerId::new(idx);
+                let Ok(server) = sim.datacenter().server(sid) else {
+                    continue;
+                };
                 let snap = ConfigSnapshot::capture(sim, sid, ambient_c);
-                let temp = sim
-                    .datacenter()
-                    .server(sid)
-                    .expect("server")
-                    .die_temperature();
                 self.predictors[idx].anchor_with_model(
-                    sim.now().as_secs_f64(),
-                    temp,
+                    Seconds::new(sim.now().as_secs_f64()),
+                    Celsius::new(server.die_temperature()),
                     &self.stable,
                     &snap,
                 );
@@ -148,15 +148,13 @@ impl FleetMonitor {
                 _ => vec![],
             };
             for sid in touched {
+                let Ok(server) = sim.datacenter().server(sid) else {
+                    continue;
+                };
                 let snap = ConfigSnapshot::capture(sim, sid, ambient_c);
-                let temp = sim
-                    .datacenter()
-                    .server(sid)
-                    .expect("server")
-                    .die_temperature();
                 self.predictors[sid.raw()].anchor_with_model(
-                    at.as_secs_f64(),
-                    temp,
+                    Seconds::new(at.as_secs_f64()),
+                    Celsius::new(server.die_temperature()),
                     &self.stable,
                     &snap,
                 );
@@ -171,7 +169,7 @@ impl FleetMonitor {
             let Some((t, measured)) = trace.sensor_c.last() else {
                 continue;
             };
-            self.predictors[idx].observe(t, measured);
+            self.predictors[idx].observe(Seconds::new(t), Celsius::new(measured));
             while let Some(&(target, forecast)) = self.pending[idx].front() {
                 if target > now {
                     break;
@@ -181,7 +179,8 @@ impl FleetMonitor {
                 self.stats[idx].scored += 1;
                 self.stats[idx].sum_sq_err += err * err;
             }
-            let forecast = self.predictors[idx].predict_ahead(t, self.gap_secs);
+            let forecast =
+                self.predictors[idx].predict_ahead(Seconds::new(t), Seconds::new(self.gap_secs));
             if forecast.is_finite() {
                 self.pending[idx].push_back((t + self.gap_secs, forecast));
             }
@@ -252,7 +251,11 @@ mod tests {
     fn fleet_sim() -> Simulation {
         let mut dc = Datacenter::new();
         for i in 0..3 {
-            dc.add_server(ServerSpec::standard(format!("n{i}")), 24.0, i as u64);
+            dc.add_server(
+                ServerSpec::standard(format!("n{i}")),
+                Celsius::new(24.0),
+                i as u64,
+            );
         }
         let mut sim = Simulation::new(dc, AmbientModel::Fixed(24.0), 7);
         for i in 0..3 {
@@ -268,7 +271,8 @@ mod tests {
     #[test]
     fn monitor_scores_forecasts_in_band() {
         let mut sim = fleet_sim();
-        let mut monitor = FleetMonitor::new(stable_model(), DynamicConfig::new(), 3, 60.0).unwrap();
+        let mut monitor =
+            FleetMonitor::new(stable_model(), DynamicConfig::new(), 3, Seconds::new(60.0)).unwrap();
         // A mid-run burst on server 0 exercises re-anchoring.
         sim.schedule(
             SimTime::from_secs(600),
@@ -279,7 +283,7 @@ mod tests {
         );
         for _ in 0..1500 {
             sim.step();
-            monitor.observe(&sim, 24.0);
+            monitor.observe(&sim, Celsius::new(24.0));
         }
         let fleet = monitor.fleet_mse();
         assert!(fleet.is_finite());
@@ -297,12 +301,15 @@ mod tests {
     #[test]
     fn reanchoring_happens_on_events() {
         let mut sim = fleet_sim();
-        let mut monitor = FleetMonitor::new(stable_model(), DynamicConfig::new(), 3, 60.0).unwrap();
+        let mut monitor =
+            FleetMonitor::new(stable_model(), DynamicConfig::new(), 3, Seconds::new(60.0)).unwrap();
         for _ in 0..5 {
             sim.step();
-            monitor.observe(&sim, 24.0);
+            monitor.observe(&sim, Celsius::new(24.0));
         }
-        let before = monitor.predictors()[1].curve_value(1.0).unwrap();
+        let before = monitor.predictors()[1]
+            .curve_value(Seconds::new(1.0))
+            .unwrap();
         // Boot a heavy VM on server 1 → its predictor must re-anchor to a
         // hotter target.
         sim.schedule(
@@ -314,23 +321,26 @@ mod tests {
         );
         for _ in 0..10 {
             sim.step();
-            monitor.observe(&sim, 24.0);
+            monitor.observe(&sim, Celsius::new(24.0));
         }
-        let after = monitor.predictors()[1].curve_value(2000.0).unwrap();
+        let after = monitor.predictors()[1]
+            .curve_value(Seconds::new(2000.0))
+            .unwrap();
         assert!(after > before + 2.0, "no re-anchor: {before} -> {after}");
     }
 
     #[test]
     fn rejects_bad_gap() {
         assert!(matches!(
-            FleetMonitor::new(stable_model(), DynamicConfig::new(), 2, 0.0),
+            FleetMonitor::new(stable_model(), DynamicConfig::new(), 2, Seconds::ZERO),
             Err(PredictError::InvalidConfig { .. })
         ));
     }
 
     #[test]
     fn unmonitored_server_queries_are_safe() {
-        let monitor = FleetMonitor::new(stable_model(), DynamicConfig::new(), 1, 60.0).unwrap();
+        let monitor =
+            FleetMonitor::new(stable_model(), DynamicConfig::new(), 1, Seconds::new(60.0)).unwrap();
         assert!(monitor.latest_forecast(ServerId::new(9)).is_none());
         assert_eq!(monitor.stats(ServerId::new(9)), ServerStats::default());
         assert!(monitor.fleet_mse().is_nan());

@@ -104,6 +104,7 @@ mod tests {
     use vmtherm_sim::{CaseGenerator, SimDuration};
     use vmtherm_svm::kernel::Kernel;
     use vmtherm_svm::svr::SvrParams;
+    use vmtherm_units::Celsius;
 
     fn options() -> TrainingOptions {
         TrainingOptions::new().with_params(
@@ -132,7 +133,7 @@ mod tests {
         let vms = (0..4)
             .map(|k| VmSpec::new(format!("v{k}"), 2, 4.0, TaskProfile::CpuBound))
             .collect();
-        ExperimentConfig::new(server, vms, 24.0, i)
+        ExperimentConfig::new(server, vms, Celsius::new(24.0), i)
             .with_duration(SimDuration::from_secs(900))
             .run()
     }

@@ -6,14 +6,16 @@
 //! The evaluation harness ([`crate::eval`]) drives them uniformly through
 //! this trait.
 
+use vmtherm_units::{Celsius, Seconds};
+
 /// An online CPU-temperature predictor.
 pub trait OnlinePredictor {
     /// Feeds one sensor measurement taken at `t_secs`.
-    fn observe(&mut self, t_secs: f64, measured_c: f64);
+    fn observe(&mut self, t_secs: Seconds, measured_c: Celsius);
 
     /// Predicts the temperature at `t_secs + gap_secs`, given everything
     /// observed so far.
-    fn predict_ahead(&self, t_secs: f64, gap_secs: f64) -> f64;
+    fn predict_ahead(&self, t_secs: Seconds, gap_secs: Seconds) -> f64;
 
     /// Short name for reports (e.g. `"calibrated"`, `"last-value"`).
     fn name(&self) -> &str;
@@ -22,7 +24,7 @@ pub trait OnlinePredictor {
     /// (VM boot/stop/migration, fan change). `current_temp_c` is the
     /// measurement at that instant. Predictors that cannot use this ignore
     /// it; the paper's dynamic model re-anchors its curve.
-    fn on_reconfiguration(&mut self, t_secs: f64, current_temp_c: f64) {
+    fn on_reconfiguration(&mut self, t_secs: Seconds, current_temp_c: Celsius) {
         let _ = (t_secs, current_temp_c);
     }
 }
@@ -31,12 +33,20 @@ pub trait OnlinePredictor {
 mod tests {
     use super::*;
 
+    fn c(v: f64) -> Celsius {
+        Celsius::new(v)
+    }
+
+    fn s(v: f64) -> Seconds {
+        Seconds::new(v)
+    }
+
     /// A trivial implementor to pin down the default method.
     struct Fixed(f64);
 
     impl OnlinePredictor for Fixed {
-        fn observe(&mut self, _t: f64, _m: f64) {}
-        fn predict_ahead(&self, _t: f64, _gap: f64) -> f64 {
+        fn observe(&mut self, _t: Seconds, _m: Celsius) {}
+        fn predict_ahead(&self, _t: Seconds, _gap: Seconds) -> f64 {
             self.0
         }
         fn name(&self) -> &str {
@@ -47,15 +57,15 @@ mod tests {
     #[test]
     fn default_reconfiguration_is_a_noop() {
         let mut p = Fixed(50.0);
-        p.on_reconfiguration(10.0, 60.0);
-        assert_eq!(p.predict_ahead(10.0, 60.0), 50.0);
+        p.on_reconfiguration(s(10.0), c(60.0));
+        assert_eq!(p.predict_ahead(s(10.0), s(60.0)), 50.0);
         assert_eq!(p.name(), "fixed");
     }
 
     #[test]
     fn trait_is_object_safe() {
         let mut p: Box<dyn OnlinePredictor> = Box::new(Fixed(1.0));
-        p.observe(0.0, 1.0);
-        assert_eq!(p.predict_ahead(0.0, 1.0), 1.0);
+        p.observe(s(0.0), c(1.0));
+        assert_eq!(p.predict_ahead(s(0.0), s(1.0)), 1.0);
     }
 }

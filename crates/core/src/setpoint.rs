@@ -14,6 +14,7 @@ use crate::stable::StablePredictor;
 use serde::{Deserialize, Serialize};
 use vmtherm_sim::cooling::CoolingModel;
 use vmtherm_sim::experiment::ConfigSnapshot;
+use vmtherm_units::{Celsius, Watts};
 
 /// Search configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -134,7 +135,7 @@ impl SetpointOptimizer {
         &self,
         hosts: &[ConfigSnapshot],
         rack_offsets: &[f64],
-        supply_c: f64,
+        supply_c: Celsius,
     ) -> f64 {
         assert_eq!(
             hosts.len(),
@@ -146,7 +147,7 @@ impl SetpointOptimizer {
             .zip(rack_offsets)
             .map(|(h, off)| {
                 let mut probe = h.clone();
-                probe.ambient_c = supply_c + off;
+                probe.ambient_c = supply_c.get() + off;
                 self.predictor.predict(&probe) + self.search.safety_margin_c
             })
             .fold(f64::NEG_INFINITY, f64::max)
@@ -165,23 +166,27 @@ impl SetpointOptimizer {
         &self,
         hosts: &[ConfigSnapshot],
         rack_offsets: &[f64],
-        heat_load_w: f64,
+        heat_load_w: Watts,
     ) -> Option<SetpointAdvice> {
         assert!(!hosts.is_empty(), "no hosts to optimize for");
         let s = &self.search;
-        let baseline_power_w = self.cooling.cooling_power(heat_load_w, s.min_supply_c);
+        let baseline_power_w = self
+            .cooling
+            .cooling_power(heat_load_w, Celsius::new(s.min_supply_c));
         let steps = ((s.max_supply_c - s.min_supply_c) / s.resolution_c).floor() as usize;
         let mut best: Option<SetpointAdvice> = None;
         for i in 0..=steps {
             let supply = s.min_supply_c + i as f64 * s.resolution_c;
-            let peak = self.predicted_peak(hosts, rack_offsets, supply);
+            let peak = self.predicted_peak(hosts, rack_offsets, Celsius::new(supply));
             if peak > s.max_die_c {
                 break; // peak is monotone in supply; nothing hotter is safe
             }
             best = Some(SetpointAdvice {
                 supply_c: supply,
                 predicted_peak_c: peak,
-                cooling_power_w: self.cooling.cooling_power(heat_load_w, supply),
+                cooling_power_w: self
+                    .cooling
+                    .cooling_power(heat_load_w, Celsius::new(supply)),
                 baseline_power_w,
             });
         }
@@ -256,10 +261,10 @@ mod tests {
         let light = [host(2, 24.0)];
         let heavy = [host(8, 24.0)];
         let a = opt
-            .optimize(&light, &[0.0], 10_000.0)
+            .optimize(&light, &[0.0], Watts::new(10_000.0))
             .expect("light feasible");
         let b = opt
-            .optimize(&heavy, &[0.0], 10_000.0)
+            .optimize(&heavy, &[0.0], Watts::new(10_000.0))
             .expect("heavy feasible");
         assert!(
             a.supply_c > b.supply_c,
@@ -273,16 +278,18 @@ mod tests {
     #[test]
     fn infeasible_limit_returns_none() {
         let opt = optimizer(20.0); // nothing can stay under 20 °C die
-        assert!(opt.optimize(&[host(8, 24.0)], &[0.0], 10_000.0).is_none());
+        assert!(opt
+            .optimize(&[host(8, 24.0)], &[0.0], Watts::new(10_000.0))
+            .is_none());
     }
 
     #[test]
     fn advice_respects_limit_and_is_monotone_in_limit() {
         let loose = optimizer(65.0)
-            .optimize(&[host(6, 24.0)], &[0.0], 10_000.0)
+            .optimize(&[host(6, 24.0)], &[0.0], Watts::new(10_000.0))
             .unwrap();
         let tight = optimizer(55.0)
-            .optimize(&[host(6, 24.0)], &[0.0], 10_000.0)
+            .optimize(&[host(6, 24.0)], &[0.0], Watts::new(10_000.0))
             .unwrap();
         assert!(loose.predicted_peak_c <= 65.0);
         assert!(tight.predicted_peak_c <= 55.0);
@@ -293,8 +300,12 @@ mod tests {
     #[test]
     fn rack_offsets_tighten_the_answer() {
         let opt = optimizer(60.0);
-        let flat = opt.optimize(&[host(6, 24.0)], &[0.0], 10_000.0).unwrap();
-        let offset = opt.optimize(&[host(6, 24.0)], &[3.0], 10_000.0).unwrap();
+        let flat = opt
+            .optimize(&[host(6, 24.0)], &[0.0], Watts::new(10_000.0))
+            .unwrap();
+        let offset = opt
+            .optimize(&[host(6, 24.0)], &[3.0], Watts::new(10_000.0))
+            .unwrap();
         assert!(offset.supply_c <= flat.supply_c);
     }
 

@@ -277,6 +277,7 @@ mod tests {
     use vmtherm_sim::workload::TaskProfile;
     use vmtherm_sim::CaseGenerator;
     use vmtherm_sim::SimDuration;
+    use vmtherm_units::Celsius;
 
     /// Small, fast experiment set: short runs, fixed params (no grid).
     fn outcomes(n: usize) -> Vec<ExperimentOutcome> {
@@ -366,7 +367,7 @@ mod tests {
         let light = ExperimentConfig::new(
             server.clone(),
             vec![VmSpec::new("idle", 1, 2.0, TaskProfile::Idle); 2],
-            24.0,
+            Celsius::new(24.0),
             5,
         );
         let heavy = ExperimentConfig::new(
@@ -374,7 +375,7 @@ mod tests {
             (0..8)
                 .map(|i| VmSpec::new(format!("hog{i}"), 2, 4.0, TaskProfile::CpuBound))
                 .collect(),
-            24.0,
+            Celsius::new(24.0),
             5,
         );
         // Build snapshots without running: capture via short runs.

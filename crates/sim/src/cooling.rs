@@ -9,6 +9,7 @@
 //! "raise the setpoint" energy argument (e.g. ASHRAE's widened envelopes).
 
 use serde::{Deserialize, Serialize};
+use vmtherm_units::{Celsius, Watts};
 
 /// A CRAC/chiller unit's efficiency model.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -18,23 +19,24 @@ pub struct CoolingModel {
     /// Reference supply temperature (°C).
     reference_supply_c: f64,
     /// Relative COP gain per +1 °C of supply temperature (≈ 0.03–0.05).
-    cop_slope_per_c: f64,
+    cop_slope: f64,
 }
 
 impl CoolingModel {
-    /// Creates a model.
+    /// Creates a model. `cop_slope` is the relative COP gain per +1 °C of
+    /// supply temperature.
     ///
     /// # Panics
     ///
     /// Panics on non-positive reference COP or negative slope.
     #[must_use]
-    pub fn new(cop_reference: f64, reference_supply_c: f64, cop_slope_per_c: f64) -> Self {
+    pub fn new(cop_reference: f64, reference_supply_c: Celsius, cop_slope: f64) -> Self {
         assert!(cop_reference > 0.0, "reference COP must be positive");
-        assert!(cop_slope_per_c >= 0.0, "COP slope must be non-negative");
+        assert!(cop_slope >= 0.0, "COP slope must be non-negative");
         CoolingModel {
             cop_reference,
-            reference_supply_c,
-            cop_slope_per_c,
+            reference_supply_c: reference_supply_c.get(),
+            cop_slope,
         }
     }
 
@@ -42,8 +44,8 @@ impl CoolingModel {
     /// never consumes unboundedly, but the clamp keeps far-out-of-range
     /// queries sane).
     #[must_use]
-    pub fn cop(&self, supply_c: f64) -> f64 {
-        let rel = 1.0 + self.cop_slope_per_c * (supply_c - self.reference_supply_c);
+    pub fn cop(&self, supply_c: Celsius) -> f64 {
+        let rel = 1.0 + self.cop_slope * (supply_c.get() - self.reference_supply_c);
         (self.cop_reference * rel).max(0.2)
     }
 
@@ -54,28 +56,28 @@ impl CoolingModel {
     ///
     /// Panics on negative heat load.
     #[must_use]
-    pub fn cooling_power(&self, heat_load_w: f64, supply_c: f64) -> f64 {
-        assert!(heat_load_w >= 0.0, "negative heat load");
-        heat_load_w / self.cop(supply_c)
+    pub fn cooling_power(&self, heat_load_w: Watts, supply_c: Celsius) -> f64 {
+        assert!(heat_load_w.get() >= 0.0, "negative heat load");
+        heat_load_w.get() / self.cop(supply_c)
     }
 
     /// Power usage effectiveness for a room: `(IT + cooling + overhead) / IT`.
     ///
     /// # Panics
     ///
-    /// Panics on non-positive IT power.
+    /// Panics on zero IT power.
     #[must_use]
-    pub fn pue(&self, it_power_w: f64, supply_c: f64, overhead_w: f64) -> f64 {
-        assert!(it_power_w > 0.0, "IT power must be positive");
+    pub fn pue(&self, it_power_w: Watts, supply_c: Celsius, overhead_w: Watts) -> f64 {
+        assert!(it_power_w.get() > 0.0, "IT power must be positive");
         let cooling = self.cooling_power(it_power_w, supply_c);
-        (it_power_w + cooling + overhead_w.max(0.0)) / it_power_w
+        (it_power_w.get() + cooling + overhead_w.get().max(0.0)) / it_power_w.get()
     }
 }
 
 impl Default for CoolingModel {
     /// COP 3.0 at 18 °C supply, +4 %/°C — a mid-2010s chilled-water CRAC.
     fn default() -> Self {
-        CoolingModel::new(3.0, 18.0, 0.04)
+        CoolingModel::new(3.0, Celsius::new(18.0), 0.04)
     }
 }
 
@@ -83,26 +85,34 @@ impl Default for CoolingModel {
 mod tests {
     use super::*;
 
+    fn c(v: f64) -> Celsius {
+        Celsius::new(v)
+    }
+
+    fn w(v: f64) -> Watts {
+        Watts::new(v)
+    }
+
     #[test]
     fn cop_rises_with_supply_temperature() {
         let m = CoolingModel::default();
-        assert!(m.cop(25.0) > m.cop(18.0));
-        assert!((m.cop(18.0) - 3.0).abs() < 1e-12);
+        assert!(m.cop(c(25.0)) > m.cop(c(18.0)));
+        assert!((m.cop(c(18.0)) - 3.0).abs() < 1e-12);
         // +4%/°C: at 28 °C, COP = 3.0 * 1.4.
-        assert!((m.cop(28.0) - 4.2).abs() < 1e-12);
+        assert!((m.cop(c(28.0)) - 4.2).abs() < 1e-12);
     }
 
     #[test]
     fn cop_clamped_at_floor() {
-        let m = CoolingModel::new(1.0, 18.0, 0.5);
-        assert_eq!(m.cop(-100.0), 0.2);
+        let m = CoolingModel::new(1.0, c(18.0), 0.5);
+        assert_eq!(m.cop(c(-100.0)), 0.2);
     }
 
     #[test]
     fn cooling_power_inverse_in_cop() {
         let m = CoolingModel::default();
-        let cold = m.cooling_power(30_000.0, 18.0);
-        let warm = m.cooling_power(30_000.0, 26.0);
+        let cold = m.cooling_power(w(30_000.0), c(18.0));
+        let warm = m.cooling_power(w(30_000.0), c(26.0));
         assert!(
             warm < cold,
             "warmer supply must cost less: {warm} vs {cold}"
@@ -114,8 +124,8 @@ mod tests {
     fn raising_setpoint_10c_saves_roughly_a_quarter() {
         // The industry rule of thumb (~3–5% per °C) emerges from the model.
         let m = CoolingModel::default();
-        let base = m.cooling_power(100_000.0, 18.0);
-        let raised = m.cooling_power(100_000.0, 28.0);
+        let base = m.cooling_power(w(100_000.0), c(18.0));
+        let raised = m.cooling_power(w(100_000.0), c(28.0));
         let saving = 1.0 - raised / base;
         assert!((0.2..0.4).contains(&saving), "saving {saving}");
     }
@@ -123,21 +133,21 @@ mod tests {
     #[test]
     fn pue_behaves() {
         let m = CoolingModel::default();
-        let pue = m.pue(100_000.0, 18.0, 5_000.0);
+        let pue = m.pue(w(100_000.0), c(18.0), w(5_000.0));
         // 100 kW IT + 33.3 kW cooling + 5 kW overhead → ~1.38.
         assert!((pue - 1.3833).abs() < 1e-3, "pue {pue}");
-        assert!(m.pue(100_000.0, 26.0, 5_000.0) < pue);
+        assert!(m.pue(w(100_000.0), c(26.0), w(5_000.0)) < pue);
     }
 
     #[test]
     #[should_panic(expected = "negative heat load")]
     fn negative_load_panics() {
-        let _ = CoolingModel::default().cooling_power(-1.0, 20.0);
+        let _ = CoolingModel::default().cooling_power(w(-1.0), c(20.0));
     }
 
     #[test]
     #[should_panic(expected = "reference COP")]
     fn bad_cop_panics() {
-        let _ = CoolingModel::new(0.0, 18.0, 0.04);
+        let _ = CoolingModel::new(0.0, c(18.0), 0.04);
     }
 }

@@ -4,6 +4,7 @@ use crate::error::SimError;
 use crate::server::{Server, ServerId, ServerSpec};
 use crate::vm::VmId;
 use serde::{Deserialize, Serialize};
+use vmtherm_units::Celsius;
 
 /// Rack label; servers in the same rack share airflow peculiarities
 /// (modelled as a per-rack ambient offset).
@@ -52,7 +53,7 @@ impl Datacenter {
         template: &ServerSpec,
         count: usize,
         per_rack: usize,
-        ambient_c: f64,
+        ambient_c: Celsius,
         seed: u64,
     ) -> Self {
         let mut dc = Datacenter::new();
@@ -74,7 +75,7 @@ impl Datacenter {
     }
 
     /// Adds a server in rack 0 and returns its id.
-    pub fn add_server(&mut self, spec: ServerSpec, ambient_c: f64, seed: u64) -> ServerId {
+    pub fn add_server(&mut self, spec: ServerSpec, ambient_c: Celsius, seed: u64) -> ServerId {
         self.add_server_in_rack(spec, RackId::new(0), ambient_c, seed)
     }
 
@@ -83,7 +84,7 @@ impl Datacenter {
         &mut self,
         spec: ServerSpec,
         rack: RackId,
-        ambient_c: f64,
+        ambient_c: Celsius,
         seed: u64,
     ) -> ServerId {
         let id = ServerId::new(self.servers.len());
@@ -96,12 +97,12 @@ impl Datacenter {
         id
     }
 
-    /// Overrides a rack's ambient offset (°C).
-    pub fn set_rack_offset(&mut self, rack: RackId, offset_c: f64) {
+    /// Overrides a rack's ambient offset, a relative delta in °C.
+    pub fn set_rack_offset(&mut self, rack: RackId, offset_deg: f64) {
         while self.rack_offsets.len() <= rack.raw() {
             self.rack_offsets.push(0.0);
         }
-        self.rack_offsets[rack.raw()] = offset_c;
+        self.rack_offsets[rack.raw()] = offset_deg;
     }
 
     /// Number of servers.
@@ -208,11 +209,12 @@ mod tests {
     use crate::time::SimTime;
     use crate::vm::{Vm, VmSpec};
     use crate::workload::TaskProfile;
+    use vmtherm_units::Seconds;
 
     #[test]
     fn homogeneous_builds_fleet_with_racks() {
         let template = ServerSpec::standard("node");
-        let dc = Datacenter::homogeneous(&template, 6, 2, 25.0, 1);
+        let dc = Datacenter::homogeneous(&template, 6, 2, Celsius::new(25.0), 1);
         assert_eq!(dc.len(), 6);
         assert_eq!(dc.rack_of(ServerId::new(0)).unwrap(), RackId::new(0));
         assert_eq!(dc.rack_of(ServerId::new(5)).unwrap(), RackId::new(2));
@@ -233,8 +235,8 @@ mod tests {
     #[test]
     fn locate_vm_finds_host() {
         let mut dc = Datacenter::new();
-        let s0 = dc.add_server(ServerSpec::standard("a"), 25.0, 1);
-        let s1 = dc.add_server(ServerSpec::standard("b"), 25.0, 2);
+        let s0 = dc.add_server(ServerSpec::standard("a"), Celsius::new(25.0), 1);
+        let s1 = dc.add_server(ServerSpec::standard("b"), Celsius::new(25.0), 2);
         let vm = Vm::new(
             crate::vm::VmId::new(9),
             VmSpec::new("x", 1, 2.0, TaskProfile::Idle),
@@ -250,7 +252,12 @@ mod tests {
     #[test]
     fn rack_offset_override() {
         let mut dc = Datacenter::new();
-        let id = dc.add_server_in_rack(ServerSpec::standard("a"), RackId::new(2), 25.0, 1);
+        let id = dc.add_server_in_rack(
+            ServerSpec::standard("a"),
+            RackId::new(2),
+            Celsius::new(25.0),
+            1,
+        );
         dc.set_rack_offset(RackId::new(2), 1.5);
         assert_eq!(dc.ambient_offset(id).unwrap(), 1.5);
     }
@@ -258,8 +265,8 @@ mod tests {
     #[test]
     fn hottest_finds_loaded_server() {
         let mut dc = Datacenter::new();
-        let s0 = dc.add_server(ServerSpec::standard("cool"), 25.0, 1);
-        let s1 = dc.add_server(ServerSpec::standard("hot"), 25.0, 2);
+        let s0 = dc.add_server(ServerSpec::standard("cool"), Celsius::new(25.0), 1);
+        let s1 = dc.add_server(ServerSpec::standard("hot"), Celsius::new(25.0), 2);
         for i in 0..6 {
             let vm = Vm::new(
                 crate::vm::VmId::new(i),
@@ -272,7 +279,7 @@ mod tests {
         for t in 0..900 {
             let now = SimTime::from_secs(t);
             for s in dc.iter_mut() {
-                s.step(now, 25.0, 1.0);
+                s.step(now, Celsius::new(25.0), Seconds::new(1.0));
             }
         }
         let (hottest, temp) = dc.hottest().unwrap();
@@ -283,10 +290,10 @@ mod tests {
     #[test]
     fn room_heat_aggregates() {
         let mut dc = Datacenter::new();
-        dc.add_server(ServerSpec::standard("a"), 25.0, 1);
-        dc.add_server(ServerSpec::standard("b"), 25.0, 2);
+        dc.add_server(ServerSpec::standard("a"), Celsius::new(25.0), 1);
+        dc.add_server(ServerSpec::standard("b"), Celsius::new(25.0), 2);
         for s in dc.iter_mut() {
-            s.step(SimTime::ZERO, 25.0, 1.0);
+            s.step(SimTime::ZERO, Celsius::new(25.0), Seconds::new(1.0));
         }
         assert!(dc.room_heat_kw() > 0.1);
     }

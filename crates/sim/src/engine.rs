@@ -15,6 +15,7 @@ use crate::time::{SimDuration, SimTime};
 use crate::vm::{Vm, VmId, VmSpec, VmState};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use vmtherm_units::{Celsius, Seconds, Watts};
 
 /// A reconfiguration applied at a scheduled time.
 #[derive(Debug, Clone, PartialEq)]
@@ -283,7 +284,9 @@ impl Simulation {
 
         // 3. Ambient from last step's heat load (one-step lag keeps this
         //    explicit and stable).
-        let ambient = self.ambient.temperature(self.clock, self.room_heat_kw);
+        let ambient = self
+            .ambient
+            .temperature(self.clock, Watts::from_kilowatts(self.room_heat_kw));
 
         // 4. Step the physics and record. Each server sees the room
         //    ambient plus its rack's offset (top-of-rack recirculation).
@@ -298,7 +301,7 @@ impl Simulation {
         for server in self.datacenter.iter_mut() {
             let idx = server.id().raw();
             let local_ambient = ambient + offsets[idx];
-            server.step(now, local_ambient, dt_secs);
+            server.step(now, Celsius::new(local_ambient), Seconds::new(dt_secs));
             let trace = &mut self.traces[idx];
             let reading = server.read_sensor();
             trace.sensor_c.push(now, reading);
@@ -462,8 +465,8 @@ mod tests {
 
     fn two_server_sim() -> Simulation {
         let mut dc = Datacenter::new();
-        dc.add_server(ServerSpec::standard("a"), 25.0, 1);
-        dc.add_server(ServerSpec::standard("b"), 25.0, 2);
+        dc.add_server(ServerSpec::standard("a"), Celsius::new(25.0), 1);
+        dc.add_server(ServerSpec::standard("b"), Celsius::new(25.0), 2);
         Simulation::new(dc, AmbientModel::Fixed(25.0), 7)
     }
 
@@ -721,8 +724,18 @@ mod tests {
     fn rack_offsets_reach_the_servers() {
         use crate::datacenter::RackId;
         let mut dc = Datacenter::new();
-        let cool = dc.add_server_in_rack(ServerSpec::standard("a"), RackId::new(0), 25.0, 1);
-        let warm = dc.add_server_in_rack(ServerSpec::standard("b"), RackId::new(1), 25.0, 2);
+        let cool = dc.add_server_in_rack(
+            ServerSpec::standard("a"),
+            RackId::new(0),
+            Celsius::new(25.0),
+            1,
+        );
+        let warm = dc.add_server_in_rack(
+            ServerSpec::standard("b"),
+            RackId::new(1),
+            Celsius::new(25.0),
+            2,
+        );
         dc.set_rack_offset(RackId::new(0), 0.0);
         dc.set_rack_offset(RackId::new(1), 2.0);
         let mut sim = Simulation::new(dc, AmbientModel::Fixed(25.0), 7);

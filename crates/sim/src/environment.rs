@@ -8,6 +8,7 @@
 
 use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
+use vmtherm_units::{Celsius, Watts};
 
 /// A deterministic ambient-temperature process.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -45,7 +46,7 @@ impl AmbientModel {
     ///
     /// Panics if a [`AmbientModel::Schedule`] is empty.
     #[must_use]
-    pub fn temperature(&self, t: SimTime, room_heat_kw: f64) -> f64 {
+    pub fn temperature(&self, t: SimTime, room_heat_w: Watts) -> f64 {
         match self {
             AmbientModel::Fixed(v) => *v,
             AmbientModel::Diurnal {
@@ -56,7 +57,7 @@ impl AmbientModel {
             AmbientModel::Crac {
                 setpoint,
                 degrees_per_kw,
-            } => setpoint + degrees_per_kw * room_heat_kw.max(0.0),
+            } => setpoint + degrees_per_kw * room_heat_w.kilowatts().max(0.0),
             AmbientModel::Schedule(entries) => {
                 assert!(!entries.is_empty(), "empty ambient schedule");
                 let mut current = entries[0].1;
@@ -75,8 +76,8 @@ impl AmbientModel {
     /// A schedule holding `before` until `at`, then `after` — the step
     /// change used in dynamic-prediction case studies.
     #[must_use]
-    pub fn step_change(before: f64, after: f64, at: SimTime) -> Self {
-        AmbientModel::Schedule(vec![(SimTime::ZERO, before), (at, after)])
+    pub fn step_change(before: Celsius, after: Celsius, at: SimTime) -> Self {
+        AmbientModel::Schedule(vec![(SimTime::ZERO, before.get()), (at, after.get())])
     }
 }
 
@@ -91,11 +92,15 @@ impl Default for AmbientModel {
 mod tests {
     use super::*;
 
+    fn kw(v: f64) -> Watts {
+        Watts::from_kilowatts(v)
+    }
+
     #[test]
     fn fixed_ignores_time_and_load() {
         let m = AmbientModel::Fixed(22.0);
-        assert_eq!(m.temperature(SimTime::ZERO, 0.0), 22.0);
-        assert_eq!(m.temperature(SimTime::from_secs(9999), 50.0), 22.0);
+        assert_eq!(m.temperature(SimTime::ZERO, Watts::ZERO), 22.0);
+        assert_eq!(m.temperature(SimTime::from_secs(9999), kw(50.0)), 22.0);
     }
 
     #[test]
@@ -105,9 +110,9 @@ mod tests {
             amplitude: 3.0,
             period_secs: 1000.0,
         };
-        assert!((m.temperature(SimTime::ZERO, 0.0) - 24.0).abs() < 1e-9);
-        assert!((m.temperature(SimTime::from_secs(1000), 0.0) - 24.0).abs() < 1e-9);
-        let peak = m.temperature(SimTime::from_secs(250), 0.0);
+        assert!((m.temperature(SimTime::ZERO, Watts::ZERO) - 24.0).abs() < 1e-9);
+        assert!((m.temperature(SimTime::from_secs(1000), Watts::ZERO) - 24.0).abs() < 1e-9);
+        let peak = m.temperature(SimTime::from_secs(250), Watts::ZERO);
         assert!((peak - 27.0).abs() < 1e-9);
     }
 
@@ -117,10 +122,10 @@ mod tests {
             setpoint: 18.0,
             degrees_per_kw: 0.2,
         };
-        assert_eq!(m.temperature(SimTime::ZERO, 0.0), 18.0);
-        assert_eq!(m.temperature(SimTime::ZERO, 10.0), 20.0);
+        assert_eq!(m.temperature(SimTime::ZERO, Watts::ZERO), 18.0);
+        assert_eq!(m.temperature(SimTime::ZERO, kw(10.0)), 20.0);
         // Negative load clamps.
-        assert_eq!(m.temperature(SimTime::ZERO, -5.0), 18.0);
+        assert_eq!(m.temperature(SimTime::ZERO, kw(-5.0)), 18.0);
     }
 
     #[test]
@@ -130,22 +135,26 @@ mod tests {
             (SimTime::from_secs(100), 24.0),
             (SimTime::from_secs(200), 28.0),
         ]);
-        assert_eq!(m.temperature(SimTime::from_secs(50), 0.0), 20.0);
-        assert_eq!(m.temperature(SimTime::from_secs(100), 0.0), 24.0);
-        assert_eq!(m.temperature(SimTime::from_secs(150), 0.0), 24.0);
-        assert_eq!(m.temperature(SimTime::from_secs(500), 0.0), 28.0);
+        assert_eq!(m.temperature(SimTime::from_secs(50), Watts::ZERO), 20.0);
+        assert_eq!(m.temperature(SimTime::from_secs(100), Watts::ZERO), 24.0);
+        assert_eq!(m.temperature(SimTime::from_secs(150), Watts::ZERO), 24.0);
+        assert_eq!(m.temperature(SimTime::from_secs(500), Watts::ZERO), 28.0);
     }
 
     #[test]
     fn step_change_constructor() {
-        let m = AmbientModel::step_change(20.0, 26.0, SimTime::from_secs(300));
-        assert_eq!(m.temperature(SimTime::from_secs(299), 0.0), 20.0);
-        assert_eq!(m.temperature(SimTime::from_secs(300), 0.0), 26.0);
+        let m = AmbientModel::step_change(
+            Celsius::new(20.0),
+            Celsius::new(26.0),
+            SimTime::from_secs(300),
+        );
+        assert_eq!(m.temperature(SimTime::from_secs(299), Watts::ZERO), 20.0);
+        assert_eq!(m.temperature(SimTime::from_secs(300), Watts::ZERO), 26.0);
     }
 
     #[test]
     #[should_panic(expected = "empty ambient schedule")]
     fn empty_schedule_panics() {
-        let _ = AmbientModel::Schedule(vec![]).temperature(SimTime::ZERO, 0.0);
+        let _ = AmbientModel::Schedule(vec![]).temperature(SimTime::ZERO, Watts::ZERO);
     }
 }

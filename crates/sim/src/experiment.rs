@@ -21,6 +21,7 @@ use crate::workload::{TaskProfile, ALL_TASK_PROFILES};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use vmtherm_units::Celsius;
 
 /// Per-VM facts exposed to feature encoding (the ξ_VM input).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -55,7 +56,7 @@ impl ConfigSnapshot {
     /// Captures the snapshot for one server of a simulation at its current
     /// configuration.
     #[must_use]
-    pub fn capture(sim: &Simulation, server: ServerId, ambient_c: f64) -> Self {
+    pub fn capture(sim: &Simulation, server: ServerId, ambient_c: Celsius) -> Self {
         let s = sim
             .datacenter()
             .server(server)
@@ -74,7 +75,7 @@ impl ConfigSnapshot {
                     task: v.spec().task(),
                 })
                 .collect(),
-            ambient_c,
+            ambient_c: ambient_c.get(),
         }
     }
 
@@ -122,11 +123,11 @@ impl ExperimentConfig {
     /// A standard experiment on the given server/VM set with paper
     /// constants (`t_break = 600 s`, `t_exp = 1500 s`).
     #[must_use]
-    pub fn new(server: ServerSpec, vms: Vec<VmSpec>, ambient_c: f64, seed: u64) -> Self {
+    pub fn new(server: ServerSpec, vms: Vec<VmSpec>, ambient_c: Celsius, seed: u64) -> Self {
         ExperimentConfig {
             server,
             vms,
-            ambient_c,
+            ambient_c: ambient_c.get(),
             duration: SimDuration::from_secs(1500),
             t_break: SimDuration::from_secs(600),
             seed,
@@ -161,13 +162,13 @@ impl ExperimentConfig {
             "t_break must precede the experiment end"
         );
         let mut dc = Datacenter::new();
-        let sid = dc.add_server(self.server.clone(), self.ambient_c, self.seed);
+        let sid = dc.add_server(self.server.clone(), Celsius::new(self.ambient_c), self.seed);
         let mut sim = Simulation::new(dc, AmbientModel::Fixed(self.ambient_c), self.seed);
         for spec in &self.vms {
             sim.boot_vm_now(sid, spec.clone())
                 .expect("experiment VM placement failed");
         }
-        let snapshot = ConfigSnapshot::capture(&sim, sid, self.ambient_c);
+        let snapshot = ConfigSnapshot::capture(&sim, sid, Celsius::new(self.ambient_c));
         let initial_temp = sim
             .datacenter()
             .server(sid)
@@ -293,7 +294,7 @@ impl CaseGenerator {
             let v = &vms[idx];
             vms[idx] = VmSpec::new(v.name().to_string(), v.vcpus(), 2.0, v.task());
         }
-        ExperimentConfig::new(server, vms, ambient, seed)
+        ExperimentConfig::new(server, vms, Celsius::new(ambient), seed)
     }
 
     /// Samples `count` cases with per-case seeds derived from `base_seed`.
@@ -313,7 +314,7 @@ mod tests {
         let vms = (0..n_vms)
             .map(|i| VmSpec::new(format!("v{i}"), 2, 4.0, TaskProfile::CpuBound))
             .collect();
-        ExperimentConfig::new(server, vms, 25.0, seed)
+        ExperimentConfig::new(server, vms, Celsius::new(25.0), seed)
             .with_duration(SimDuration::from_secs(900))
             .with_t_break(SimDuration::from_secs(600))
     }

@@ -8,6 +8,7 @@
 //! lower resistance, cooler stable temperature.
 
 use serde::{Deserialize, Serialize};
+use vmtherm_units::Celsius;
 
 /// Discrete fan speed levels, as exposed by typical BMC firmware.
 #[derive(
@@ -179,14 +180,14 @@ pub struct ThermostaticPolicy {
 impl ThermostaticPolicy {
     /// Applies the policy to a bank given the current die temperature,
     /// returning `true` if the speed changed.
-    pub fn apply(&self, bank: &mut FanBank, die_temp_c: f64) -> bool {
+    pub fn apply(&self, bank: &mut FanBank, die_temp_c: Celsius) -> bool {
         let current = bank.speed();
-        let next = if die_temp_c > self.high_watermark {
+        let next = if die_temp_c.get() > self.high_watermark {
             match current {
                 FanSpeed::Low => FanSpeed::Medium,
                 FanSpeed::Medium | FanSpeed::High => FanSpeed::High,
             }
-        } else if die_temp_c < self.low_watermark {
+        } else if die_temp_c.get() < self.low_watermark {
             match current {
                 FanSpeed::High => FanSpeed::Medium,
                 FanSpeed::Medium | FanSpeed::Low => FanSpeed::Low,
@@ -270,12 +271,12 @@ mod tests {
             low_watermark: 40.0,
         };
         let mut bank = FanBank::new(4);
-        assert!(policy.apply(&mut bank, 80.0));
+        assert!(policy.apply(&mut bank, Celsius::new(80.0)));
         assert_eq!(bank.speed(), FanSpeed::High);
-        assert!(!policy.apply(&mut bank, 80.0)); // already high
-        assert!(policy.apply(&mut bank, 30.0));
+        assert!(!policy.apply(&mut bank, Celsius::new(80.0))); // already high
+        assert!(policy.apply(&mut bank, Celsius::new(30.0)));
         assert_eq!(bank.speed(), FanSpeed::Medium);
-        assert!(policy.apply(&mut bank, 30.0));
+        assert!(policy.apply(&mut bank, Celsius::new(30.0)));
         assert_eq!(bank.speed(), FanSpeed::Low);
     }
 
@@ -299,7 +300,7 @@ mod tests {
     fn thermostat_holds_in_deadband() {
         let policy = ThermostaticPolicy::default();
         let mut bank = FanBank::new(2).with_speed(FanSpeed::Medium);
-        assert!(!policy.apply(&mut bank, 60.0));
+        assert!(!policy.apply(&mut bank, Celsius::new(60.0)));
         assert_eq!(bank.speed(), FanSpeed::Medium);
     }
 }

@@ -18,6 +18,7 @@
 //! ```
 //! use vmtherm_sim::experiment::ExperimentConfig;
 //! use vmtherm_sim::server::ServerSpec;
+//! use vmtherm_sim::units::Celsius;
 //! use vmtherm_sim::vm::VmSpec;
 //! use vmtherm_sim::workload::TaskProfile;
 //!
@@ -27,8 +28,8 @@
 //!         VmSpec::new("web", 2, 4.0, TaskProfile::WebServer),
 //!         VmSpec::new("batch", 4, 8.0, TaskProfile::CpuBound),
 //!     ],
-//!     25.0, // ambient °C
-//!     42,   // seed
+//!     Celsius::new(25.0), // ambient
+//!     42,                 // seed
 //! );
 //! let outcome = config.run();
 //! // ψ_stable: mean sensor temperature after t_break = 600 s (Eq. 1).
@@ -58,6 +59,11 @@
 
 pub mod cooling;
 pub mod datacenter;
+/// Unit-safety newtypes shared across the workspace, re-exported from
+/// [`vmtherm_units`] so simulator callers need only one dependency.
+pub mod units {
+    pub use vmtherm_units::*;
+}
 pub mod engine;
 pub mod environment;
 pub mod error;

@@ -7,6 +7,7 @@
 //! its heat input.
 
 use serde::{Deserialize, Serialize};
+use vmtherm_units::{Utilization, Watts};
 
 /// CPU + memory power model for one server.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -26,22 +27,17 @@ impl PowerModel {
     ///
     /// # Panics
     ///
-    /// Panics if `max_watts < idle_watts`, either is negative, or
-    /// `exponent <= 0`.
+    /// Panics if `max_watts < idle_watts` or `exponent <= 0`.
     #[must_use]
-    pub fn new(idle_watts: f64, max_watts: f64, exponent: f64, memory_watts_per_gb: f64) -> Self {
-        assert!(idle_watts >= 0.0, "idle power must be non-negative");
+    pub fn new(idle_watts: Watts, max_watts: Watts, exponent: f64, memory_w_per_gb: f64) -> Self {
         assert!(max_watts >= idle_watts, "max power below idle power");
         assert!(exponent > 0.0, "exponent must be positive");
-        assert!(
-            memory_watts_per_gb >= 0.0,
-            "memory power must be non-negative"
-        );
+        assert!(memory_w_per_gb >= 0.0, "memory power must be non-negative");
         PowerModel {
-            idle_watts,
-            max_watts,
+            idle_watts: idle_watts.get(),
+            max_watts: max_watts.get(),
             exponent,
-            memory_watts_per_gb,
+            memory_watts_per_gb: memory_w_per_gb,
         }
     }
 
@@ -53,14 +49,13 @@ impl PowerModel {
     pub fn for_capacity(cores: u32, ghz: f64) -> Self {
         let idle = 20.0 + 3.5 * cores as f64;
         let max = idle + 10.5 * cores as f64 * (ghz / 2.4);
-        PowerModel::new(idle, max, 1.15, 0.35)
+        PowerModel::new(Watts::new(idle), Watts::new(max), 1.15, 0.35)
     }
 
-    /// CPU power at aggregate utilization `u ∈ [0, 1]` (values outside are
-    /// clamped).
+    /// CPU power at aggregate utilization `u`.
     #[must_use]
-    pub fn cpu_power(&self, utilization: f64) -> f64 {
-        let u = utilization.clamp(0.0, 1.0);
+    pub fn cpu_power(&self, utilization: Utilization) -> f64 {
+        let u = utilization.as_fraction();
         self.idle_watts + (self.max_watts - self.idle_watts) * u.powf(self.exponent)
     }
 
@@ -72,7 +67,7 @@ impl PowerModel {
 
     /// Total heat input to the thermal network.
     #[must_use]
-    pub fn total_power(&self, utilization: f64, active_memory_gb: f64) -> f64 {
+    pub fn total_power(&self, utilization: Utilization, active_memory_gb: f64) -> f64 {
         self.cpu_power(utilization) + self.memory_power(active_memory_gb)
     }
 
@@ -100,19 +95,23 @@ impl Default for PowerModel {
 mod tests {
     use super::*;
 
+    fn u(v: f64) -> Utilization {
+        Utilization::saturating(v)
+    }
+
     #[test]
     fn power_is_idle_at_zero_and_max_at_one() {
-        let m = PowerModel::new(50.0, 200.0, 1.2, 0.0);
-        assert_eq!(m.cpu_power(0.0), 50.0);
-        assert!((m.cpu_power(1.0) - 200.0).abs() < 1e-12);
+        let m = PowerModel::new(Watts::new(50.0), Watts::new(200.0), 1.2, 0.0);
+        assert_eq!(m.cpu_power(Utilization::ZERO), 50.0);
+        assert!((m.cpu_power(Utilization::FULL) - 200.0).abs() < 1e-12);
     }
 
     #[test]
     fn power_is_monotone_in_utilization() {
         let m = PowerModel::default();
-        let mut prev = m.cpu_power(0.0);
+        let mut prev = m.cpu_power(Utilization::ZERO);
         for i in 1..=20 {
-            let p = m.cpu_power(i as f64 / 20.0);
+            let p = m.cpu_power(u(i as f64 / 20.0));
             assert!(p >= prev, "not monotone at {i}");
             prev = p;
         }
@@ -121,21 +120,21 @@ mod tests {
     #[test]
     fn out_of_range_utilization_clamps() {
         let m = PowerModel::default();
-        assert_eq!(m.cpu_power(-0.5), m.cpu_power(0.0));
-        assert_eq!(m.cpu_power(1.5), m.cpu_power(1.0));
+        assert_eq!(m.cpu_power(u(-0.5)), m.cpu_power(Utilization::ZERO));
+        assert_eq!(m.cpu_power(u(1.5)), m.cpu_power(Utilization::FULL));
     }
 
     #[test]
     fn memory_power_scales_linearly() {
-        let m = PowerModel::new(10.0, 20.0, 1.0, 0.5);
+        let m = PowerModel::new(Watts::new(10.0), Watts::new(20.0), 1.0, 0.5);
         assert_eq!(m.memory_power(8.0), 4.0);
         assert_eq!(m.memory_power(-1.0), 0.0);
     }
 
     #[test]
     fn total_combines_components() {
-        let m = PowerModel::new(10.0, 110.0, 1.0, 1.0);
-        assert!((m.total_power(0.5, 4.0) - (10.0 + 50.0 + 4.0)).abs() < 1e-12);
+        let m = PowerModel::new(Watts::new(10.0), Watts::new(110.0), 1.0, 1.0);
+        assert!((m.total_power(u(0.5), 4.0) - (10.0 + 50.0 + 4.0)).abs() < 1e-12);
     }
 
     #[test]
@@ -150,12 +149,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "max power below idle")]
     fn invalid_span_panics() {
-        let _ = PowerModel::new(100.0, 50.0, 1.0, 0.0);
+        let _ = PowerModel::new(Watts::new(100.0), Watts::new(50.0), 1.0, 0.0);
     }
 
     #[test]
     #[should_panic(expected = "exponent")]
     fn invalid_exponent_panics() {
-        let _ = PowerModel::new(10.0, 50.0, 0.0, 0.0);
+        let _ = PowerModel::new(Watts::new(10.0), Watts::new(50.0), 0.0, 0.0);
     }
 }

@@ -10,6 +10,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use vmtherm_units::Celsius;
 
 /// Sensor characteristics.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -76,8 +77,8 @@ impl TemperatureSensor {
     }
 
     /// Produces one reading of `true_temp_c`.
-    pub fn read(&mut self, true_temp_c: f64) -> f64 {
-        let noisy = true_temp_c + self.gaussian() * self.config.noise_sigma;
+    pub fn read(&mut self, true_temp_c: Celsius) -> f64 {
+        let noisy = true_temp_c.get() + self.gaussian() * self.config.noise_sigma;
         if self.config.quantization > 0.0 {
             (noisy / self.config.quantization).round() * self.config.quantization
         } else {
@@ -103,26 +104,30 @@ impl TemperatureSensor {
 mod tests {
     use super::*;
 
+    fn c(v: f64) -> Celsius {
+        Celsius::new(v)
+    }
+
     #[test]
     fn ideal_sensor_is_exact() {
         let mut s = TemperatureSensor::new(SensorConfig::ideal(), 1);
-        assert_eq!(s.read(53.21), 53.21);
+        assert_eq!(s.read(c(53.21)), 53.21);
     }
 
     #[test]
     fn quantization_rounds_to_grid() {
         let mut s = TemperatureSensor::new(SensorConfig::new(0.0, 1.0), 1);
-        assert_eq!(s.read(53.4), 53.0);
-        assert_eq!(s.read(53.6), 54.0);
+        assert_eq!(s.read(c(53.4)), 53.0);
+        assert_eq!(s.read(c(53.6)), 54.0);
         let mut half = TemperatureSensor::new(SensorConfig::new(0.0, 0.5), 1);
-        assert_eq!(half.read(53.3), 53.5);
+        assert_eq!(half.read(c(53.3)), 53.5);
     }
 
     #[test]
     fn noise_is_zero_mean_and_has_requested_sigma() {
         let mut s = TemperatureSensor::new(SensorConfig::new(0.5, 0.0), 42);
         let n = 20_000;
-        let readings: Vec<f64> = (0..n).map(|_| s.read(50.0)).collect();
+        let readings: Vec<f64> = (0..n).map(|_| s.read(c(50.0))).collect();
         let mean = readings.iter().sum::<f64>() / n as f64;
         let var = readings
             .iter()
@@ -137,7 +142,9 @@ mod tests {
     fn sensor_is_seed_deterministic() {
         let run = |seed| {
             let mut s = TemperatureSensor::new(SensorConfig::default(), seed);
-            (0..20).map(|i| s.read(40.0 + i as f64)).collect::<Vec<_>>()
+            (0..20)
+                .map(|i| s.read(c(40.0 + i as f64)))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(9), run(9));
         assert_ne!(run(9), run(10));
@@ -147,7 +154,7 @@ mod tests {
     fn default_config_quantizes_to_whole_degrees() {
         let mut s = TemperatureSensor::new(SensorConfig::default(), 3);
         for _ in 0..50 {
-            let r = s.read(47.3);
+            let r = s.read(c(47.3));
             assert_eq!(r, r.round());
         }
     }

@@ -9,6 +9,7 @@ use crate::time::SimTime;
 use crate::vm::{Vm, VmId};
 use crate::vmm::{split_power, CoreScheduler, MultiCoreNetwork, SchedulingPolicy};
 use serde::{Deserialize, Serialize};
+use vmtherm_units::{Celsius, Seconds, Utilization, Watts};
 
 /// Opaque server identifier (index into the datacenter).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -206,7 +207,7 @@ pub struct Server {
 impl Server {
     /// Creates a server in thermal equilibrium with `ambient_c`.
     #[must_use]
-    pub fn new(id: ServerId, spec: ServerSpec, ambient_c: f64, seed: u64) -> Self {
+    pub fn new(id: ServerId, spec: ServerSpec, ambient_c: Celsius, seed: u64) -> Self {
         let network = ThermalNetwork::new(spec.thermal(), ambient_c);
         let sensor = TemperatureSensor::new(spec.sensor(), seed ^ (id.raw() as u64) << 17);
         let fans = spec.fans();
@@ -342,7 +343,7 @@ impl Server {
     /// ([`ServerSpec::with_core_scheduling`]), per-VM demand is scheduled
     /// onto cores, package power splits proportionally to core load, and
     /// the reported die temperature is the hottest core.
-    pub fn step(&mut self, t: SimTime, ambient_c: f64, dt_secs: f64) {
+    pub fn step(&mut self, t: SimTime, ambient_c: Celsius, dt_secs: Seconds) {
         // One demand query per VM per step (workload generators advance on
         // each query).
         let mut demands: Vec<f64> = self.vms.iter_mut().map(|vm| vm.cpu_demand(t)).collect();
@@ -350,18 +351,24 @@ impl Server {
             demands.push(self.migration_overhead);
         }
         let total_demand: f64 = demands.iter().sum();
-        let util = (total_demand / self.spec.cores() as f64).min(1.0);
+        let util = Utilization::saturating((total_demand / self.spec.cores() as f64).min(1.0));
         let power = self.spec.power().total_power(util, self.active_memory_gb());
         let r_sa = self.fans.sink_resistance();
         match &mut self.core_model {
             Some((scheduler, network)) => {
                 let core_utils = scheduler.assign(&demands);
-                let per_core = split_power(power, self.spec.power().idle_watts(), &core_utils);
+                let per_core = split_power(
+                    Watts::new(power),
+                    Watts::new(self.spec.power().idle_watts()),
+                    &core_utils,
+                );
                 network.step(&per_core, ambient_c, r_sa, dt_secs);
             }
-            None => self.network.step(power, ambient_c, r_sa, dt_secs),
+            None => self
+                .network
+                .step(Watts::new(power), ambient_c, r_sa, dt_secs),
         }
-        self.last_utilization = util;
+        self.last_utilization = util.as_fraction();
         self.last_power = power;
     }
 
@@ -385,19 +392,19 @@ impl Server {
     /// a real deployment observes.
     pub fn read_sensor(&mut self) -> f64 {
         let t = self.die_temperature();
-        self.sensor.read(t)
+        self.sensor.read(Celsius::new(t))
     }
 
     /// The steady-state die temperature if current conditions persisted —
     /// used by ground-truth oracles in tests.
     #[must_use]
-    pub fn steady_state_die(&self, utilization: f64, ambient_c: f64) -> f64 {
+    pub fn steady_state_die(&self, utilization: Utilization, ambient_c: Celsius) -> f64 {
         let power = self
             .spec
             .power()
             .total_power(utilization, self.active_memory_gb());
         self.network
-            .steady_state(power, ambient_c, self.fans.sink_resistance())
+            .steady_state(Watts::new(power), ambient_c, self.fans.sink_resistance())
             .die_c
     }
 
@@ -428,11 +435,16 @@ impl Server {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn amb(v: f64) -> Celsius {
+        Celsius::new(v)
+    }
+
     use crate::vm::VmSpec;
     use crate::workload::TaskProfile;
 
     fn server() -> Server {
-        Server::new(ServerId::new(0), ServerSpec::standard("s0"), 25.0, 42)
+        Server::new(ServerId::new(0), ServerSpec::standard("s0"), amb(25.0), 42)
     }
 
     fn vm(id: u64, vcpus: u32, mem: f64, task: TaskProfile) -> Vm {
@@ -486,7 +498,7 @@ mod tests {
     fn idle_server_stays_near_ambient_plus_idle_power_rise() {
         let mut s = server();
         for sec in 0..1200 {
-            s.step(SimTime::from_secs(sec), 25.0, 1.0);
+            s.step(SimTime::from_secs(sec), amb(25.0), Seconds::new(1.0));
         }
         // Idle power still produces some rise, but die stays modest.
         let t = s.die_temperature();
@@ -496,13 +508,13 @@ mod tests {
     #[test]
     fn loaded_server_runs_hotter_than_idle() {
         let mut idle = server();
-        let mut busy = Server::new(ServerId::new(1), ServerSpec::standard("s1"), 25.0, 43);
+        let mut busy = Server::new(ServerId::new(1), ServerSpec::standard("s1"), amb(25.0), 43);
         for i in 0..8 {
             busy.boot_vm(vm(i, 2, 4.0, TaskProfile::CpuBound)).unwrap();
         }
         for sec in 0..1200 {
-            idle.step(SimTime::from_secs(sec), 25.0, 1.0);
-            busy.step(SimTime::from_secs(sec), 25.0, 1.0);
+            idle.step(SimTime::from_secs(sec), amb(25.0), Seconds::new(1.0));
+            busy.step(SimTime::from_secs(sec), amb(25.0), Seconds::new(1.0));
         }
         assert!(
             busy.die_temperature() > idle.die_temperature() + 8.0,
@@ -532,7 +544,7 @@ mod tests {
             s.boot_vm(vm(i, 4, 8.0, TaskProfile::CpuBound)).unwrap();
         }
         for sec in 0..900 {
-            s.step(SimTime::from_secs(sec), 25.0, 1.0);
+            s.step(SimTime::from_secs(sec), amb(25.0), Seconds::new(1.0));
         }
         let true_t = s.die_temperature();
         let mean_reading: f64 = (0..100).map(|_| s.read_sensor()).sum::<f64>() / 100.0;
@@ -546,16 +558,16 @@ mod tests {
     fn more_fans_cooler_die_at_same_load() {
         let few = ServerSpec::commodity("few", 16, 2.4, 64.0, 2);
         let many = ServerSpec::commodity("many", 16, 2.4, 64.0, 6);
-        let mut a = Server::new(ServerId::new(0), few, 25.0, 1);
-        let mut b = Server::new(ServerId::new(1), many, 25.0, 1);
+        let mut a = Server::new(ServerId::new(0), few, amb(25.0), 1);
+        let mut b = Server::new(ServerId::new(1), many, amb(25.0), 1);
         for i in 0..4 {
             a.boot_vm(vm(i, 4, 8.0, TaskProfile::CpuBound)).unwrap();
             b.boot_vm(vm(10 + i, 4, 8.0, TaskProfile::CpuBound))
                 .unwrap();
         }
         for sec in 0..1200 {
-            a.step(SimTime::from_secs(sec), 25.0, 1.0);
-            b.step(SimTime::from_secs(sec), 25.0, 1.0);
+            a.step(SimTime::from_secs(sec), amb(25.0), Seconds::new(1.0));
+            b.step(SimTime::from_secs(sec), amb(25.0), Seconds::new(1.0));
         }
         assert!(b.die_temperature() < a.die_temperature() - 2.0);
     }
@@ -567,12 +579,12 @@ mod tests {
         // heat so the reported (hottest-core) temperature is higher.
         let run = |policy: SchedulingPolicy| {
             let spec = ServerSpec::standard("pc").with_core_scheduling(policy);
-            let mut s = Server::new(ServerId::new(0), spec, 25.0, 9);
+            let mut s = Server::new(ServerId::new(0), spec, amb(25.0), 9);
             // Two 4-vCPU cpu-bound VMs on 16 cores: skew is possible.
             s.boot_vm(vm(1, 4, 8.0, TaskProfile::CpuBound)).unwrap();
             s.boot_vm(vm(2, 4, 8.0, TaskProfile::CpuBound)).unwrap();
             for sec in 0..1200 {
-                s.step(SimTime::from_secs(sec), 25.0, 1.0);
+                s.step(SimTime::from_secs(sec), amb(25.0), Seconds::new(1.0));
             }
             assert!(s.core_temperatures().is_some());
             s.die_temperature()
@@ -584,14 +596,14 @@ mod tests {
             "pinned {pinned} not hotter than balanced {balanced}"
         );
         // Lumped mode has no core view.
-        let lumped = Server::new(ServerId::new(1), ServerSpec::standard("l"), 25.0, 9);
+        let lumped = Server::new(ServerId::new(1), ServerSpec::standard("l"), amb(25.0), 9);
         assert!(lumped.core_temperatures().is_none());
     }
 
     #[test]
     fn room_heat_includes_fans() {
         let mut s = server();
-        s.step(SimTime::ZERO, 25.0, 1.0);
+        s.step(SimTime::ZERO, amb(25.0), Seconds::new(1.0));
         assert!(s.room_heat_watts() > s.last_power());
     }
 }

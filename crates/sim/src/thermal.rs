@@ -17,6 +17,7 @@
 //! knowledge.
 
 use serde::{Deserialize, Serialize};
+use vmtherm_units::{Celsius, Seconds, Watts};
 
 /// Static parameters of the two-node network.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -83,10 +84,10 @@ impl ThermalState {
     /// Both nodes in equilibrium with the given ambient (a powered-off or
     /// long-idle machine).
     #[must_use]
-    pub fn at_ambient(ambient_c: f64) -> Self {
+    pub fn at_ambient(ambient_c: Celsius) -> Self {
         ThermalState {
-            die_c: ambient_c,
-            sink_c: ambient_c,
+            die_c: ambient_c.get(),
+            sink_c: ambient_c.get(),
         }
     }
 }
@@ -98,10 +99,15 @@ pub struct ThermalNetwork {
     state: ThermalState,
 }
 
+/// Sanity window for simulated node temperatures (°C). Nothing in a
+/// datacenter model should leave it; the integrator debug-asserts that.
+const MIN_PLAUSIBLE_C: f64 = -100.0;
+const MAX_PLAUSIBLE_C: f64 = 500.0;
+
 impl ThermalNetwork {
     /// A network starting in equilibrium with `ambient_c`.
     #[must_use]
-    pub fn new(params: ThermalParams, ambient_c: f64) -> Self {
+    pub fn new(params: ThermalParams, ambient_c: Celsius) -> Self {
         ThermalNetwork {
             params,
             state: ThermalState::at_ambient(ambient_c),
@@ -142,20 +148,44 @@ impl ThermalNetwork {
     /// # Panics
     ///
     /// Panics if `dt_secs` or `r_sink_amb` is non-positive.
-    pub fn step(&mut self, power_w: f64, ambient_c: f64, r_sink_amb: f64, dt_secs: f64) {
-        assert!(dt_secs > 0.0, "step: non-positive dt");
+    pub fn step(&mut self, power_w: Watts, ambient_c: Celsius, r_sink_amb: f64, dt_secs: Seconds) {
+        let dt = dt_secs.get();
+        assert!(dt > 0.0, "step: non-positive dt");
         assert!(r_sink_amb > 0.0, "step: non-positive sink resistance");
-        let substeps = dt_secs.ceil().max(1.0) as usize;
-        let h = dt_secs / substeps as f64;
+        let substeps = dt.ceil().max(1.0) as usize;
+        let h = dt / substeps as f64;
         for _ in 0..substeps {
-            self.state = rk4_step(self.params, self.state, power_w, ambient_c, r_sink_amb, h);
+            self.state = rk4_step(
+                self.params,
+                self.state,
+                power_w.get(),
+                ambient_c.get(),
+                r_sink_amb,
+                h,
+            );
         }
+        debug_assert!(
+            self.state.die_c.is_finite() && self.state.sink_c.is_finite(),
+            "thermal integrator produced a non-finite temperature: {:?}",
+            self.state
+        );
+        debug_assert!(
+            (MIN_PLAUSIBLE_C..=MAX_PLAUSIBLE_C).contains(&self.state.die_c)
+                && (MIN_PLAUSIBLE_C..=MAX_PLAUSIBLE_C).contains(&self.state.sink_c),
+            "thermal integrator left the plausible range: {:?}",
+            self.state
+        );
     }
 
     /// Closed-form steady state under constant conditions: the temperatures
     /// the network converges to as `t → ∞`.
     #[must_use]
-    pub fn steady_state(&self, power_w: f64, ambient_c: f64, r_sink_amb: f64) -> ThermalState {
+    pub fn steady_state(
+        &self,
+        power_w: Watts,
+        ambient_c: Celsius,
+        r_sink_amb: f64,
+    ) -> ThermalState {
         steady_state(self.params, power_w, ambient_c, r_sink_amb)
     }
 }
@@ -166,12 +196,12 @@ impl ThermalNetwork {
 #[must_use]
 pub fn steady_state(
     params: ThermalParams,
-    power_w: f64,
-    ambient_c: f64,
+    power_w: Watts,
+    ambient_c: Celsius,
     r_sink_amb: f64,
 ) -> ThermalState {
-    let sink = ambient_c + power_w * r_sink_amb;
-    let die = sink + power_w * params.r_die_sink;
+    let sink = ambient_c.get() + power_w.get() * r_sink_amb;
+    let die = sink + power_w.get() * params.r_die_sink;
     ThermalState {
         die_c: die,
         sink_c: sink,
@@ -224,14 +254,26 @@ mod tests {
 
     const R_SA: f64 = 0.10; // four medium fans, roughly
 
+    fn c(v: f64) -> Celsius {
+        Celsius::new(v)
+    }
+
+    fn w(v: f64) -> Watts {
+        Watts::new(v)
+    }
+
+    fn s(v: f64) -> Seconds {
+        Seconds::new(v)
+    }
+
     fn network() -> ThermalNetwork {
-        ThermalNetwork::new(ThermalParams::default(), 25.0)
+        ThermalNetwork::new(ThermalParams::default(), c(25.0))
     }
 
     #[test]
     fn zero_power_stays_at_ambient() {
         let mut n = network();
-        n.step(0.0, 25.0, R_SA, 600.0);
+        n.step(Watts::ZERO, c(25.0), R_SA, s(600.0));
         assert!((n.die_temperature() - 25.0).abs() < 1e-9);
         assert!((n.state().sink_c - 25.0).abs() < 1e-9);
     }
@@ -239,9 +281,9 @@ mod tests {
     #[test]
     fn converges_to_closed_form_steady_state() {
         let mut n = network();
-        let target = n.steady_state(180.0, 25.0, R_SA);
+        let target = n.steady_state(w(180.0), c(25.0), R_SA);
         for _ in 0..2000 {
-            n.step(180.0, 25.0, R_SA, 1.0);
+            n.step(w(180.0), c(25.0), R_SA, s(1.0));
         }
         assert!((n.die_temperature() - target.die_c).abs() < 1e-3);
         assert!((n.state().sink_c - target.sink_c).abs() < 1e-3);
@@ -249,10 +291,10 @@ mod tests {
 
     #[test]
     fn steady_state_values_are_physical() {
-        let s = steady_state(ThermalParams::default(), 180.0, 25.0, R_SA);
+        let st = steady_state(ThermalParams::default(), w(180.0), c(25.0), R_SA);
         // 25 + 180*0.10 = 43 at sink, + 180*0.05 = 52 at die.
-        assert!((s.sink_c - 43.0).abs() < 1e-12);
-        assert!((s.die_c - 52.0).abs() < 1e-12);
+        assert!((st.sink_c - 43.0).abs() < 1e-12);
+        assert!((st.die_c - 52.0).abs() < 1e-12);
     }
 
     #[test]
@@ -260,7 +302,7 @@ mod tests {
         let mut n = network();
         let mut prev = n.die_temperature();
         for _ in 0..600 {
-            n.step(150.0, 25.0, R_SA, 1.0);
+            n.step(w(150.0), c(25.0), R_SA, s(1.0));
             let t = n.die_temperature();
             assert!(t >= prev - 1e-9, "die cooled while warming up");
             prev = t;
@@ -271,11 +313,11 @@ mod tests {
     fn cooling_after_load_drop() {
         let mut n = network();
         for _ in 0..1200 {
-            n.step(200.0, 25.0, R_SA, 1.0);
+            n.step(w(200.0), c(25.0), R_SA, s(1.0));
         }
         let hot = n.die_temperature();
         for _ in 0..1200 {
-            n.step(50.0, 25.0, R_SA, 1.0);
+            n.step(w(50.0), c(25.0), R_SA, s(1.0));
         }
         assert!(n.die_temperature() < hot - 5.0);
     }
@@ -285,9 +327,9 @@ mod tests {
         // Integrating 300 s in one call or in 300 calls must agree closely.
         let mut a = network();
         let mut b = network();
-        a.step(170.0, 22.0, R_SA, 300.0);
+        a.step(w(170.0), c(22.0), R_SA, s(300.0));
         for _ in 0..300 {
-            b.step(170.0, 22.0, R_SA, 1.0);
+            b.step(w(170.0), c(22.0), R_SA, s(1.0));
         }
         assert!((a.die_temperature() - b.die_temperature()).abs() < 1e-6);
     }
@@ -295,16 +337,16 @@ mod tests {
     #[test]
     fn higher_ambient_raises_stable_temperature() {
         let p = ThermalParams::default();
-        let cold = steady_state(p, 150.0, 18.0, R_SA);
-        let warm = steady_state(p, 150.0, 28.0, R_SA);
+        let cold = steady_state(p, w(150.0), c(18.0), R_SA);
+        let warm = steady_state(p, w(150.0), c(28.0), R_SA);
         assert!((warm.die_c - cold.die_c - 10.0).abs() < 1e-12);
     }
 
     #[test]
     fn lower_sink_resistance_cools_the_die() {
         let p = ThermalParams::default();
-        let few_fans = steady_state(p, 150.0, 25.0, 0.15);
-        let many_fans = steady_state(p, 150.0, 25.0, 0.08);
+        let few_fans = steady_state(p, w(150.0), c(25.0), 0.15);
+        let many_fans = steady_state(p, w(150.0), c(25.0), 0.08);
         assert!(many_fans.die_c < few_fans.die_c);
     }
 
@@ -313,9 +355,9 @@ mod tests {
         // The paper's t_break = 600 s; with defaults and 4 medium fans the
         // die must be within 1.5 °C of steady state by then.
         let mut n = network();
-        let target = n.steady_state(180.0, 25.0, R_SA).die_c;
+        let target = n.steady_state(w(180.0), c(25.0), R_SA).die_c;
         for _ in 0..600 {
-            n.step(180.0, 25.0, R_SA, 1.0);
+            n.step(w(180.0), c(25.0), R_SA, s(1.0));
         }
         assert!(
             (n.die_temperature() - target).abs() < 1.5,
@@ -335,7 +377,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "non-positive dt")]
     fn zero_dt_panics() {
-        network().step(100.0, 25.0, R_SA, 0.0);
+        network().step(w(100.0), c(25.0), R_SA, Seconds::ZERO);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 
 use crate::thermal::ThermalParams;
 use serde::{Deserialize, Serialize};
+use vmtherm_units::{Celsius, Seconds, Watts};
 
 /// How the VMM spreads vCPU demand over physical cores.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -131,11 +132,11 @@ impl MultiCoreNetwork {
     ///
     /// Panics on zero cores.
     #[must_use]
-    pub fn from_lumped(params: ThermalParams, cores: usize, ambient_c: f64) -> Self {
+    pub fn from_lumped(params: ThermalParams, cores: usize, ambient_c: Celsius) -> Self {
         assert!(cores > 0, "need at least one core");
         MultiCoreNetwork {
-            core_c: vec![ambient_c; cores],
-            sink_c: ambient_c,
+            core_c: vec![ambient_c.get(); cores],
+            sink_c: ambient_c.get(),
             c_core: params.c_die / cores as f64,
             c_sink: params.c_sink,
             // N parallel resistances of N·R_ds give an aggregate R_ds.
@@ -177,19 +178,30 @@ impl MultiCoreNetwork {
     ///
     /// Panics if `core_power_w.len()` differs from the core count, or on
     /// non-positive `dt_secs`/`r_sink_amb`.
-    pub fn step(&mut self, core_power_w: &[f64], ambient_c: f64, r_sink_amb: f64, dt_secs: f64) {
+    pub fn step(
+        &mut self,
+        core_power_w: &[f64],
+        ambient_c: Celsius,
+        r_sink_amb: f64,
+        dt_secs: Seconds,
+    ) {
         assert_eq!(
             core_power_w.len(),
             self.cores(),
             "per-core power length mismatch"
         );
-        assert!(dt_secs > 0.0, "non-positive dt");
+        let dt = dt_secs.get();
+        assert!(dt > 0.0, "non-positive dt");
         assert!(r_sink_amb > 0.0, "non-positive sink resistance");
-        let substeps = dt_secs.ceil().max(1.0) as usize;
-        let h = dt_secs / substeps as f64;
+        let substeps = dt.ceil().max(1.0) as usize;
+        let h = dt / substeps as f64;
         for _ in 0..substeps {
-            self.rk4(core_power_w, ambient_c, r_sink_amb, h);
+            self.rk4(core_power_w, ambient_c.get(), r_sink_amb, h);
         }
+        debug_assert!(
+            self.sink_c.is_finite() && self.core_c.iter().all(|t| t.is_finite()),
+            "per-core integrator produced a non-finite temperature"
+        );
     }
 
     /// Closed-form steady state for constant per-core power.
@@ -197,11 +209,11 @@ impl MultiCoreNetwork {
     pub fn steady_state(
         &self,
         core_power_w: &[f64],
-        ambient_c: f64,
+        ambient_c: Celsius,
         r_sink_amb: f64,
     ) -> (Vec<f64>, f64) {
         let total: f64 = core_power_w.iter().sum();
-        let sink = ambient_c + total * r_sink_amb;
+        let sink = ambient_c.get() + total * r_sink_amb;
         let cores = core_power_w
             .iter()
             .map(|p| sink + p * self.r_core_sink)
@@ -256,9 +268,9 @@ impl MultiCoreNetwork {
 /// Splits package power over cores in proportion to their utilization
 /// (idle power spreads uniformly, dynamic power follows load).
 #[must_use]
-pub fn split_power(total_power_w: f64, idle_power_w: f64, core_utils: &[f64]) -> Vec<f64> {
+pub fn split_power(total_power_w: Watts, idle_power_w: Watts, core_utils: &[f64]) -> Vec<f64> {
     let n = core_utils.len().max(1) as f64;
-    let dynamic = (total_power_w - idle_power_w).max(0.0);
+    let dynamic = (total_power_w.get() - idle_power_w.get()).max(0.0);
     let total_util: f64 = core_utils.iter().sum();
     core_utils
         .iter()
@@ -268,7 +280,7 @@ pub fn split_power(total_power_w: f64, idle_power_w: f64, core_utils: &[f64]) ->
             } else {
                 1.0 / n
             };
-            idle_power_w / n + dynamic * share
+            idle_power_w.get() / n + dynamic * share
         })
         .collect()
 }
@@ -276,6 +288,10 @@ pub fn split_power(total_power_w: f64, idle_power_w: f64, core_utils: &[f64]) ->
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn amb(v: f64) -> Celsius {
+        Celsius::new(v)
+    }
 
     #[test]
     fn balanced_scheduler_spreads_load() {
@@ -319,11 +335,11 @@ mod tests {
         // steady state as the lumped model it was derived from.
         let params = ThermalParams::default();
         let n = 8;
-        let net = MultiCoreNetwork::from_lumped(params, n, 25.0);
+        let net = MultiCoreNetwork::from_lumped(params, n, amb(25.0));
         let total = 160.0;
         let per_core = vec![total / n as f64; n];
-        let (cores, sink) = net.steady_state(&per_core, 25.0, 0.10);
-        let lumped = crate::thermal::steady_state(params, total, 25.0, 0.10);
+        let (cores, sink) = net.steady_state(&per_core, amb(25.0), 0.10);
+        let lumped = crate::thermal::steady_state(params, Watts::new(total), amb(25.0), 0.10);
         assert!((sink - lumped.sink_c).abs() < 1e-9);
         for c in &cores {
             assert!(
@@ -337,11 +353,11 @@ mod tests {
     #[test]
     fn integrator_converges_to_steady_state() {
         let params = ThermalParams::default();
-        let mut net = MultiCoreNetwork::from_lumped(params, 4, 25.0);
+        let mut net = MultiCoreNetwork::from_lumped(params, 4, amb(25.0));
         let power = vec![50.0, 30.0, 10.0, 10.0];
-        let (want_cores, want_sink) = net.steady_state(&power, 25.0, 0.10);
+        let (want_cores, want_sink) = net.steady_state(&power, amb(25.0), 0.10);
         for _ in 0..3000 {
-            net.step(&power, 25.0, 0.10, 1.0);
+            net.step(&power, amb(25.0), 0.10, Seconds::new(1.0));
         }
         assert!((net.sink_temperature() - want_sink).abs() < 1e-3);
         for (have, want) in net.core_temperatures().iter().zip(&want_cores) {
@@ -354,11 +370,11 @@ mod tests {
         // Same total power: pinned (skewed) vs balanced. The hottest core
         // must be hotter under skew — the effect this module adds.
         let params = ThermalParams::default();
-        let net = MultiCoreNetwork::from_lumped(params, 4, 25.0);
+        let net = MultiCoreNetwork::from_lumped(params, 4, amb(25.0));
         let balanced = vec![40.0; 4];
         let skewed = vec![100.0, 40.0, 10.0, 10.0];
-        let (b, _) = net.steady_state(&balanced, 25.0, 0.10);
-        let (s, _) = net.steady_state(&skewed, 25.0, 0.10);
+        let (b, _) = net.steady_state(&balanced, amb(25.0), 0.10);
+        let (s, _) = net.steady_state(&skewed, amb(25.0), 0.10);
         let b_max = b.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let s_max = s.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         assert!(s_max > b_max + 3.0, "skewed {s_max} vs balanced {b_max}");
@@ -366,7 +382,7 @@ mod tests {
 
     #[test]
     fn split_power_follows_utilization() {
-        let split = split_power(100.0, 40.0, &[1.0, 0.5, 0.5, 0.0]);
+        let split = split_power(Watts::new(100.0), Watts::new(40.0), &[1.0, 0.5, 0.5, 0.0]);
         // idle 10 each + dynamic 60 split 30/15/15/0.
         assert_eq!(split, vec![40.0, 25.0, 25.0, 10.0]);
         assert!((split.iter().sum::<f64>() - 100.0).abs() < 1e-12);
@@ -374,15 +390,15 @@ mod tests {
 
     #[test]
     fn split_power_idle_package_spreads_uniformly() {
-        let split = split_power(40.0, 40.0, &[0.0, 0.0]);
+        let split = split_power(Watts::new(40.0), Watts::new(40.0), &[0.0, 0.0]);
         assert_eq!(split, vec![20.0, 20.0]);
     }
 
     #[test]
     fn hottest_core_reported() {
         let params = ThermalParams::default();
-        let mut net = MultiCoreNetwork::from_lumped(params, 2, 25.0);
-        net.step(&[120.0, 10.0], 25.0, 0.10, 600.0);
+        let mut net = MultiCoreNetwork::from_lumped(params, 2, amb(25.0));
+        net.step(&[120.0, 10.0], amb(25.0), 0.10, Seconds::new(600.0));
         assert!(net.hottest_core() > net.core_temperatures()[1]);
         assert_eq!(net.hottest_core(), net.core_temperatures()[0]);
     }

@@ -11,6 +11,7 @@ use vmtherm_sim::time::SimDuration;
 use vmtherm_sim::vm::VmSpec;
 use vmtherm_sim::vmm::{CoreScheduler, MultiCoreNetwork, SchedulingPolicy};
 use vmtherm_sim::workload::TaskProfile;
+use vmtherm_units::{Celsius, Seconds, Utilization, Watts};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -27,10 +28,10 @@ proptest! {
         dr in 0.0..0.3f64,
     ) {
         let params = ThermalParams::default();
-        let base = steady_state(params, p1, ambient, r).die_c;
-        prop_assert!(steady_state(params, p1 + dp, ambient, r).die_c >= base - 1e-9);
-        prop_assert!(steady_state(params, p1, ambient + da, r).die_c >= base - 1e-9);
-        prop_assert!(steady_state(params, p1, ambient, r + dr).die_c >= base - 1e-9);
+        let base = steady_state(params, Watts::new(p1), Celsius::new(ambient), r).die_c;
+        prop_assert!(steady_state(params, Watts::new(p1 + dp), Celsius::new(ambient), r).die_c >= base - 1e-9);
+        prop_assert!(steady_state(params, Watts::new(p1), Celsius::new(ambient + da), r).die_c >= base - 1e-9);
+        prop_assert!(steady_state(params, Watts::new(p1), Celsius::new(ambient), r + dr).die_c >= base - 1e-9);
     }
 
     /// The integrator is stable and converges to the closed-form steady
@@ -46,10 +47,10 @@ proptest! {
         start in 15.0..90.0f64,
     ) {
         let params = ThermalParams::default();
-        let mut net = ThermalNetwork::new(params, start);
-        let target = steady_state(params, power, ambient, r);
+        let mut net = ThermalNetwork::new(params, Celsius::new(start));
+        let target = steady_state(params, Watts::new(power), Celsius::new(ambient), r);
         for _ in 0..30 {
-            net.step(power, ambient, r, 300.0);
+            net.step(Watts::new(power), Celsius::new(ambient), r, Seconds::new(300.0));
             prop_assert!(net.die_temperature().is_finite());
         }
         prop_assert!((net.die_temperature() - target.die_c).abs() < 0.05,
@@ -79,7 +80,7 @@ proptest! {
         mem in 0.0..256.0f64,
     ) {
         let m = PowerModel::for_capacity(cores, ghz);
-        let p = m.total_power(util, mem);
+        let p = m.total_power(Utilization::saturating(util), mem);
         prop_assert!(p >= m.idle_watts() - 1e-9);
         prop_assert!(p <= m.max_watts() + m.memory_power(mem) + 1e-9);
     }
@@ -113,9 +114,9 @@ proptest! {
         ambient in 15.0..35.0f64,
     ) {
         let params = ThermalParams::default();
-        let net = MultiCoreNetwork::from_lumped(params, n, ambient);
+        let net = MultiCoreNetwork::from_lumped(params, n, Celsius::new(ambient));
         let power: Vec<f64> = (0..n).map(|i| base_power + i as f64 * 3.0).collect();
-        let (cores, sink) = net.steady_state(&power, ambient, r_sa);
+        let (cores, sink) = net.steady_state(&power, Celsius::new(ambient), r_sa);
         let total: f64 = power.iter().sum();
         // Sink heat balance.
         prop_assert!(((sink - ambient) / r_sa - total).abs() < 1e-9);
@@ -137,7 +138,7 @@ proptest! {
             VmSpec::new("b", 2, 4.0, TaskProfile::Mixed),
         ];
         let mk = |s: u64| {
-            ExperimentConfig::new(server.clone(), vms.clone(), 24.0, s)
+            ExperimentConfig::new(server.clone(), vms.clone(), Celsius::new(24.0), s)
                 .with_duration(SimDuration::from_secs(800))
                 .with_t_break(SimDuration::from_secs(600))
                 .run()

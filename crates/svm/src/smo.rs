@@ -389,6 +389,21 @@ pub(crate) fn solve(
             .map(|(a, (g, pi))| a * (g + pi))
             .sum::<f64>();
 
+    // Box feasibility 0 ≤ α_i ≤ C_i is maintained by every clip above;
+    // a violation here means the update arithmetic itself went wrong.
+    debug_assert!(
+        alpha
+            .iter()
+            .zip(c)
+            .all(|(a, ci)| (-1e-12..=ci + 1e-12).contains(a)),
+        "SMO produced an alpha outside [0, C]"
+    );
+    debug_assert!(rho.is_finite(), "SMO produced a non-finite rho");
+    debug_assert!(
+        objective.is_finite(),
+        "SMO produced a non-finite dual objective"
+    );
+
     Solution {
         alpha,
         rho,

@@ -1,0 +1,80 @@
+//! Workspace task runner. Currently one task:
+//!
+//! ```text
+//! cargo run -p xtask -- lint [--root DIR] [--allowlist FILE]
+//! ```
+//!
+//! Runs the project lint rules L1–L5 (see the library docs) and exits
+//! non-zero when any violation is found. The allowlist defaults to
+//! `xtask-lint-allow.txt` in the workspace root.
+
+#![deny(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xtask::{lint_workspace, Allowlist};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(task) = args.next() else {
+        eprintln!("usage: cargo run -p xtask -- lint [--root DIR] [--allowlist FILE]");
+        return ExitCode::FAILURE;
+    };
+    if task != "lint" {
+        eprintln!("unknown task {task:?}; available tasks: lint");
+        return ExitCode::FAILURE;
+    }
+
+    let mut root: Option<PathBuf> = None;
+    let mut allowlist_path: Option<PathBuf> = None;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--allowlist" => allowlist_path = args.next().map(PathBuf::from),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    // `cargo run -p xtask` sets the cwd to the invoker's directory and
+    // CARGO_MANIFEST_DIR to crates/xtask; the workspace root is two up.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(|p| p.parent())
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("."))
+    });
+    let allowlist_path = allowlist_path.unwrap_or_else(|| root.join("xtask-lint-allow.txt"));
+
+    let allow = match Allowlist::load(&allowlist_path) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match lint_workspace(&root, &allow) {
+        Ok(violations) if violations.is_empty() => {
+            println!(
+                "xtask lint: OK ({} allowlisted site{})",
+                allow.len(),
+                if allow.len() == 1 { "" } else { "s" }
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            println!("xtask lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

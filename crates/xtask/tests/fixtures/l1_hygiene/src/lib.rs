@@ -1,0 +1,2 @@
+//! Missing `#![deny(unsafe_code)]`; manifest missing the lint table.
+pub fn fine() {}

@@ -1,0 +1,19 @@
+#![deny(unsafe_code)]
+
+pub fn risky(xs: &[f64]) -> f64 {
+    let first = xs.first().unwrap();
+    let second = xs.get(1).expect("second element");
+    if xs.len() > 9 {
+        panic!("too many");
+    }
+    first + second
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v: Option<f64> = Some(1.0);
+        v.unwrap();
+    }
+}

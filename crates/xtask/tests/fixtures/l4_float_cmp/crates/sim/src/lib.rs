@@ -1,0 +1,12 @@
+#![deny(unsafe_code)]
+
+pub fn same_temperature(a_c: f64, b_c: f64) -> bool {
+    a_c == b_c
+}
+
+pub fn hottest(values: &[f64]) -> f64 {
+    *values
+        .iter()
+        .max_by(|a, b| a.partial_cmp(b).unwrap())
+        .unwrap_or(&f64::NAN)
+}

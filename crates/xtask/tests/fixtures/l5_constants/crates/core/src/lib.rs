@@ -1,0 +1,5 @@
+#![deny(unsafe_code)]
+
+pub const PAPER_LAMBDA: f64 = 0.8;
+
+pub const DEFAULT_LAMBDA: f64 = 0.8;

@@ -1,0 +1,129 @@
+//! Fixture tests for the lint rules: each seeded fixture must trip its
+//! rule at the right path and line, the clean fixture must pass, and the
+//! `xtask lint` binary must turn findings into a non-zero exit code.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use xtask::{lint_workspace, Allowlist, Rule, Violation};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join(name)
+}
+
+fn lint_fixture(name: &str) -> Vec<Violation> {
+    lint_workspace(&fixture(name), &Allowlist::default()).expect("lint run")
+}
+
+/// Runs the real binary against a fixture and returns its exit success.
+fn binary_passes(name: &str) -> bool {
+    let status = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["lint", "--root"])
+        .arg(fixture(name))
+        .args(["--allowlist", "/nonexistent-allowlist"])
+        .status()
+        .expect("spawn xtask");
+    status.success()
+}
+
+fn find<'a>(violations: &'a [Violation], rule: Rule, path: &str, line: usize) -> &'a Violation {
+    violations
+        .iter()
+        .find(|v| v.rule == rule && v.path == Path::new(path) && v.line == line)
+        .unwrap_or_else(|| panic!("no {rule:?} violation at {path}:{line} in {violations:#?}"))
+}
+
+#[test]
+fn clean_fixture_passes() {
+    let violations = lint_fixture("clean");
+    assert!(violations.is_empty(), "{violations:#?}");
+    assert!(binary_passes("clean"));
+}
+
+#[test]
+fn l1_missing_hygiene_fires() {
+    let violations = lint_fixture("l1_hygiene");
+    find(&violations, Rule::L1, "Cargo.toml", 0);
+    find(&violations, Rule::L1, "src/lib.rs", 0);
+    assert_eq!(violations.len(), 2, "{violations:#?}");
+    assert!(!binary_passes("l1_hygiene"));
+}
+
+#[test]
+fn l2_panics_in_library_code_fire() {
+    let violations = lint_fixture("l2_panics");
+    find(&violations, Rule::L2, "crates/core/src/lib.rs", 4); // unwrap()
+    find(&violations, Rule::L2, "crates/core/src/lib.rs", 5); // expect()
+    find(&violations, Rule::L2, "crates/core/src/lib.rs", 7); // panic!
+    let l2: Vec<_> = violations.iter().filter(|v| v.rule == Rule::L2).collect();
+    assert_eq!(l2.len(), 3, "test-module unwrap must not fire: {l2:#?}");
+    assert!(!binary_passes("l2_panics"));
+}
+
+#[test]
+fn l3_raw_unit_parameters_fire() {
+    let violations = lint_fixture("l3_raw_units");
+    let inherent = find(&violations, Rule::L3, "crates/core/src/lib.rs", 6);
+    assert!(
+        inherent.message.contains("ambient_c") && inherent.message.contains("Celsius"),
+        "{inherent:#?}"
+    );
+    let trait_fn = find(&violations, Rule::L3, "crates/core/src/lib.rs", 12);
+    assert!(
+        trait_fn.message.contains("t_secs") && trait_fn.message.contains("Seconds"),
+        "{trait_fn:#?}"
+    );
+    // `series: &[f64]` is bulk data, not a single quantity.
+    let l3: Vec<_> = violations.iter().filter(|v| v.rule == Rule::L3).collect();
+    assert_eq!(l3.len(), 2, "{l3:#?}");
+    assert!(!binary_passes("l3_raw_units"));
+}
+
+#[test]
+fn l4_float_comparisons_fire() {
+    let violations = lint_fixture("l4_float_cmp");
+    let eq = find(&violations, Rule::L4, "crates/sim/src/lib.rs", 4);
+    assert!(eq.message.contains("a_c"), "{eq:#?}");
+    let pc = find(&violations, Rule::L4, "crates/sim/src/lib.rs", 10);
+    assert!(pc.message.contains("total_cmp"), "{pc:#?}");
+    assert!(!binary_passes("l4_float_cmp"));
+}
+
+#[test]
+fn l5_constant_redefinitions_fire() {
+    let violations = lint_fixture("l5_constants");
+    let redef = find(&violations, Rule::L5, "crates/core/src/lib.rs", 3);
+    assert!(redef.message.contains("PAPER_LAMBDA"), "{redef:#?}");
+    let alias = find(&violations, Rule::L5, "crates/core/src/lib.rs", 5);
+    assert!(alias.message.contains("DEFAULT_LAMBDA"), "{alias:#?}");
+    assert_eq!(violations.len(), 2, "{violations:#?}");
+    assert!(!binary_passes("l5_constants"));
+}
+
+#[test]
+fn allowlist_suppresses_a_vetted_site() {
+    let allow = Allowlist::parse(
+        "L2 | crates/core/src/lib.rs | .unwrap() | fixture: first element checked by caller\n\
+         L2 | crates/core/src/lib.rs | .expect(\"second element\") | fixture: vetted\n\
+         L2 | crates/core/src/lib.rs | panic!(\"too many\") | fixture: vetted\n",
+    )
+    .expect("parse");
+    let violations = lint_workspace(&fixture("l2_panics"), &allow).expect("lint run");
+    assert!(violations.is_empty(), "{violations:#?}");
+}
+
+#[test]
+fn workspace_itself_is_clean() {
+    // The real repo (two levels up from crates/xtask) must lint clean with
+    // its checked-in allowlist — the same invariant CI enforces.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let allow = Allowlist::load(&root.join("xtask-lint-allow.txt")).expect("allowlist");
+    let violations = lint_workspace(root, &allow).expect("lint run");
+    assert!(violations.is_empty(), "{violations:#?}");
+}

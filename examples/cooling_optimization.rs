@@ -22,6 +22,7 @@ use vmtherm::sim::{
 };
 use vmtherm::svm::kernel::Kernel;
 use vmtherm::svm::svr::SvrParams;
+use vmtherm::units::{Celsius, Watts};
 
 const SERVERS: usize = 6;
 const DIE_LIMIT_C: f64 = 68.0;
@@ -31,7 +32,7 @@ fn build_fleet(supply_c: f64, seed: u64) -> Simulation {
     for i in 0..SERVERS {
         dc.add_server(
             ServerSpec::standard(format!("n{i}")),
-            supply_c,
+            Celsius::new(supply_c),
             seed + i as u64,
         );
     }
@@ -83,7 +84,7 @@ fn main() {
     let mut probe = build_fleet(baseline_supply, 50);
     probe.run_until(SimTime::from_secs(5)); // settle bookkeeping
     let hosts: Vec<ConfigSnapshot> = (0..SERVERS)
-        .map(|i| ConfigSnapshot::capture(&probe, ServerId::new(i), baseline_supply))
+        .map(|i| ConfigSnapshot::capture(&probe, ServerId::new(i), Celsius::new(baseline_supply)))
         .collect();
     let offsets = vec![0.0; SERVERS];
     // Estimate room heat from the probe run.
@@ -101,7 +102,7 @@ fn main() {
     };
     let optimizer = SetpointOptimizer::new(model, cooling, search).expect("optimizer config");
     let advice = optimizer
-        .optimize(&hosts, &offsets, heat_w)
+        .optimize(&hosts, &offsets, Watts::new(heat_w))
         .expect("a feasible setpoint must exist");
 
     println!(
@@ -135,7 +136,15 @@ fn main() {
     } else {
         println!("VIOLATION: measured peak exceeded the limit — margin too thin.");
     }
-    let pue_before = cooling.pue(heat_w, baseline_supply, 0.0);
-    let pue_after = cooling.pue(heat_w, advice.supply_c, 0.0);
+    let pue_before = cooling.pue(
+        Watts::new(heat_w),
+        Celsius::new(baseline_supply),
+        Watts::ZERO,
+    );
+    let pue_after = cooling.pue(
+        Watts::new(heat_w),
+        Celsius::new(advice.supply_c),
+        Watts::ZERO,
+    );
     println!("PUE (cooling-only): {pue_before:.3} -> {pue_after:.3}");
 }

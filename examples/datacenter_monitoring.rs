@@ -21,6 +21,7 @@ use vmtherm::sim::{
 };
 use vmtherm::svm::kernel::Kernel;
 use vmtherm::svm::svr::SvrParams;
+use vmtherm::units::{Celsius, Seconds};
 
 const SERVERS: usize = 8;
 const GAP_SECS: f64 = 60.0;
@@ -47,7 +48,11 @@ fn main() {
     let ambient = 23.0;
     let mut dc = Datacenter::new();
     for i in 0..SERVERS {
-        dc.add_server(ServerSpec::standard(format!("node-{i}")), ambient, i as u64);
+        dc.add_server(
+            ServerSpec::standard(format!("node-{i}")),
+            Celsius::new(ambient),
+            i as u64,
+        );
     }
     let mut sim = Simulation::new(dc, AmbientModel::Fixed(ambient), 2024);
 
@@ -94,14 +99,19 @@ fn main() {
     );
 
     // --- Attach the monitor and run ----------------------------------------
-    let mut monitor =
-        FleetMonitor::new(stable, DynamicConfig::new(), SERVERS, GAP_SECS).expect("monitor config");
+    let mut monitor = FleetMonitor::new(
+        stable,
+        DynamicConfig::new(),
+        SERVERS,
+        Seconds::new(GAP_SECS),
+    )
+    .expect("monitor config");
 
     println!("\n   t | server: measured -> forecast(+60s)  [* = predicted hotspot]");
     let horizon = SimTime::from_secs(1800);
     while sim.now() < horizon {
         sim.step();
-        monitor.observe(&sim, ambient);
+        monitor.observe(&sim, Celsius::new(ambient));
 
         if sim.now().as_millis().is_multiple_of(120_000) {
             let now = sim.now().as_secs_f64();

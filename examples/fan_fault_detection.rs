@@ -19,6 +19,7 @@ use vmtherm::sim::{
 };
 use vmtherm::svm::kernel::Kernel;
 use vmtherm::svm::svr::SvrParams;
+use vmtherm::units::Celsius;
 
 const AMBIENT: f64 = 24.0;
 
@@ -26,7 +27,7 @@ const AMBIENT: f64 = 24.0;
 /// t = 900 s, and returns (snapshot, per-window mean sensor temps).
 fn run_server(failed_fans: u32, seed: u64) -> (ConfigSnapshot, Vec<(f64, f64)>) {
     let mut dc = Datacenter::new();
-    let sid = dc.add_server(ServerSpec::standard("watched"), AMBIENT, seed);
+    let sid = dc.add_server(ServerSpec::standard("watched"), Celsius::new(AMBIENT), seed);
     let mut sim = Simulation::new(dc, AmbientModel::Fixed(AMBIENT), seed);
     for i in 0..5 {
         let task = if i % 2 == 0 {
@@ -37,7 +38,7 @@ fn run_server(failed_fans: u32, seed: u64) -> (ConfigSnapshot, Vec<(f64, f64)>) 
         sim.boot_vm_now(sid, VmSpec::new(format!("vm-{i}"), 2, 4.0, task))
             .expect("boot");
     }
-    let snapshot = ConfigSnapshot::capture(&sim, sid, AMBIENT);
+    let snapshot = ConfigSnapshot::capture(&sim, sid, Celsius::new(AMBIENT));
     if failed_fans > 0 {
         sim.schedule(
             SimTime::from_secs(900),
@@ -92,8 +93,8 @@ fn main() {
         let mut alarmed_at: Option<f64> = None;
         println!("   t | window mean | residual | cusum | novelty");
         for (t, mean) in &windows {
-            let alarm = watchdog.observe(&snapshot, *mean);
-            let novel = novelty.is_anomalous(&snapshot, *mean);
+            let alarm = watchdog.observe(&snapshot, Celsius::new(*mean));
+            let novel = novelty.is_anomalous(&snapshot, Celsius::new(*mean));
             println!(
                 "{:>5} | {:>9.2} C | {:>+7.2} | {:>5.1} | {}",
                 *t as u64,

@@ -18,6 +18,7 @@ use vmtherm::sim::vmm::SchedulingPolicy;
 use vmtherm::sim::{ServerSpec, SimDuration, TaskProfile, VmSpec};
 use vmtherm::svm::kernel::Kernel;
 use vmtherm::svm::svr::SvrParams;
+use vmtherm::units::Celsius;
 
 fn spec_with(policy: SchedulingPolicy) -> ServerSpec {
     ServerSpec::standard("percore").with_core_scheduling(policy)
@@ -40,7 +41,7 @@ fn main() {
         ("balanced", SchedulingPolicy::Balanced),
         ("pinned", SchedulingPolicy::Pinned),
     ] {
-        let outcome = ExperimentConfig::new(spec_with(policy), tenancy(), 24.0, 7)
+        let outcome = ExperimentConfig::new(spec_with(policy), tenancy(), Celsius::new(24.0), 7)
             .with_duration(SimDuration::from_secs(1200))
             .run();
         println!(

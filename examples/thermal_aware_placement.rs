@@ -24,6 +24,7 @@ use vmtherm::sim::{
 };
 use vmtherm::svm::kernel::Kernel;
 use vmtherm::svm::svr::SvrParams;
+use vmtherm::units::Celsius;
 
 const SERVERS: usize = 6;
 const AMBIENT: f64 = 24.0;
@@ -61,7 +62,7 @@ fn build_cluster(seed: u64) -> Simulation {
     for (i, fans) in FANS.iter().enumerate() {
         dc.add_server(
             ServerSpec::commodity(format!("node-{i}"), 16, 2.4, 64.0, *fans),
-            AMBIENT,
+            Celsius::new(AMBIENT),
             seed + i as u64,
         );
     }
@@ -120,7 +121,7 @@ fn main() {
     let (ta_hot, ta_spread) = run_policy(
         |sim, spec| {
             let candidates: Vec<ConfigSnapshot> = (0..SERVERS)
-                .map(|i| ConfigSnapshot::capture(sim, ServerId::new(i), AMBIENT))
+                .map(|i| ConfigSnapshot::capture(sim, ServerId::new(i), Celsius::new(AMBIENT)))
                 .collect();
             let vm = VmInfo {
                 vcpus: spec.vcpus(),

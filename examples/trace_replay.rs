@@ -19,6 +19,7 @@ use vmtherm::sim::{
 };
 use vmtherm::svm::kernel::Kernel;
 use vmtherm::svm::svr::SvrParams;
+use vmtherm::units::Celsius;
 
 /// A CSV trace as a monitoring system might export it: diurnal load
 /// compressed to a 600 s period so the run settles inside the protocol
@@ -81,7 +82,7 @@ fn main() {
     let ambient = 24.0;
     for (label, trace, vcpus) in [("web tier", web, 8u32), ("batch queue", batch, 8)] {
         let mut dc = Datacenter::new();
-        let sid = dc.add_server(ServerSpec::standard("replay"), ambient, 21);
+        let sid = dc.add_server(ServerSpec::standard("replay"), Celsius::new(ambient), 21);
         let mut sim = Simulation::new(dc, AmbientModel::Fixed(ambient), 21);
         // Boot VMs whose profile approximates the trace mean; then replace
         // their generators with the real trace.
@@ -92,7 +93,7 @@ fn main() {
             vmtherm::sim::TaskProfile::WebServer, // nominal 0.5 ≈ both means
         );
         sim.boot_vm_now(sid, spec).expect("boot");
-        let snapshot = ConfigSnapshot::capture(&sim, sid, ambient);
+        let snapshot = ConfigSnapshot::capture(&sim, sid, Celsius::new(ambient));
         {
             let server = sim.datacenter_mut().server_mut(sid).expect("server");
             for vm in server.vms_mut() {

@@ -23,6 +23,7 @@ use vmtherm::sim::{
 };
 use vmtherm::svm::kernel::Kernel;
 use vmtherm::svm::svr::SvrParams;
+use vmtherm::units::{Celsius, Seconds};
 
 fn train_stable_model() -> StablePredictor {
     println!("training stable model (80 experiments)...");
@@ -48,8 +49,8 @@ fn main() {
     // --- The migration scenario -------------------------------------------
     let ambient = 24.0;
     let mut dc = Datacenter::new();
-    let src = dc.add_server(ServerSpec::standard("src"), ambient, 1);
-    let dst = dc.add_server(ServerSpec::standard("dst"), ambient, 2);
+    let src = dc.add_server(ServerSpec::standard("src"), Celsius::new(ambient), 1);
+    let dst = dc.add_server(ServerSpec::standard("dst"), Celsius::new(ambient), 2);
     let mut sim = Simulation::new(dc, AmbientModel::Fixed(ambient), 99);
 
     // Boot 6 VMs on the source at t = 0.
@@ -91,7 +92,7 @@ fn main() {
         // Reconstruct the source configuration before/after migration.
         let mut sim2 = {
             let mut dc = Datacenter::new();
-            dc.add_server(ServerSpec::standard("src"), ambient, 1);
+            dc.add_server(ServerSpec::standard("src"), Celsius::new(ambient), 1);
             Simulation::new(dc, AmbientModel::Fixed(ambient), 99)
         };
         for i in 0..6 {
@@ -106,7 +107,7 @@ fn main() {
             )
             .expect("boot");
         }
-        ConfigSnapshot::capture(&sim2, ServerId::new(0), ambient)
+        ConfigSnapshot::capture(&sim2, ServerId::new(0), Celsius::new(ambient))
     };
     let mut snapshot_after = snapshot_before.clone();
     snapshot_after.vms.remove(2); // vm-2 (cpu-bound) migrated away
@@ -118,7 +119,7 @@ fn main() {
         DynamicPredictor::new(DynamicConfig::new().without_calibration()).expect("config");
     let phi0 = series.values()[0];
     for p in [&mut calibrated, &mut uncalibrated] {
-        p.anchor_with_model(0.0, phi0, &stable, &snapshot_before);
+        p.anchor_with_model(Seconds::ZERO, Celsius::new(phi0), &stable, &snapshot_before);
     }
 
     // Replay, re-anchoring at the migration.
@@ -133,12 +134,15 @@ fn main() {
         let values = series.values().to_vec();
         for (i, (&t, &v)) in times.iter().zip(&values).enumerate() {
             if (t - migrate_at.as_secs_f64()).abs() < 0.5 {
-                pred.anchor_with_model(t, v, &stable, &snapshot_after);
+                pred.anchor_with_model(Seconds::new(t), Celsius::new(v), &stable, &snapshot_after);
             }
-            pred.observe(t, v);
+            pred.observe(Seconds::new(t), Celsius::new(v));
             let target = t + gap;
             if let Some(j) = times[i..].iter().position(|x| *x >= target - 1e-9) {
-                scored.push((values[i + j], pred.predict_ahead(t, gap)));
+                scored.push((
+                    values[i + j],
+                    pred.predict_ahead(Seconds::new(t), Seconds::new(gap)),
+                ));
             }
         }
         let mse = scored.iter().map(|(a, p)| (a - p) * (a - p)).sum::<f64>() / scored.len() as f64;
@@ -146,7 +150,7 @@ fn main() {
     }
 
     let mut last_value = LastValuePredictor::new();
-    let lv = evaluate_online(&mut last_value, series, gap);
+    let lv = evaluate_online(&mut last_value, series, Seconds::new(gap));
 
     println!("\nscenario: 6 VMs boot at t=0; 2 migrate away at t=900 s; gap = {gap} s");
     println!(

@@ -20,9 +20,10 @@
 //!
 //! ```
 //! use vmtherm::core::WarmupCurve;
+//! use vmtherm::units::{Celsius, Seconds};
 //!
-//! let curve = WarmupCurve::standard(30.0, 60.0);
-//! assert_eq!(curve.value(0.0), 30.0);
+//! let curve = WarmupCurve::standard(Celsius::new(30.0), Celsius::new(60.0));
+//! assert_eq!(curve.value(Seconds::ZERO), 30.0);
 //! ```
 
 #![warn(missing_docs)]
@@ -32,3 +33,10 @@
 pub use vmtherm_core as core;
 pub use vmtherm_sim as sim;
 pub use vmtherm_svm as svm;
+
+/// Unit-safety newtypes ([`Celsius`](units::Celsius),
+/// [`Watts`](units::Watts), [`Seconds`](units::Seconds),
+/// [`Utilization`](units::Utilization)) shared by every member crate.
+pub mod units {
+    pub use vmtherm_units::*;
+}

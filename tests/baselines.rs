@@ -17,6 +17,7 @@ use vmtherm::sim::{
 use vmtherm::svm::kernel::Kernel;
 use vmtherm::svm::metrics::mse;
 use vmtherm::svm::svr::SvrParams;
+use vmtherm::units::{Celsius, Seconds, Watts};
 
 fn heterogeneous_campaign(n: usize, gen_seed: u64) -> Vec<ExperimentOutcome> {
     let mut generator = CaseGenerator::new(gen_seed);
@@ -34,7 +35,7 @@ fn homogeneous_outcome(task: TaskProfile, count: usize, seed: u64) -> Experiment
     let vms = (0..count)
         .map(|i| VmSpec::new(format!("vm{i}"), 2, 4.0, task))
         .collect();
-    ExperimentConfig::new(server, vms, 25.0, seed)
+    ExperimentConfig::new(server, vms, Celsius::new(25.0), seed)
         .with_duration(SimDuration::from_secs(1000))
         .run()
 }
@@ -94,7 +95,7 @@ fn task_profile_table_works_only_for_homogeneous_tenancy() {
         VmSpec::new("e", 2, 4.0, TaskProfile::CpuBound),
         VmSpec::new("f", 2, 4.0, TaskProfile::CpuBound),
     ];
-    let het = ExperimentConfig::new(server, vms, 25.0, 5)
+    let het = ExperimentConfig::new(server, vms, Celsius::new(25.0), 5)
         .with_duration(SimDuration::from_secs(1000))
         .run();
     // Dominant by vCPU share: cpu-bound (8 vs 8... tie broken by index) —
@@ -126,7 +127,13 @@ fn rc_model_is_calibration_bound() {
     let r_total = 0.15;
     let p_base = 76.0;
     let per_vm = ((mixed.psi_stable - ambient) / r_total - p_base) / 4.0;
-    let mut rc = RcModelPredictor::new(130.0, r_total, p_base, per_vm, ambient);
+    let mut rc = RcModelPredictor::new(
+        Seconds::new(130.0),
+        r_total,
+        Watts::new(p_base),
+        Watts::new(per_vm),
+        Celsius::new(ambient),
+    );
     rc.set_vm_count(4);
 
     let mixed_err = (rc.steady_state_estimate() - mixed.psi_stable).abs();
@@ -148,7 +155,7 @@ fn svr_generalizes_across_task_mixes_where_baselines_cannot() {
         let vms = (0..6)
             .map(|i| VmSpec::new(format!("v{i}"), 2, 4.0, task))
             .collect();
-        ExperimentConfig::new(server.clone(), vms, 25.0, seed)
+        ExperimentConfig::new(server.clone(), vms, Celsius::new(25.0), seed)
             .with_duration(SimDuration::from_secs(1000))
             .run()
     };

@@ -13,6 +13,7 @@ use vmtherm::sim::{
 };
 use vmtherm::svm::kernel::Kernel;
 use vmtherm::svm::svr::SvrParams;
+use vmtherm::units::{Celsius, Watts};
 
 const SERVERS: usize = 4;
 const LIMIT_C: f64 = 66.0;
@@ -22,7 +23,7 @@ fn fleet(supply_c: f64, seed: u64) -> Simulation {
     for i in 0..SERVERS {
         dc.add_server(
             ServerSpec::standard(format!("n{i}")),
-            supply_c,
+            Celsius::new(supply_c),
             seed + i as u64,
         );
     }
@@ -73,7 +74,7 @@ fn predicted_setpoint_is_verified_safe_and_saves_cooling_power() {
     let baseline = 16.0;
     let probe = fleet(baseline, 77);
     let hosts: Vec<ConfigSnapshot> = (0..SERVERS)
-        .map(|i| ConfigSnapshot::capture(&probe, ServerId::new(i), baseline))
+        .map(|i| ConfigSnapshot::capture(&probe, ServerId::new(i), Celsius::new(baseline)))
         .collect();
     let search = SetpointSearch {
         min_supply_c: baseline,
@@ -85,7 +86,7 @@ fn predicted_setpoint_is_verified_safe_and_saves_cooling_power() {
     let optimizer =
         SetpointOptimizer::new(model, CoolingModel::default(), search).expect("optimizer");
     let advice = optimizer
-        .optimize(&hosts, &[0.0; SERVERS], 5_000.0)
+        .optimize(&hosts, &[0.0; SERVERS], Watts::new(5_000.0))
         .expect("feasible setpoint");
 
     // The advice must actually raise the setpoint and save power.
@@ -134,7 +135,7 @@ fn infeasible_fleet_gets_no_advice() {
     .expect("training");
     let probe = fleet(16.0, 5);
     let hosts: Vec<ConfigSnapshot> = (0..SERVERS)
-        .map(|i| ConfigSnapshot::capture(&probe, ServerId::new(i), 16.0))
+        .map(|i| ConfigSnapshot::capture(&probe, ServerId::new(i), Celsius::new(16.0)))
         .collect();
     let search = SetpointSearch {
         max_die_c: 30.0, // colder than any loaded server can run
@@ -143,6 +144,6 @@ fn infeasible_fleet_gets_no_advice() {
     let optimizer =
         SetpointOptimizer::new(model, CoolingModel::default(), search).expect("optimizer");
     assert!(optimizer
-        .optimize(&hosts, &[0.0; SERVERS], 5_000.0)
+        .optimize(&hosts, &[0.0; SERVERS], Watts::new(5_000.0))
         .is_none());
 }

@@ -12,6 +12,7 @@ use vmtherm::sim::{
 };
 use vmtherm::svm::kernel::Kernel;
 use vmtherm::svm::svr::SvrParams;
+use vmtherm::units::{Celsius, Seconds};
 
 struct Scenario {
     series: vmtherm::sim::telemetry::TimeSeries,
@@ -38,7 +39,7 @@ fn stable_model() -> StablePredictor {
 fn scenario(model: &StablePredictor, seed: u64) -> Scenario {
     let ambient = 24.0;
     let mut dc = Datacenter::new();
-    let sid = dc.add_server(ServerSpec::standard("s"), ambient, seed);
+    let sid = dc.add_server(ServerSpec::standard("s"), Celsius::new(ambient), seed);
     let mut sim = Simulation::new(dc, AmbientModel::Fixed(ambient), seed);
     for i in 0..4 {
         let task = if i % 2 == 0 {
@@ -49,7 +50,7 @@ fn scenario(model: &StablePredictor, seed: u64) -> Scenario {
         sim.boot_vm_now(sid, VmSpec::new(format!("v{i}"), 2, 4.0, task))
             .expect("boot");
     }
-    let before = ConfigSnapshot::capture(&sim, sid, ambient);
+    let before = ConfigSnapshot::capture(&sim, sid, Celsius::new(ambient));
     sim.schedule(
         SimTime::from_secs(700),
         Event::BootVm {
@@ -58,7 +59,7 @@ fn scenario(model: &StablePredictor, seed: u64) -> Scenario {
         },
     );
     sim.run_until(SimTime::from_secs(1500));
-    let after = ConfigSnapshot::capture(&sim, sid, ambient);
+    let after = ConfigSnapshot::capture(&sim, sid, Celsius::new(ambient));
     Scenario {
         series: sim.trace(sid).expect("trace").sensor_c.clone(),
         anchors: vec![
@@ -85,8 +86,8 @@ fn calibration_lowers_dynamic_mse() {
         let mut cal = DynamicPredictor::new(DynamicConfig::new()).expect("config");
         let mut uncal =
             DynamicPredictor::new(DynamicConfig::new().without_calibration()).expect("config");
-        cal_total += evaluate_dynamic(&mut cal, &s.series, 60.0, &s.anchors).mse;
-        uncal_total += evaluate_dynamic(&mut uncal, &s.series, 60.0, &s.anchors).mse;
+        cal_total += evaluate_dynamic(&mut cal, &s.series, Seconds::new(60.0), &s.anchors).mse;
+        uncal_total += evaluate_dynamic(&mut uncal, &s.series, Seconds::new(60.0), &s.anchors).mse;
     }
     assert!(
         cal_total < uncal_total,
@@ -101,7 +102,7 @@ fn dynamic_mse_in_papers_band_for_standard_settings() {
     let model = stable_model();
     let s = scenario(&model, 9);
     let mut p = DynamicPredictor::new(DynamicConfig::new()).expect("config");
-    let report = evaluate_dynamic(&mut p, &s.series, 60.0, &s.anchors);
+    let report = evaluate_dynamic(&mut p, &s.series, Seconds::new(60.0), &s.anchors);
     assert!(
         report.mse < 2.5,
         "dynamic MSE {} far out of band",
@@ -117,7 +118,7 @@ fn longer_gaps_are_harder() {
     let s = scenario(&model, 11);
     let mse_for = |gap: f64| {
         let mut p = DynamicPredictor::new(DynamicConfig::new()).expect("config");
-        evaluate_dynamic(&mut p, &s.series, gap, &s.anchors).mse
+        evaluate_dynamic(&mut p, &s.series, Seconds::new(gap), &s.anchors).mse
     };
     let short = mse_for(15.0);
     let long = mse_for(180.0);
@@ -137,9 +138,11 @@ fn more_frequent_updates_help() {
     for seed in [21u64, 22, 23] {
         let s = scenario(&model, seed);
         let mse_for = |update: f64| {
-            let mut p = DynamicPredictor::new(DynamicConfig::new().with_update_interval(update))
-                .expect("config");
-            evaluate_dynamic(&mut p, &s.series, 60.0, &s.anchors).mse
+            let mut p = DynamicPredictor::new(
+                DynamicConfig::new().with_update_interval(Seconds::new(update)),
+            )
+            .expect("config");
+            evaluate_dynamic(&mut p, &s.series, Seconds::new(60.0), &s.anchors).mse
         };
         fast_total += mse_for(5.0);
         slow_total += mse_for(120.0);
@@ -156,11 +159,11 @@ fn reanchoring_beats_single_anchor_through_reconfiguration() {
     let s = scenario(&model, 33);
     let both = {
         let mut p = DynamicPredictor::new(DynamicConfig::new()).expect("config");
-        evaluate_dynamic(&mut p, &s.series, 60.0, &s.anchors).mse
+        evaluate_dynamic(&mut p, &s.series, Seconds::new(60.0), &s.anchors).mse
     };
     let only_first = {
         let mut p = DynamicPredictor::new(DynamicConfig::new()).expect("config");
-        evaluate_dynamic(&mut p, &s.series, 60.0, &s.anchors[..1]).mse
+        evaluate_dynamic(&mut p, &s.series, Seconds::new(60.0), &s.anchors[..1]).mse
     };
     assert!(
         both <= only_first + 0.05,

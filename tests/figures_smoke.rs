@@ -12,6 +12,7 @@ use vmtherm::sim::{
 };
 use vmtherm::svm::kernel::Kernel;
 use vmtherm::svm::svr::SvrParams;
+use vmtherm::units::{Celsius, Seconds};
 
 fn model() -> StablePredictor {
     let mut generator = CaseGenerator::new(42);
@@ -53,7 +54,7 @@ fn fig1b_smoke_calibration_wins() {
     let m = model();
     let ambient = 24.0;
     let mut dc = Datacenter::new();
-    let sid = dc.add_server(ServerSpec::standard("s"), ambient, 3);
+    let sid = dc.add_server(ServerSpec::standard("s"), Celsius::new(ambient), 3);
     let mut sim = Simulation::new(dc, AmbientModel::Fixed(ambient), 3);
     for i in 0..5 {
         sim.boot_vm_now(
@@ -62,7 +63,7 @@ fn fig1b_smoke_calibration_wins() {
         )
         .expect("boot");
     }
-    let before = ConfigSnapshot::capture(&sim, sid, ambient);
+    let before = ConfigSnapshot::capture(&sim, sid, Celsius::new(ambient));
     sim.schedule(
         SimTime::from_secs(600),
         Event::BootVm {
@@ -71,7 +72,7 @@ fn fig1b_smoke_calibration_wins() {
         },
     );
     sim.run_until(SimTime::from_secs(1200));
-    let after = ConfigSnapshot::capture(&sim, sid, ambient);
+    let after = ConfigSnapshot::capture(&sim, sid, Celsius::new(ambient));
     let series = sim.trace(sid).expect("trace").sensor_c.clone();
     let anchors = [
         AnchorPoint {
@@ -85,8 +86,8 @@ fn fig1b_smoke_calibration_wins() {
     ];
     let mut cal = DynamicPredictor::new(DynamicConfig::new()).expect("cfg");
     let mut unc = DynamicPredictor::new(DynamicConfig::new().without_calibration()).expect("cfg");
-    let cal_mse = evaluate_dynamic(&mut cal, &series, 60.0, &anchors).mse;
-    let unc_mse = evaluate_dynamic(&mut unc, &series, 60.0, &anchors).mse;
+    let cal_mse = evaluate_dynamic(&mut cal, &series, Seconds::new(60.0), &anchors).mse;
+    let unc_mse = evaluate_dynamic(&mut unc, &series, Seconds::new(60.0), &anchors).mse;
     assert!(cal_mse < unc_mse + 0.2, "cal {cal_mse} vs uncal {unc_mse}");
 }
 
@@ -95,7 +96,11 @@ fn fig1c_smoke_grid_trends() {
     let m = model();
     let ambient = 23.0;
     let mut dc = Datacenter::new();
-    let sid = dc.add_server(ServerSpec::commodity("s", 16, 2.4, 64.0, 4), ambient, 8);
+    let sid = dc.add_server(
+        ServerSpec::commodity("s", 16, 2.4, 64.0, 4),
+        Celsius::new(ambient),
+        8,
+    );
     let mut sim = Simulation::new(dc, AmbientModel::Fixed(ambient), 8);
     for i in 0..4 {
         let task = if i % 2 == 0 {
@@ -106,7 +111,7 @@ fn fig1c_smoke_grid_trends() {
         sim.boot_vm_now(sid, VmSpec::new(format!("v{i}"), 2, 4.0, task))
             .expect("boot");
     }
-    let snap = ConfigSnapshot::capture(&sim, sid, ambient);
+    let snap = ConfigSnapshot::capture(&sim, sid, Celsius::new(ambient));
     sim.run_until(SimTime::from_secs(1200));
     let series = sim.trace(sid).expect("trace").sensor_c.clone();
     let anchors = [AnchorPoint {
@@ -116,8 +121,9 @@ fn fig1c_smoke_grid_trends() {
 
     let mse_for = |gap: f64, update: f64| {
         let mut p =
-            DynamicPredictor::new(DynamicConfig::new().with_update_interval(update)).expect("cfg");
-        evaluate_dynamic(&mut p, &series, gap, &anchors).mse
+            DynamicPredictor::new(DynamicConfig::new().with_update_interval(Seconds::new(update)))
+                .expect("cfg");
+        evaluate_dynamic(&mut p, &series, Seconds::new(gap), &anchors).mse
     };
     // Gap trend at fixed update.
     let short = mse_for(15.0, 15.0);

@@ -13,6 +13,7 @@ use vmtherm::sim::{
 };
 use vmtherm::svm::kernel::Kernel;
 use vmtherm::svm::svr::SvrParams;
+use vmtherm::units::{Celsius, Seconds};
 
 fn options() -> TrainingOptions {
     TrainingOptions::new().with_params(
@@ -38,7 +39,11 @@ fn stable_model(seed: u64, n: usize) -> StablePredictor {
 fn monitor_tracks_fleet_through_migration_and_ambient_step() {
     let mut dc = Datacenter::new();
     for i in 0..4 {
-        dc.add_server(ServerSpec::standard(format!("n{i}")), 24.0, i as u64);
+        dc.add_server(
+            ServerSpec::standard(format!("n{i}")),
+            Celsius::new(24.0),
+            i as u64,
+        );
     }
     let mut sim = Simulation::new(dc, AmbientModel::Fixed(24.0), 5);
     let mut vms = Vec::new();
@@ -71,11 +76,16 @@ fn monitor_tracks_fleet_through_migration_and_ambient_step() {
         Event::SetAmbient(AmbientModel::Fixed(26.0)),
     );
 
-    let mut monitor =
-        FleetMonitor::new(stable_model(42, 60), DynamicConfig::new(), 4, 60.0).expect("monitor");
+    let mut monitor = FleetMonitor::new(
+        stable_model(42, 60),
+        DynamicConfig::new(),
+        4,
+        Seconds::new(60.0),
+    )
+    .expect("monitor");
     for _ in 0..1600 {
         sim.step();
-        monitor.observe(&sim, 24.0);
+        monitor.observe(&sim, Celsius::new(24.0));
     }
 
     // Every server scored forecasts; fleet error stays in the dynamic

@@ -12,6 +12,7 @@ use vmtherm::sim::{
 };
 use vmtherm::svm::kernel::Kernel;
 use vmtherm::svm::svr::SvrParams;
+use vmtherm::units::Celsius;
 
 fn model() -> StablePredictor {
     let mut generator = CaseGenerator::new(42);
@@ -39,7 +40,7 @@ fn cluster(seed: u64) -> Simulation {
     for (i, fans) in [2u32, 3, 4, 5].iter().enumerate() {
         dc.add_server(
             ServerSpec::commodity(format!("n{i}"), 16, 2.4, 64.0, *fans),
-            24.0,
+            Celsius::new(24.0),
             seed + i as u64,
         );
     }
@@ -74,7 +75,7 @@ fn advised_placement_lowers_peak_temperature() {
     let mut advised = cluster(50);
     for spec in &stream {
         let candidates: Vec<ConfigSnapshot> = (0..4)
-            .map(|i| ConfigSnapshot::capture(&advised, ServerId::new(i), 24.0))
+            .map(|i| ConfigSnapshot::capture(&advised, ServerId::new(i), Celsius::new(24.0)))
             .collect();
         let vm = VmInfo {
             vcpus: spec.vcpus(),
@@ -119,9 +120,9 @@ fn migration_advice_executes_and_cools_the_hot_host() {
 
     // Ask the advisor.
     let candidates: Vec<ConfigSnapshot> = (0..4)
-        .map(|i| ConfigSnapshot::capture(&sim, ServerId::new(i), 24.0))
+        .map(|i| ConfigSnapshot::capture(&sim, ServerId::new(i), Celsius::new(24.0)))
         .collect();
-    let advisor = MigrationAdvisor::new(m, 45.0, 64.0);
+    let advisor = MigrationAdvisor::new(m, Celsius::new(45.0), 64.0);
     let advice = advisor
         .advise(&candidates)
         .expect("hot host must trigger advice");

@@ -9,6 +9,7 @@ use vmtherm::svm::data::Dataset;
 use vmtherm::svm::kernel::Kernel;
 use vmtherm::svm::scale::{ScaleMethod, Scaler};
 use vmtherm::svm::svr::{SvrModel, SvrParams};
+use vmtherm::units::{Celsius, Seconds, Watts};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -23,12 +24,12 @@ proptest! {
         delta in 0.001..1.0f64,
         t in 0.0..3000.0f64,
     ) {
-        let c = WarmupCurve::new(phi0, psi, t_break, delta);
-        let v = c.value(t);
+        let c = WarmupCurve::new(Celsius::new(phi0), Celsius::new(psi), Seconds::new(t_break), delta);
+        let v = c.value(Seconds::new(t));
         let (lo, hi) = if phi0 <= psi { (phi0, psi) } else { (psi, phi0) };
         prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "curve {v} outside [{lo}, {hi}]");
-        prop_assert!((c.value(0.0) - phi0).abs() < 1e-9);
-        prop_assert!((c.value(t_break + 1.0) - psi).abs() < 1e-9);
+        prop_assert!((c.value(Seconds::ZERO) - phi0).abs() < 1e-9);
+        prop_assert!((c.value(Seconds::new(t_break + 1.0)) - psi).abs() < 1e-9);
     }
 
     /// The curve is monotone between its endpoints.
@@ -38,10 +39,10 @@ proptest! {
         psi in 0.0..80.0f64,
         delta in 0.001..1.0f64,
     ) {
-        let c = WarmupCurve::new(phi0, psi, 600.0, delta);
-        let mut prev = c.value(0.0);
+        let c = WarmupCurve::new(Celsius::new(phi0), Celsius::new(psi), Seconds::new(600.0), delta);
+        let mut prev = c.value(Seconds::ZERO);
         for step in 1..=60 {
-            let v = c.value(step as f64 * 10.0);
+            let v = c.value(Seconds::new(step as f64 * 10.0));
             if phi0 <= psi {
                 prop_assert!(v >= prev - 1e-9);
             } else {
@@ -59,11 +60,11 @@ proptest! {
         lambda in 0.05..1.0f64,
         interval in 1.0..60.0f64,
     ) {
-        let mut cal = Calibrator::new(lambda, interval);
+        let mut cal = Calibrator::new(lambda, Seconds::new(interval));
         // Enough updates for (1-λ)^n to vanish.
         for step in 0..200 {
             let t = step as f64 * interval;
-            cal.observe(t, 50.0 + offset, 50.0);
+            cal.observe(Seconds::new(t), Celsius::new(50.0 + offset), Celsius::new(50.0));
         }
         prop_assert!((cal.gamma() - offset).abs() < 1e-3,
             "gamma {} vs offset {offset}", cal.gamma());
@@ -78,13 +79,13 @@ proptest! {
         r_sa in 0.05..0.5f64,
     ) {
         let p = ThermalParams::default();
-        let s = steady_state(p, power, ambient, r_sa);
+        let s = steady_state(p, Watts::new(power), Celsius::new(ambient), r_sa);
         prop_assert!((s.sink_c - (ambient + power * r_sa)).abs() < 1e-9);
         prop_assert!(s.die_c >= s.sink_c - 1e-9);
 
-        let mut net = ThermalNetwork::new(p, ambient);
+        let mut net = ThermalNetwork::new(p, Celsius::new(ambient));
         for _ in 0..300 {
-            net.step(power, ambient, r_sa, 1.0);
+            net.step(Watts::new(power), Celsius::new(ambient), r_sa, Seconds::new(1.0));
             prop_assert!(net.die_temperature() <= s.die_c + 1e-6,
                 "overshoot: {} > {}", net.die_temperature(), s.die_c);
             prop_assert!(net.die_temperature() >= ambient - 1e-6);

@@ -1,0 +1,16 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names in both the trait and derive
+//! namespaces so `use serde::{Deserialize, Serialize};` plus
+//! `#[derive(Serialize, Deserialize)]` compile unchanged. No wire formats are
+//! implemented — the workspace has no serializer backend, the annotations are
+//! declarative until a real serde is restorable from a registry.
+#![deny(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}

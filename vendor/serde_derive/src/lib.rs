@@ -1,0 +1,19 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! vmtherm only uses `#[derive(Serialize, Deserialize)]` as forward-looking
+//! annotations — nothing in the workspace actually serializes through serde
+//! (there is no `serde_json`/`bincode` in the tree). These derives therefore
+//! expand to nothing: the types stay annotated, the build stays offline.
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
