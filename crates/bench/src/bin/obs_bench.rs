@@ -1,0 +1,172 @@
+//! Measures the cost of the observability layer and writes the
+//! machine-readable baseline `BENCH_obs.json`:
+//!
+//! - engine step throughput with the obs registry disabled vs. enabled
+//!   (alternating rounds, best-of — the enabled/disabled delta is the
+//!   instrumentation overhead, which must stay under 3%),
+//! - SMO solve time p50/p99 from the `vmtherm_smo_solve_duration_ns`
+//!   histogram,
+//! - calibration-update latency p50/p99 from
+//!   `vmtherm_calibration_update_duration_ns`.
+//!
+//! Run with: `cargo run --release -p vmtherm-bench --bin obs_bench`
+//! (optionally `--out PATH`, default `BENCH_obs.json` in the working
+//! directory).
+
+use std::time::Instant;
+use vmtherm_bench::{dynamic_scenario, score_dynamic, train_stable_model, training_campaign};
+use vmtherm_obs::{self as obs, names, Histogram, Json};
+use vmtherm_sim::workload::TaskProfile;
+use vmtherm_sim::{AmbientModel, Datacenter, ServerSpec, Simulation, VmSpec};
+use vmtherm_units::Celsius;
+
+const WARMUP_STEPS: u64 = 2_000;
+const TIMED_STEPS: u64 = 50_000;
+const ROUNDS: usize = 6;
+
+/// Parses `--out PATH` from the command line.
+fn out_flag() -> String {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--out" {
+            if let Some(path) = args.next() {
+                return path;
+            }
+        }
+    }
+    "BENCH_obs.json".to_string()
+}
+
+fn fresh_sim(seed: u64) -> Simulation {
+    let mut dc = Datacenter::new();
+    let sid = dc.add_server(
+        ServerSpec::commodity("bench", 16, 2.4, 64.0, 4),
+        Celsius::new(24.0),
+        seed,
+    );
+    let mut sim = Simulation::new(dc, AmbientModel::Fixed(24.0), seed);
+    let tasks = [
+        TaskProfile::CpuBound,
+        TaskProfile::Mixed,
+        TaskProfile::WebServer,
+        TaskProfile::MemoryBound,
+        TaskProfile::Bursty,
+    ];
+    for (i, task) in tasks.into_iter().enumerate() {
+        sim.boot_vm_now(sid, VmSpec::new(format!("vm-{i}"), 2, 4.0, task))
+            .expect("bench VM placement");
+    }
+    sim
+}
+
+/// Steps a fresh simulation with obs on or off and returns steps/second.
+fn engine_rate(enabled: bool, seed: u64) -> f64 {
+    obs::set_enabled(enabled);
+    let mut sim = fresh_sim(seed);
+    for _ in 0..WARMUP_STEPS {
+        sim.step();
+    }
+    let start = Instant::now();
+    for _ in 0..TIMED_STEPS {
+        sim.step();
+    }
+    let rate = TIMED_STEPS as f64 / start.elapsed().as_secs_f64();
+    obs::set_enabled(false);
+    rate
+}
+
+fn hist_json(h: &Histogram) -> Json {
+    Json::obj(vec![
+        ("count", Json::Num(h.count() as f64)),
+        ("p50_ns", Json::Num(h.quantile(0.5))),
+        ("p99_ns", Json::Num(h.quantile(0.99))),
+        ("mean_ns", Json::Num(h.mean())),
+    ])
+}
+
+fn main() {
+    let out = out_flag();
+    println!("=== obs overhead + latency baseline ===\n");
+
+    // Engine throughput: alternating rounds with the disabled/enabled order
+    // swapped each time (so clock warm-up cannot bias one mode), best-of so
+    // one noisy round cannot fake an overhead.
+    let mut best_disabled: f64 = 0.0;
+    let mut best_enabled: f64 = 0.0;
+    for round in 0..ROUNDS {
+        let seed = 7 + round as u64;
+        let (off, on) = if round % 2 == 0 {
+            let off = engine_rate(false, seed);
+            (off, engine_rate(true, seed))
+        } else {
+            let on = engine_rate(true, seed);
+            (engine_rate(false, seed), on)
+        };
+        println!("round {round}: disabled {off:>12.0} steps/s | enabled {on:>12.0} steps/s");
+        best_disabled = best_disabled.max(off);
+        best_enabled = best_enabled.max(on);
+    }
+    let overhead_pct = (1.0 - best_enabled / best_disabled) * 100.0;
+    println!(
+        "\nbest: disabled {best_disabled:.0} steps/s, enabled {best_enabled:.0} steps/s \
+         -> overhead {overhead_pct:.2}%"
+    );
+
+    // Fill the solve/calibration histograms from a representative pipeline:
+    // several SVR trainings plus one calibrated dynamic scenario.
+    obs::global().reset();
+    obs::reset_spans();
+    obs::set_enabled(true);
+    println!("\ntraining 3 stable models (30 experiments each)...");
+    let mut last_model = None;
+    for seed in 1..=3u64 {
+        let outcomes = training_campaign(30, seed);
+        last_model = Some(train_stable_model(&outcomes, false));
+    }
+    let model = last_model.expect("trained model");
+    println!("running a calibrated dynamic scenario (1800 s, update every 15 s)...");
+    let scenario = dynamic_scenario(&model, 5, 1, 4, 24.0, 900, 1800, 11);
+    let report = score_dynamic(&scenario, 60.0, 15.0, true);
+    println!("scenario dynamic MSE {:.3}", report.mse);
+    obs::set_enabled(false);
+
+    let smo = obs::global().histogram(names::METRIC_SMO_SOLVE_NS, Histogram::ns_buckets);
+    let cal = obs::global().histogram(names::METRIC_CALIBRATION_UPDATE_NS, Histogram::ns_buckets);
+    println!(
+        "smo solves: {} (p50 {:.0} ns, p99 {:.0} ns)",
+        smo.count(),
+        smo.quantile(0.5),
+        smo.quantile(0.99)
+    );
+    println!(
+        "calibration updates: {} (p50 {:.0} ns, p99 {:.0} ns)",
+        cal.count(),
+        cal.quantile(0.5),
+        cal.quantile(0.99)
+    );
+
+    let doc = Json::obj(vec![
+        ("schema", Json::Num(1.0)),
+        (
+            "engine",
+            Json::obj(vec![
+                ("timed_steps", Json::Num(TIMED_STEPS as f64)),
+                ("rounds", Json::Num(ROUNDS as f64)),
+                ("steps_per_sec_disabled", Json::Num(best_disabled)),
+                ("steps_per_sec_enabled", Json::Num(best_enabled)),
+                ("overhead_pct", Json::Num(overhead_pct)),
+            ]),
+        ),
+        ("smo_solve_ns", hist_json(&smo)),
+        ("calibration_update_ns", hist_json(&cal)),
+    ]);
+    let mut text = doc.render_pretty();
+    text.push('\n');
+    match std::fs::write(&out, text) {
+        Ok(()) => println!("\nwrote {out}"),
+        Err(e) => {
+            eprintln!("error writing {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

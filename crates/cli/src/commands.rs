@@ -10,6 +10,7 @@ use vmtherm_core::features::FeatureEncoding;
 use vmtherm_core::stable::{
     dataset_from_outcomes, run_experiments, StablePredictor, TrainingOptions,
 };
+use vmtherm_obs::{self as obs, report, ObsEvent, TraceMode};
 use vmtherm_sim::experiment::ConfigSnapshot;
 use vmtherm_sim::units::{Celsius, Seconds, Watts};
 use vmtherm_sim::{
@@ -24,6 +25,12 @@ pub const USAGE: &str = "\
 vmtherm — VM-level temperature profiling and prediction (Wu et al., ICDCS 2016)
 
 USAGE: vmtherm <COMMAND> [FLAGS]
+
+GLOBAL FLAGS (any command except obs-report):
+  --metrics FILE  write the metrics registry on exit (.json extension selects
+                  JSON, anything else Prometheus text format)
+  --trace FILE    append schema-versioned JSONL events (spans, forecasts,
+                  calibration updates, re-anchors, SMO solves) to FILE
 
 COMMANDS:
   collect   run randomized thermal experiments, write Eq. (2) records (libsvm format)
@@ -45,6 +52,9 @@ COMMANDS:
             simulated fleet and report the cooling-power saving
             --model MODEL [--servers N=6] [--vms-per N=4] [--limit C=68]
             [--margin C=1.5] [--min C=16] [--max C=32] [--seed S=7]
+  obs-report  summarize a JSONL trace: per-span timing tree and top-line
+            counters (validates every line against the event schema)
+            --trace FILE
 ";
 
 /// Runs one subcommand.
@@ -53,7 +63,12 @@ COMMANDS:
 ///
 /// A human-readable message on bad flags, I/O failure or pipeline errors.
 pub fn run(command: &str, flags: &Flags) -> Result<String, String> {
-    match command {
+    // `obs-report` consumes a trace file; every other command may produce one.
+    if command == "obs-report" {
+        return obs_report(flags);
+    }
+    let sinks = ObsSinks::init(command, flags);
+    let result = match command {
         "collect" => collect(flags),
         "train" => train(flags),
         "eval" => eval(flags),
@@ -62,7 +77,92 @@ pub fn run(command: &str, flags: &Flags) -> Result<String, String> {
         "watchdog" => watchdog(flags),
         "setpoint" => setpoint(flags),
         other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    let flushed = sinks.flush();
+    match (result, flushed) {
+        (Ok(output), Ok(())) => Ok(output),
+        (Err(e), _) => Err(e),
+        (Ok(_), Err(e)) => Err(e),
     }
+}
+
+/// Where the `--metrics` / `--trace` global flags direct observability
+/// output. Created before a command runs (enabling the global registry and
+/// event log as needed) and flushed after it finishes.
+struct ObsSinks {
+    metrics: Option<String>,
+    trace: Option<String>,
+}
+
+impl ObsSinks {
+    fn init(command: &str, flags: &Flags) -> ObsSinks {
+        let metrics = flags.get("metrics").map(str::to_string);
+        let trace = flags.get("trace").map(str::to_string);
+        if metrics.is_some() || trace.is_some() {
+            obs::set_enabled(true);
+        }
+        if trace.is_some() {
+            obs::enable_trace(TraceMode::Unbounded);
+            obs::emit(ObsEvent::Meta {
+                cmd: command.to_string(),
+            });
+        }
+        ObsSinks { metrics, trace }
+    }
+
+    fn flush(self) -> Result<(), String> {
+        let enabled = self.metrics.is_some() || self.trace.is_some();
+        let mut result = Ok(());
+        if let Some(path) = self.trace {
+            let mut text = String::new();
+            for event in obs::disable_trace() {
+                text.push_str(&event.to_json().render());
+                text.push('\n');
+            }
+            // Append so a collect → train → monitor pipeline accumulates one
+            // trace across invocations.
+            result = fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut f| std::io::Write::write_all(&mut f, text.as_bytes()))
+                .map_err(|e| format!("writing trace {path}: {e}"));
+        }
+        if let Some(path) = self.metrics {
+            let registry = obs::global();
+            let text = if path.ends_with(".json") {
+                registry.to_json().render_pretty()
+            } else {
+                registry.to_prometheus()
+            };
+            if let Err(e) = fs::write(&path, text) {
+                result = result.and(Err(format!("writing metrics {path}: {e}")));
+            }
+        }
+        if enabled {
+            obs::set_enabled(false);
+        }
+        result
+    }
+}
+
+fn obs_report(flags: &Flags) -> Result<String, String> {
+    let path = flags.require("trace")?;
+    let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let events = report::parse_jsonl(&text).map_err(|errors| {
+        let mut msg = format!("{path}: {} invalid line(s)", errors.len());
+        for err in errors.iter().take(5) {
+            let _ = write!(msg, "\n  {err}");
+        }
+        if errors.len() > 5 {
+            let _ = write!(msg, "\n  ... and {} more", errors.len() - 5);
+        }
+        msg
+    })?;
+    if events.is_empty() {
+        return Err(format!("{path}: no events"));
+    }
+    Ok(report::render(&report::summarize(&events)))
 }
 
 fn collect(flags: &Flags) -> Result<String, String> {
@@ -547,6 +647,92 @@ mod tests {
         )
         .expect("setpoint");
         assert!(msg.contains("no safe setpoint"), "unexpected: {msg}");
+    }
+
+    #[test]
+    fn obs_trace_and_metrics_round_trip() {
+        // Serialize against other tests: --trace/--metrics toggle the
+        // process-wide obs registry and event log.
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _guard = LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+
+        let records = temp_path("obs_records.libsvm");
+        let model = temp_path("obs_model.txt");
+        let trace = temp_path("obs_trace.jsonl");
+        let prom = temp_path("obs_metrics.prom");
+        let json = temp_path("obs_metrics.json");
+        let _ = fs::remove_file(&trace);
+
+        run(
+            "collect",
+            &flags(&[
+                "--out",
+                &records,
+                "--cases",
+                "20",
+                "--seed",
+                "5",
+                "--duration",
+                "900",
+                "--trace",
+                &trace,
+                "--metrics",
+                &prom,
+            ]),
+        )
+        .expect("collect");
+        run(
+            "train",
+            &flags(&[
+                "--records",
+                &records,
+                "--out",
+                &model,
+                "--trace",
+                &trace,
+                "--metrics",
+                &json,
+            ]),
+        )
+        .expect("train");
+
+        // Metrics: Prometheus text and JSON, both from the same registry.
+        let prom_text = fs::read_to_string(&prom).expect("prom");
+        assert!(prom_text.contains("# TYPE vmtherm_engine_steps_total counter"));
+        assert!(prom_text.contains("vmtherm_engine_steps_total"));
+        let json_text = fs::read_to_string(&json).expect("json");
+        let parsed = vmtherm_obs::json::parse(&json_text).expect("metrics json");
+        let steps = parsed
+            .get("vmtherm_engine_steps_total")
+            .expect("steps counter in metrics json");
+        assert_eq!(steps.get("type").and_then(|t| t.as_str()), Some("counter"));
+        assert!(steps.get("value").and_then(vmtherm_obs::Json::as_u64) > Some(0));
+
+        // The appended trace round-trips through the strict parser and the
+        // report shows the full pipeline: at least 4 distinct span names.
+        let report = run("obs-report", &flags(&["--trace", &trace])).expect("obs-report");
+        for span in ["experiment_run", "engine_run", "stable_train", "smo_solve"] {
+            assert!(report.contains(span), "missing span {span} in:\n{report}");
+        }
+        assert!(
+            report.contains("commands: collect, train"),
+            "no meta line in:\n{report}"
+        );
+    }
+
+    #[test]
+    fn obs_report_rejects_invalid_jsonl() {
+        let bad = temp_path("obs_bad.jsonl");
+        fs::write(
+            &bad,
+            "{\"v\":1,\"kind\":\"meta\",\"cmd\":\"x\"}\nnot json\n",
+        )
+        .expect("write");
+        let err = run("obs-report", &flags(&["--trace", &bad])).unwrap_err();
+        assert!(err.contains("invalid line"), "unexpected: {err}");
+        assert!(err.contains("line 2"), "no line number in: {err}");
     }
 
     #[test]

@@ -14,9 +14,16 @@ use crate::error::PredictError;
 use crate::predictor::OnlinePredictor;
 use crate::stable::StablePredictor;
 use serde::{Deserialize, Serialize};
+use vmtherm_obs::{self as obs, names, ObsEvent};
 use vmtherm_sim::experiment::ConfigSnapshot;
 use vmtherm_units::constants::{PAPER_DELTA_UPDATE_SECS, PAPER_LAMBDA, PAPER_T_BREAK_SECS};
 use vmtherm_units::{Celsius, Seconds};
+
+static OBS_GAMMA_UPDATES: obs::LazyCounter = obs::LazyCounter::new(names::METRIC_GAMMA_UPDATES);
+static OBS_CALIBRATION_NS: obs::LazyHistogram = obs::LazyHistogram::new(
+    names::METRIC_CALIBRATION_UPDATE_NS,
+    obs::Histogram::ns_buckets,
+);
 
 /// Tunables of the dynamic predictor.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -203,8 +210,22 @@ impl OnlinePredictor for DynamicPredictor {
             return;
         }
         if let Ok(curve_value) = self.curve_value(t_secs) {
-            self.calibrator
+            let timer = OBS_CALIBRATION_NS.start_timer();
+            let updated = self
+                .calibrator
                 .observe(t_secs, measured_c, Celsius::new(curve_value));
+            if updated {
+                let _ = timer.stop();
+                OBS_GAMMA_UPDATES.inc();
+                obs::emit_with(|| ObsEvent::GammaUpdate {
+                    t_secs: t_secs.get(),
+                    gamma: self.calibrator.gamma(),
+                });
+            } else {
+                // Not due yet: no γ update happened, so don't record a
+                // latency sample for it.
+                timer.cancel();
+            }
         }
     }
 

@@ -149,6 +149,7 @@ pub fn evaluate_dynamic(
     gap_secs: Seconds,
     anchors: &[AnchorPoint],
 ) -> DynamicEvalReport {
+    let _span = vmtherm_obs::span(vmtherm_obs::names::SPAN_DYNAMIC_EVAL);
     let gap_secs = gap_secs.get();
     assert!(!anchors.is_empty(), "need at least one anchor");
     assert!(

@@ -13,9 +13,53 @@ use crate::error::PredictError;
 use crate::predictor::OnlinePredictor;
 use crate::stable::StablePredictor;
 use std::collections::VecDeque;
+use vmtherm_obs::{self as obs, names, ObsEvent};
 use vmtherm_sim::experiment::ConfigSnapshot;
 use vmtherm_sim::{ServerId, SimEvent, Simulation};
 use vmtherm_units::{Celsius, Seconds};
+
+static OBS_REANCHORS: obs::LazyCounter = obs::LazyCounter::new(names::METRIC_REANCHOR_TOTAL);
+static OBS_SAMPLES: obs::LazyCounter = obs::LazyCounter::new(names::METRIC_SAMPLES_INGESTED);
+static OBS_ISSUED: obs::LazyCounter = obs::LazyCounter::new(names::METRIC_FORECASTS_ISSUED);
+static OBS_SCORED: obs::LazyCounter = obs::LazyCounter::new(names::METRIC_FORECASTS_SCORED);
+static OBS_ABS_ERR: obs::LazyHistogram = obs::LazyHistogram::new(
+    names::METRIC_FORECAST_ABS_ERR_C,
+    obs::Histogram::celsius_buckets,
+);
+
+/// Forecast errors kept per server for the rolling-MSE drift gauge.
+const ROLLING_WINDOW: usize = 128;
+
+/// Per-server drift gauges, registered against the global registry with a
+/// `{server="N"}` label when the observability layer is enabled.
+#[derive(Debug)]
+struct ServerGauges {
+    rolling_mse: obs::Gauge,
+    gamma_abs: obs::Gauge,
+    since_reanchor: obs::Gauge,
+    pending: obs::Gauge,
+}
+
+impl ServerGauges {
+    fn register(server: usize) -> ServerGauges {
+        let reg = obs::global();
+        ServerGauges {
+            rolling_mse: reg.gauge(&names::server_gauge(
+                names::METRIC_MONITOR_ROLLING_MSE,
+                server,
+            )),
+            gamma_abs: reg.gauge(&names::server_gauge(
+                names::METRIC_MONITOR_GAMMA_ABS,
+                server,
+            )),
+            since_reanchor: reg.gauge(&names::server_gauge(
+                names::METRIC_MONITOR_SINCE_REANCHOR,
+                server,
+            )),
+            pending: reg.gauge(&names::server_gauge(names::METRIC_MONITOR_PENDING, server)),
+        }
+    }
+}
 
 /// Rolling forecast-accuracy statistics for one server.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -50,6 +94,15 @@ pub struct FleetMonitor {
     /// How much of the simulation event log has been consumed.
     log_cursor: usize,
     anchored: bool,
+    /// Per-server re-anchor counts (including the initial anchor).
+    reanchors: Vec<u64>,
+    /// Per-server time (s) of the most recent anchor.
+    last_anchor: Vec<f64>,
+    /// Per-server window of recent squared forecast errors for the
+    /// rolling-MSE gauge.
+    recent_sq_err: Vec<VecDeque<f64>>,
+    /// Drift gauges; registered lazily once the obs layer is enabled.
+    gauges: Vec<ServerGauges>,
 }
 
 impl FleetMonitor {
@@ -83,7 +136,45 @@ impl FleetMonitor {
             stats: vec![ServerStats::default(); servers],
             log_cursor: 0,
             anchored: false,
+            reanchors: vec![0; servers],
+            last_anchor: vec![0.0; servers],
+            recent_sq_err: vec![VecDeque::new(); servers],
+            gauges: Vec::new(),
         })
+    }
+
+    /// Re-anchors one server's predictor and does the observability
+    /// bookkeeping (counter, event record, time-of-anchor).
+    fn reanchor(
+        &mut self,
+        sim: &Simulation,
+        sid: ServerId,
+        t_secs: f64,
+        ambient_c: Celsius,
+        reason: &'static str,
+    ) {
+        let Ok(server) = sim.datacenter().server(sid) else {
+            return;
+        };
+        let idx = sid.raw();
+        let snap = ConfigSnapshot::capture(sim, sid, ambient_c);
+        let phi0 = server.die_temperature();
+        let psi_stable = self.stable.predict(&snap);
+        self.predictors[idx].anchor(
+            Seconds::new(t_secs),
+            Celsius::new(phi0),
+            Celsius::new(psi_stable),
+        );
+        self.reanchors[idx] += 1;
+        self.last_anchor[idx] = t_secs;
+        OBS_REANCHORS.inc();
+        obs::emit_with(|| ObsEvent::Reanchor {
+            t_secs,
+            server: idx,
+            phi0_c: phi0,
+            psi_stable_c: psi_stable,
+            reason: reason.to_string(),
+        });
     }
 
     /// Number of monitored servers.
@@ -109,55 +200,47 @@ impl FleetMonitor {
     ///
     /// Panics if the simulation has more servers than the monitor.
     pub fn observe(&mut self, sim: &Simulation, ambient_c: Celsius) {
+        let _span = obs::span(names::SPAN_MONITOR_OBSERVE);
         let n = self.servers();
         assert!(
             sim.datacenter().len() <= n,
             "monitor sized for {n} servers, simulation has {}",
             sim.datacenter().len()
         );
+        if obs::enabled() && self.gauges.is_empty() {
+            self.gauges = (0..n).map(ServerGauges::register).collect();
+        }
 
         // Initial anchor for every server, once traces exist.
         if !self.anchored {
             self.anchored = true;
+            let t = sim.now().as_secs_f64();
             for idx in 0..sim.datacenter().len() {
-                let sid = ServerId::new(idx);
-                let Ok(server) = sim.datacenter().server(sid) else {
-                    continue;
-                };
-                let snap = ConfigSnapshot::capture(sim, sid, ambient_c);
-                self.predictors[idx].anchor_with_model(
-                    Seconds::new(sim.now().as_secs_f64()),
-                    Celsius::new(server.die_temperature()),
-                    &self.stable,
-                    &snap,
-                );
+                self.reanchor(sim, ServerId::new(idx), t, ambient_c, "initial");
             }
         }
 
         // Re-anchor on new reconfiguration events.
-        let log = sim.log();
-        while self.log_cursor < log.len() {
-            let (at, event) = &log[self.log_cursor];
+        while self.log_cursor < sim.log().len() {
+            let (at, event) = &sim.log()[self.log_cursor];
+            let at = at.as_secs_f64();
             self.log_cursor += 1;
-            let touched: Vec<ServerId> = match event {
-                SimEvent::VmBooted { server, .. } | SimEvent::VmStopped { server, .. } => {
-                    vec![*server]
+            let touched: Vec<(ServerId, &'static str)> = match event {
+                SimEvent::VmBooted { server, .. } => vec![(*server, "vm_boot")],
+                SimEvent::VmStopped { server, .. } => vec![(*server, "vm_stop")],
+                SimEvent::MigrationStarted { source, dest, .. } => {
+                    vec![(*source, "migration_start"), (*dest, "migration_start")]
                 }
-                SimEvent::MigrationStarted { source, dest, .. }
-                | SimEvent::MigrationCompleted { source, dest, .. } => vec![*source, *dest],
+                SimEvent::MigrationCompleted { source, dest, .. } => {
+                    vec![
+                        (*source, "migration_complete"),
+                        (*dest, "migration_complete"),
+                    ]
+                }
                 _ => vec![],
             };
-            for sid in touched {
-                let Ok(server) = sim.datacenter().server(sid) else {
-                    continue;
-                };
-                let snap = ConfigSnapshot::capture(sim, sid, ambient_c);
-                self.predictors[sid.raw()].anchor_with_model(
-                    Seconds::new(at.as_secs_f64()),
-                    Celsius::new(server.die_temperature()),
-                    &self.stable,
-                    &snap,
-                );
+            for (sid, reason) in touched {
+                self.reanchor(sim, sid, at, ambient_c, reason);
             }
         }
 
@@ -170,6 +253,12 @@ impl FleetMonitor {
                 continue;
             };
             self.predictors[idx].observe(Seconds::new(t), Celsius::new(measured));
+            OBS_SAMPLES.inc();
+            obs::emit_with(|| ObsEvent::Sample {
+                t_secs: t,
+                server: idx,
+                temp_c: measured,
+            });
             while let Some(&(target, forecast)) = self.pending[idx].front() {
                 if target > now {
                     break;
@@ -178,13 +267,67 @@ impl FleetMonitor {
                 let err = measured - forecast;
                 self.stats[idx].scored += 1;
                 self.stats[idx].sum_sq_err += err * err;
+                if self.recent_sq_err[idx].len() >= ROLLING_WINDOW {
+                    self.recent_sq_err[idx].pop_front();
+                }
+                self.recent_sq_err[idx].push_back(err * err);
+                OBS_SCORED.inc();
+                OBS_ABS_ERR.observe(err.abs());
+                obs::emit_with(|| ObsEvent::ForecastScored {
+                    t_secs: now,
+                    server: idx,
+                    err_c: err,
+                });
             }
             let forecast =
                 self.predictors[idx].predict_ahead(Seconds::new(t), Seconds::new(self.gap_secs));
             if forecast.is_finite() {
                 self.pending[idx].push_back((t + self.gap_secs, forecast));
+                OBS_ISSUED.inc();
+                obs::emit_with(|| ObsEvent::Forecast {
+                    t_secs: t,
+                    server: idx,
+                    target_t_secs: t + self.gap_secs,
+                    temp_c: forecast,
+                });
+            }
+            if let Some(gauges) = self.gauges.get(idx) {
+                gauges.rolling_mse.set(self.rolling_mse(sid));
+                gauges.gamma_abs.set(self.predictors[idx].gamma().abs());
+                gauges.since_reanchor.set(now - self.last_anchor[idx]);
+                gauges.pending.set(self.pending[idx].len() as f64);
             }
         }
+    }
+
+    /// MSE over the most recent [`ROLLING_WINDOW`] scored forecasts for a
+    /// server (`NaN` before any matured). While fewer than a full window
+    /// have been scored this equals [`ServerStats::mse`].
+    #[must_use]
+    pub fn rolling_mse(&self, server: ServerId) -> f64 {
+        match self.recent_sq_err.get(server.raw()) {
+            Some(w) if !w.is_empty() => w.iter().sum::<f64>() / w.len() as f64,
+            _ => f64::NAN,
+        }
+    }
+
+    /// Number of anchor operations performed for a server, including the
+    /// initial anchor.
+    #[must_use]
+    pub fn reanchor_count(&self, server: ServerId) -> u64 {
+        self.reanchors.get(server.raw()).copied().unwrap_or(0)
+    }
+
+    /// Seconds of simulation time of a server's most recent anchor.
+    #[must_use]
+    pub fn last_anchor_secs(&self, server: ServerId) -> f64 {
+        self.last_anchor.get(server.raw()).copied().unwrap_or(0.0)
+    }
+
+    /// Depth of a server's forecast-maturity queue.
+    #[must_use]
+    pub fn pending_forecasts(&self, server: ServerId) -> usize {
+        self.pending.get(server.raw()).map_or(0, VecDeque::len)
     }
 
     /// The current forecast (`gap_secs` ahead of the latest sample) for a
@@ -228,6 +371,15 @@ mod tests {
     use vmtherm_svm::kernel::Kernel;
     use vmtherm_svm::svr::SvrParams;
 
+    /// Serializes tests that drive `FleetMonitor::observe` so the one test
+    /// that enables the global obs registry cannot pollute (or be polluted
+    /// by) concurrently running monitors.
+    fn obs_test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     fn stable_model() -> StablePredictor {
         let mut generator = CaseGenerator::new(42);
         let configs: Vec<_> = generator
@@ -270,6 +422,7 @@ mod tests {
 
     #[test]
     fn monitor_scores_forecasts_in_band() {
+        let _guard = obs_test_lock();
         let mut sim = fleet_sim();
         let mut monitor =
             FleetMonitor::new(stable_model(), DynamicConfig::new(), 3, Seconds::new(60.0)).unwrap();
@@ -300,6 +453,7 @@ mod tests {
 
     #[test]
     fn reanchoring_happens_on_events() {
+        let _guard = obs_test_lock();
         let mut sim = fleet_sim();
         let mut monitor =
             FleetMonitor::new(stable_model(), DynamicConfig::new(), 3, Seconds::new(60.0)).unwrap();
@@ -327,6 +481,127 @@ mod tests {
             .curve_value(Seconds::new(2000.0))
             .unwrap();
         assert!(after > before + 2.0, "no re-anchor: {before} -> {after}");
+    }
+
+    #[test]
+    fn migration_reanchors_once_per_affected_server() {
+        let _guard = obs_test_lock();
+        let mut dc = Datacenter::new();
+        for i in 0..3 {
+            dc.add_server(
+                ServerSpec::standard(format!("n{i}")),
+                Celsius::new(24.0),
+                i as u64,
+            );
+        }
+        let mut sim = Simulation::new(dc, AmbientModel::Fixed(24.0), 7);
+        let vm = sim
+            .boot_vm_now(
+                ServerId::new(0),
+                VmSpec::new("mover", 2, 4.0, TaskProfile::CpuBound),
+            )
+            .unwrap();
+        let mut monitor =
+            FleetMonitor::new(stable_model(), DynamicConfig::new(), 3, Seconds::new(5.0)).unwrap();
+
+        vmtherm_obs::set_enabled(true);
+        let registry = vmtherm_obs::global();
+        let reanchor_total_before = registry.counter(names::METRIC_REANCHOR_TOTAL).get();
+
+        sim.step();
+        monitor.observe(&sim, Celsius::new(24.0));
+        // First observe anchors every server once, plus one more on server 0
+        // for the `VmBooted` event already in the log.
+        assert_eq!(monitor.reanchor_count(ServerId::new(0)), 2, "server 0");
+        assert_eq!(monitor.reanchor_count(ServerId::new(1)), 1, "server 1");
+        assert_eq!(monitor.reanchor_count(ServerId::new(2)), 1, "server 2");
+
+        sim.schedule(
+            SimTime::from_secs(6),
+            Event::MigrateVm {
+                vm,
+                dest: ServerId::new(1),
+            },
+        );
+        // Run past MigrationStarted (t=6) but not MigrationCompleted
+        // (4 GB at 10 Gbit/s × 1.3 ≈ 4.2 s later).
+        while sim.now() < SimTime::from_secs(8) {
+            sim.step();
+            monitor.observe(&sim, Celsius::new(24.0));
+        }
+        assert!(sim
+            .log()
+            .iter()
+            .any(|(_, e)| matches!(e, SimEvent::MigrationStarted { .. })));
+        assert_eq!(monitor.reanchor_count(ServerId::new(0)), 3, "source");
+        assert_eq!(monitor.reanchor_count(ServerId::new(1)), 2, "dest");
+        assert_eq!(monitor.reanchor_count(ServerId::new(2)), 1, "bystander");
+
+        // Run past MigrationCompleted and long enough to mature forecasts,
+        // but fewer than ROLLING_WINDOW of them so the rolling-MSE gauge
+        // must equal the all-time ServerStats MSE.
+        while sim.now() < SimTime::from_secs(60) {
+            sim.step();
+            monitor.observe(&sim, Celsius::new(24.0));
+        }
+        assert!(sim
+            .log()
+            .iter()
+            .any(|(_, e)| matches!(e, SimEvent::MigrationCompleted { .. })));
+        assert_eq!(monitor.reanchor_count(ServerId::new(0)), 4, "source done");
+        assert_eq!(monitor.reanchor_count(ServerId::new(1)), 3, "dest done");
+        assert_eq!(
+            monitor.reanchor_count(ServerId::new(2)),
+            1,
+            "bystander done"
+        );
+
+        // The global counter moved by exactly the per-server totals.
+        let total: u64 = (0..3)
+            .map(|i| monitor.reanchor_count(ServerId::new(i)))
+            .sum();
+        assert_eq!(
+            registry.counter(names::METRIC_REANCHOR_TOTAL).get() - reanchor_total_before,
+            total
+        );
+
+        // Drift gauges agree with ServerStats and the monitor's own view.
+        for i in 0..3 {
+            let sid = ServerId::new(i);
+            let stats = monitor.stats(sid);
+            assert!(
+                stats.scored > 0 && (stats.scored as usize) < super::ROLLING_WINDOW,
+                "server {i} scored {}",
+                stats.scored
+            );
+            let mse = registry
+                .gauge(&names::server_gauge(names::METRIC_MONITOR_ROLLING_MSE, i))
+                .get();
+            assert!((mse - stats.mse()).abs() < 1e-12, "server {i} mse gauge");
+            assert!((mse - monitor.rolling_mse(sid)).abs() < 1e-12);
+            let gamma_abs = registry
+                .gauge(&names::server_gauge(names::METRIC_MONITOR_GAMMA_ABS, i))
+                .get();
+            assert!(
+                (gamma_abs - monitor.predictors()[i].gamma().abs()).abs() < 1e-12,
+                "server {i} gamma gauge"
+            );
+            let since = registry
+                .gauge(&names::server_gauge(
+                    names::METRIC_MONITOR_SINCE_REANCHOR,
+                    i,
+                ))
+                .get();
+            assert!(
+                (since - (sim.now().as_secs_f64() - monitor.last_anchor_secs(sid))).abs() < 1e-9,
+                "server {i} since-reanchor gauge"
+            );
+            let pending = registry
+                .gauge(&names::server_gauge(names::METRIC_MONITOR_PENDING, i))
+                .get();
+            assert_eq!(pending as usize, monitor.pending_forecasts(sid));
+        }
+        vmtherm_obs::set_enabled(false);
     }
 
     #[test]

@@ -132,6 +132,7 @@ impl StablePredictor {
     ///
     /// As [`StablePredictor::fit`].
     pub fn fit_dataset(raw: Dataset, options: &TrainingOptions) -> Result<Self, PredictError> {
+        let _span = vmtherm_obs::span(vmtherm_obs::names::SPAN_STABLE_TRAIN);
         if raw.is_empty() {
             return Err(PredictError::NoTrainingData);
         }

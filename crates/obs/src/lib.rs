@@ -1,0 +1,322 @@
+//! Dependency-free observability layer for the vmtherm workspace.
+//!
+//! Three pillars, sized for an offline/vendored build where `tracing` and
+//! `prometheus` are unavailable:
+//!
+//! 1. a process-global [`Registry`] of counters, gauges, and fixed-bucket
+//!    histograms, exportable as Prometheus text or JSON ([`registry`]);
+//! 2. a span/timer API ([`span`]) with thread-local span stacks that
+//!    aggregates into a per-run timing tree;
+//! 3. a schema-versioned JSONL event log ([`event`]) with a ring-buffer
+//!    mode, parsed and rendered by [`report`] (the `vmtherm obs-report`
+//!    subcommand).
+//!
+//! The whole layer is **off by default**. Instrumented hot paths go through
+//! [`LazyCounter`] / [`LazyGauge`] / [`LazyHistogram`] handles or [`span`]
+//! guards, all of which check one relaxed atomic load first — when disabled,
+//! instrumentation costs a branch and nothing else, and nothing allocates.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod json;
+pub mod names;
+pub mod registry;
+pub mod report;
+mod span;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+pub use event::{EventLog, ObsEvent, TraceMode, SCHEMA_VERSION};
+pub use json::Json;
+pub use registry::{Counter, Gauge, Histogram, Registry};
+pub use span::{reset_spans, span, span_stats, SpanGuard, SpanStat};
+
+/// Serializes tests that toggle the process-global flags.
+#[cfg(test)]
+pub(crate) static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static TRACING: AtomicBool = AtomicBool::new(false);
+static TRACE_LOG: Mutex<Option<EventLog>> = Mutex::new(None);
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// True when the observability layer is recording. Instrumentation sites
+/// branch on this; it is a single relaxed load.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns the metrics/span layer on or off.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// The process-global metrics registry.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// True when structured events are being collected.
+#[inline]
+pub fn tracing() -> bool {
+    TRACING.load(Ordering::Relaxed)
+}
+
+/// Starts collecting structured events into a fresh log with the given
+/// retention mode, and enables the layer.
+pub fn enable_trace(mode: TraceMode) {
+    let mut log = TRACE_LOG.lock().unwrap_or_else(PoisonError::into_inner);
+    *log = Some(EventLog::new(mode));
+    drop(log);
+    TRACING.store(true, Ordering::Relaxed);
+    set_enabled(true);
+}
+
+/// Stops event collection and returns everything buffered so far.
+pub fn disable_trace() -> Vec<ObsEvent> {
+    TRACING.store(false, Ordering::Relaxed);
+    let mut log = TRACE_LOG.lock().unwrap_or_else(PoisonError::into_inner);
+    log.take().map(|mut l| l.drain()).unwrap_or_default()
+}
+
+/// Removes and returns all buffered events, leaving tracing active.
+pub fn drain_trace() -> Vec<ObsEvent> {
+    let mut log = TRACE_LOG.lock().unwrap_or_else(PoisonError::into_inner);
+    log.as_mut().map(EventLog::drain).unwrap_or_default()
+}
+
+/// Appends one structured event; a no-op unless tracing is on.
+pub fn emit(event: ObsEvent) {
+    if !tracing() {
+        return;
+    }
+    let mut log = TRACE_LOG.lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(log) = log.as_mut() {
+        log.push(event);
+    }
+}
+
+/// Like [`emit`], but the event is only constructed when tracing is on —
+/// use on hot paths where building the record itself has a cost.
+#[inline]
+pub fn emit_with(build: impl FnOnce() -> ObsEvent) {
+    if tracing() {
+        emit(build());
+    }
+}
+
+/// Opens a span on the current thread; see [`span`]. The guard binding is
+/// held until the end of the enclosing scope.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        let _obs_span_guard = $crate::span($name);
+    };
+}
+
+/// A counter handle resolved against the global registry on first use.
+/// `const`-constructible so instrumentation sites can own a `static`.
+pub struct LazyCounter {
+    name: &'static str,
+    cell: OnceLock<Counter>,
+}
+
+impl LazyCounter {
+    /// Declares a counter bound to `name` in the global registry.
+    pub const fn new(name: &'static str) -> LazyCounter {
+        LazyCounter {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    fn handle(&self) -> &Counter {
+        self.cell.get_or_init(|| global().counter(self.name))
+    }
+
+    /// Increments by one when the layer is enabled.
+    #[inline]
+    pub fn inc(&self) {
+        if enabled() {
+            self.handle().inc();
+        }
+    }
+
+    /// Increments by `n` when the layer is enabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.handle().add(n);
+        }
+    }
+}
+
+/// A gauge handle resolved against the global registry on first use.
+pub struct LazyGauge {
+    name: &'static str,
+    cell: OnceLock<Gauge>,
+}
+
+impl LazyGauge {
+    /// Declares a gauge bound to `name` in the global registry.
+    pub const fn new(name: &'static str) -> LazyGauge {
+        LazyGauge {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// Sets the gauge when the layer is enabled.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        if enabled() {
+            self.cell
+                .get_or_init(|| global().gauge(self.name))
+                .set(value);
+        }
+    }
+}
+
+/// A histogram handle resolved against the global registry on first use.
+pub struct LazyHistogram {
+    name: &'static str,
+    bounds: fn() -> Vec<f64>,
+    cell: OnceLock<Histogram>,
+}
+
+impl LazyHistogram {
+    /// Declares a histogram bound to `name` with the given bucket bounds.
+    pub const fn new(name: &'static str, bounds: fn() -> Vec<f64>) -> LazyHistogram {
+        LazyHistogram {
+            name,
+            bounds,
+            cell: OnceLock::new(),
+        }
+    }
+
+    fn handle(&self) -> &Histogram {
+        self.cell
+            .get_or_init(|| global().histogram(self.name, self.bounds))
+    }
+
+    /// Records one observation when the layer is enabled.
+    #[inline]
+    pub fn observe(&self, value: f64) {
+        if enabled() {
+            self.handle().observe(value);
+        }
+    }
+
+    /// Starts a wall-clock timer whose elapsed nanoseconds are recorded on
+    /// drop. When the layer is disabled the timer holds no timestamp and its
+    /// drop is a branch on `None`.
+    #[inline]
+    pub fn start_timer(&'static self) -> HistTimer {
+        HistTimer {
+            hist: self,
+            start: enabled().then(std::time::Instant::now),
+        }
+    }
+}
+
+/// RAII timer from [`LazyHistogram::start_timer`].
+pub struct HistTimer {
+    hist: &'static LazyHistogram,
+    start: Option<std::time::Instant>,
+}
+
+impl HistTimer {
+    /// Stops the timer and returns the elapsed nanoseconds it recorded,
+    /// or `None` when the layer was disabled at start.
+    pub fn stop(mut self) -> Option<u64> {
+        self.finish()
+    }
+
+    /// Discards the timer without recording anything — for sites that only
+    /// want to time an operation when it actually took effect.
+    pub fn cancel(mut self) {
+        self.start = None;
+    }
+
+    fn finish(&mut self) -> Option<u64> {
+        let start = self.start.take()?;
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.hist.observe(ns as f64);
+        Some(ns)
+    }
+}
+
+impl Drop for HistTimer {
+    fn drop(&mut self) {
+        let _ = self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lazy_handles_are_inert_when_disabled() {
+        let _lock = TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        static C: LazyCounter = LazyCounter::new("lib_test_disabled_total");
+        set_enabled(false);
+        C.inc();
+        C.add(5);
+        // Nothing registered: the name must not appear in the registry.
+        assert!(!global()
+            .names()
+            .contains(&"lib_test_disabled_total".to_string()));
+    }
+
+    #[test]
+    fn lazy_handles_record_when_enabled() {
+        let _lock = TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        static C: LazyCounter = LazyCounter::new("lib_test_enabled_total");
+        static H: LazyHistogram = LazyHistogram::new("lib_test_ns", Histogram::ns_buckets);
+        static G: LazyGauge = LazyGauge::new("lib_test_gauge");
+        set_enabled(true);
+        C.add(3);
+        G.set(7.5);
+        {
+            let _t = H.start_timer();
+        }
+        set_enabled(false);
+        assert_eq!(global().counter("lib_test_enabled_total").get(), 3);
+        assert_eq!(global().gauge("lib_test_gauge").get(), 7.5);
+        assert_eq!(
+            global()
+                .histogram("lib_test_ns", Histogram::ns_buckets)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn trace_buffer_collects_and_drains() {
+        let _lock = TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        enable_trace(TraceMode::Ring(4));
+        emit(ObsEvent::Meta {
+            cmd: "test".to_string(),
+        });
+        emit_with(|| ObsEvent::GammaUpdate {
+            t_secs: 1.0,
+            gamma: 0.5,
+        });
+        let events = disable_trace();
+        set_enabled(false);
+        assert!(events.contains(&ObsEvent::Meta {
+            cmd: "test".to_string()
+        }));
+        assert!(!tracing());
+        // After disable, emits are dropped.
+        emit(ObsEvent::Meta {
+            cmd: "late".to_string(),
+        });
+        assert!(drain_trace().is_empty());
+    }
+}

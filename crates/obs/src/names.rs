@@ -1,0 +1,82 @@
+//! The single definition point for every metric and span name in the
+//! workspace.
+//!
+//! Lint rule L5 enforces that constants prefixed `METRIC_` or `SPAN_` are
+//! defined only here, so dashboards and docs can trust one canonical list.
+//! Per-server gauges append a `{server="N"}` label suffix to the base names
+//! below; the registry treats the full labelled string as an opaque key.
+
+/// Engine steps executed (counter).
+pub const METRIC_ENGINE_STEPS: &str = "vmtherm_engine_steps_total";
+/// Wall-clock nanoseconds per engine step (histogram, ns buckets).
+pub const METRIC_ENGINE_STEP_NS: &str = "vmtherm_engine_step_ns";
+/// Simulation events applied by the engine (counter).
+pub const METRIC_ENGINE_EVENTS: &str = "vmtherm_engine_events_total";
+/// RK4 substeps run by the thermal integrator (counter).
+pub const METRIC_THERMAL_SUBSTEPS: &str = "vmtherm_thermal_substeps_total";
+/// Wall-clock nanoseconds per SMO solve (histogram, ns buckets).
+pub const METRIC_SMO_SOLVE_NS: &str = "vmtherm_smo_solve_ns";
+/// SMO optimizer iterations across all solves (counter).
+pub const METRIC_SMO_ITERATIONS: &str = "vmtherm_smo_iterations_total";
+/// Kernel row-cache hits across all solves (counter).
+pub const METRIC_KERNEL_CACHE_HITS: &str = "vmtherm_kernel_cache_hits_total";
+/// Kernel row-cache misses across all solves (counter).
+pub const METRIC_KERNEL_CACHE_MISSES: &str = "vmtherm_kernel_cache_misses_total";
+/// Cross-validation folds trained (counter).
+pub const METRIC_CV_FOLDS: &str = "vmtherm_cv_folds_total";
+/// Wall-clock nanoseconds per calibration (γ) update (histogram, ns buckets).
+pub const METRIC_CALIBRATION_UPDATE_NS: &str = "vmtherm_calibration_update_ns";
+/// Calibration (γ) updates applied (counter).
+pub const METRIC_GAMMA_UPDATES: &str = "vmtherm_gamma_updates_total";
+/// Re-anchor operations across the fleet (counter).
+pub const METRIC_REANCHOR_TOTAL: &str = "vmtherm_reanchor_total";
+/// Sensor samples ingested by the fleet monitor (counter).
+pub const METRIC_SAMPLES_INGESTED: &str = "vmtherm_samples_ingested_total";
+/// Forecasts issued by the fleet monitor (counter).
+pub const METRIC_FORECASTS_ISSUED: &str = "vmtherm_forecasts_issued_total";
+/// Forecasts scored against matured ground truth (counter).
+pub const METRIC_FORECASTS_SCORED: &str = "vmtherm_forecasts_scored_total";
+/// Absolute forecast error in °C (histogram, °C buckets).
+pub const METRIC_FORECAST_ABS_ERR_C: &str = "vmtherm_forecast_abs_err_celsius";
+
+/// Base name of the per-server rolling-MSE gauge (°C²).
+pub const METRIC_MONITOR_ROLLING_MSE: &str = "vmtherm_monitor_rolling_mse";
+/// Base name of the per-server |γ| gauge.
+pub const METRIC_MONITOR_GAMMA_ABS: &str = "vmtherm_monitor_gamma_abs";
+/// Base name of the per-server seconds-since-re-anchor gauge.
+pub const METRIC_MONITOR_SINCE_REANCHOR: &str = "vmtherm_monitor_since_reanchor_secs";
+/// Base name of the per-server forecast-maturity queue-depth gauge.
+pub const METRIC_MONITOR_PENDING: &str = "vmtherm_monitor_pending_forecasts";
+
+/// Top-level span around a scripted experiment run.
+pub const SPAN_EXPERIMENT_RUN: &str = "experiment_run";
+/// Span around a batch of engine steps (`run_until` / `run_for`).
+pub const SPAN_ENGINE_RUN: &str = "engine_run";
+/// Span around fitting the stable SVR predictor.
+pub const SPAN_STABLE_TRAIN: &str = "stable_train";
+/// Span around a single SMO solve.
+pub const SPAN_SMO_SOLVE: &str = "smo_solve";
+/// Span around one cross-validation fold.
+pub const SPAN_CV_FOLD: &str = "cv_fold";
+/// Span around replaying a series through a dynamic predictor.
+pub const SPAN_DYNAMIC_EVAL: &str = "dynamic_eval";
+/// Span around one fleet-monitor observation sweep.
+pub const SPAN_MONITOR_OBSERVE: &str = "monitor_observe";
+
+/// Renders a per-server gauge key, e.g. `vmtherm_monitor_rolling_mse{server="3"}`.
+pub fn server_gauge(base: &str, server: usize) -> String {
+    format!("{base}{{server=\"{server}\"}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_gauge_embeds_label() {
+        assert_eq!(
+            server_gauge(METRIC_MONITOR_GAMMA_ABS, 2),
+            "vmtherm_monitor_gamma_abs{server=\"2\"}"
+        );
+    }
+}

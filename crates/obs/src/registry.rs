@@ -1,0 +1,441 @@
+//! Metrics registry: counters, gauges, and fixed-bucket histograms.
+//!
+//! Handles (`Counter`, `Gauge`, `Histogram`) are cheap `Arc`-backed clones
+//! that write with relaxed atomics; the registry itself is a name → metric
+//! map behind a mutex that is only locked on registration and on export.
+//! Snapshots render as Prometheus text exposition format or as JSON.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::json::Json;
+
+/// A monotonically increasing counter.
+#[derive(Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Counter").field(&self.get()).finish()
+    }
+}
+
+impl Counter {
+    /// Increments the counter by one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increments the counter by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Returns the current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge holding the latest `f64` value set on it.
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Gauge").field(&self.get()).finish()
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(Arc::new(AtomicU64::new(0.0_f64.to_bits())))
+    }
+}
+
+impl Gauge {
+    /// Replaces the gauge value.
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Returns the current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+struct HistogramInner {
+    /// Upper bounds of each bucket, ascending; an implicit +Inf bucket
+    /// follows the last bound.
+    bounds: Vec<f64>,
+    /// counts[i] observations fell in bucket i (<= bounds[i]); the final
+    /// element counts observations above every bound.
+    counts: Vec<AtomicU64>,
+    /// Sum of all observed values, stored as f64 bits and updated by CAS.
+    sum_bits: AtomicU64,
+    /// Total number of observations.
+    count: AtomicU64,
+}
+
+/// A fixed-bucket histogram.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// Creates a histogram with the given ascending bucket upper bounds.
+    pub fn with_bounds(bounds: Vec<f64>) -> Histogram {
+        let counts = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Histogram(Arc::new(HistogramInner {
+            bounds,
+            counts,
+            sum_bits: AtomicU64::new(0.0_f64.to_bits()),
+            count: AtomicU64::new(0),
+        }))
+    }
+
+    /// Buckets tuned for nanosecond-scale timings (100ns … 10s).
+    pub fn ns_buckets() -> Vec<f64> {
+        vec![
+            1e2, 2.5e2, 5e2, 1e3, 2.5e3, 5e3, 1e4, 2.5e4, 5e4, 1e5, 2.5e5, 5e5, 1e6, 2.5e6, 5e6,
+            1e7, 2.5e7, 5e7, 1e8, 2.5e8, 5e8, 1e9, 1e10,
+        ]
+    }
+
+    /// Buckets tuned for °C error magnitudes (0.01 °C … 50 °C).
+    pub fn celsius_buckets() -> Vec<f64> {
+        vec![
+            0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 3.0, 5.0, 7.5, 10.0, 15.0, 25.0, 50.0,
+        ]
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: f64) {
+        let inner = &self.0;
+        let idx = inner.bounds.partition_point(|b| value > *b);
+        inner.counts[idx].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = inner.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + value).to_bits();
+            match inner.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Mean of all observations, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+
+    /// Estimates the `q`-quantile (0 ≤ q ≤ 1) by linear interpolation within
+    /// the containing bucket. Returns 0 when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let inner = &self.0;
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * total as f64;
+        let mut cumulative = 0u64;
+        for (i, c) in inner.counts.iter().enumerate() {
+            let in_bucket = c.load(Ordering::Relaxed);
+            let next = cumulative + in_bucket;
+            if (next as f64) >= rank && in_bucket > 0 {
+                let lo = if i == 0 { 0.0 } else { inner.bounds[i - 1] };
+                let hi = inner.bounds.get(i).copied().unwrap_or(lo);
+                let frac = ((rank - cumulative as f64) / in_bucket as f64).clamp(0.0, 1.0);
+                return lo + (hi - lo) * frac;
+            }
+            cumulative = next;
+        }
+        inner.bounds.last().copied().unwrap_or(0.0)
+    }
+
+    fn snapshot(&self) -> (Vec<(f64, u64)>, u64, f64) {
+        let inner = &self.0;
+        let mut cumulative = 0u64;
+        let mut buckets = Vec::with_capacity(inner.bounds.len() + 1);
+        for (i, c) in inner.counts.iter().enumerate() {
+            cumulative += c.load(Ordering::Relaxed);
+            let bound = inner.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+            buckets.push((bound, cumulative));
+        }
+        (buckets, self.count(), self.sum())
+    }
+}
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A named collection of metrics.
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Metric>> {
+        // A poisoned registry only means a panic elsewhere; the metric map
+        // itself is always structurally valid.
+        self.metrics.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Returns the counter registered under `name`, creating it on first use.
+    /// If `name` is already a different metric kind, a detached handle is
+    /// returned so callers never panic.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.lock();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter::default()))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => Counter::default(),
+        }
+    }
+
+    /// Returns the gauge registered under `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.lock();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge::default()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => Gauge::default(),
+        }
+    }
+
+    /// Returns the histogram registered under `name`, creating it with the
+    /// given bounds on first use.
+    pub fn histogram(&self, name: &str, bounds: fn() -> Vec<f64>) -> Histogram {
+        let mut map = self.lock();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::with_bounds(bounds())))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => Histogram::with_bounds(bounds()),
+        }
+    }
+
+    /// Zeroes every registered metric in place. Existing handles stay
+    /// attached, so cached `Lazy*` instrumentation sites keep reporting into
+    /// the registry after a reset (used between benchmark rounds).
+    pub fn reset(&self) {
+        let map = self.lock();
+        for metric in map.values() {
+            match metric {
+                Metric::Counter(c) => c.0.store(0, Ordering::Relaxed),
+                Metric::Gauge(g) => g.0.store(0.0_f64.to_bits(), Ordering::Relaxed),
+                Metric::Histogram(h) => {
+                    for c in &h.0.counts {
+                        c.store(0, Ordering::Relaxed);
+                    }
+                    h.0.sum_bits.store(0.0_f64.to_bits(), Ordering::Relaxed);
+                    h.0.count.store(0, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Names of all registered metrics, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.lock().keys().cloned().collect()
+    }
+
+    /// Renders every metric in Prometheus text exposition format.
+    pub fn to_prometheus(&self) -> String {
+        let map = self.lock();
+        let mut out = String::new();
+        for (name, metric) in map.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    out.push_str(&format!("# TYPE {} counter\n", base_name(name)));
+                    out.push_str(&format!("{name} {}\n", c.get()));
+                }
+                Metric::Gauge(g) => {
+                    out.push_str(&format!("# TYPE {} gauge\n", base_name(name)));
+                    out.push_str(&format!("{name} {}\n", g.get()));
+                }
+                Metric::Histogram(h) => {
+                    let (buckets, count, sum) = h.snapshot();
+                    let base = base_name(name);
+                    out.push_str(&format!("# TYPE {base} histogram\n"));
+                    for (bound, cumulative) in &buckets {
+                        let le = if bound.is_finite() {
+                            format!("{bound}")
+                        } else {
+                            "+Inf".to_string()
+                        };
+                        out.push_str(&format!("{base}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+                    }
+                    out.push_str(&format!("{base}_sum {sum}\n"));
+                    out.push_str(&format!("{base}_count {count}\n"));
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders every metric as a JSON object keyed by metric name.
+    pub fn to_json(&self) -> Json {
+        let map = self.lock();
+        let mut pairs = Vec::with_capacity(map.len());
+        for (name, metric) in map.iter() {
+            let value = match metric {
+                Metric::Counter(c) => Json::obj(vec![
+                    ("type", Json::str("counter")),
+                    ("value", Json::Num(c.get() as f64)),
+                ]),
+                Metric::Gauge(g) => Json::obj(vec![
+                    ("type", Json::str("gauge")),
+                    ("value", Json::Num(g.get())),
+                ]),
+                Metric::Histogram(h) => {
+                    let (buckets, count, sum) = h.snapshot();
+                    let bucket_json = buckets
+                        .iter()
+                        .map(|(bound, cumulative)| {
+                            Json::obj(vec![
+                                ("le", Json::Num(*bound)),
+                                ("cumulative", Json::Num(*cumulative as f64)),
+                            ])
+                        })
+                        .collect();
+                    Json::obj(vec![
+                        ("type", Json::str("histogram")),
+                        ("count", Json::Num(count as f64)),
+                        ("sum", Json::Num(sum)),
+                        ("p50", Json::Num(h.quantile(0.5))),
+                        ("p99", Json::Num(h.quantile(0.99))),
+                        ("buckets", Json::Arr(bucket_json)),
+                    ])
+                }
+            };
+            pairs.push((name.clone(), value));
+        }
+        Json::Obj(pairs)
+    }
+}
+
+/// Strips an embedded `{label="..."}` suffix so TYPE lines use the family name.
+fn base_name(name: &str) -> &str {
+    name.split('{').next().unwrap_or(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let reg = Registry::new();
+        let c = reg.counter("hits_total");
+        c.inc();
+        c.add(4);
+        assert_eq!(reg.counter("hits_total").get(), 5);
+        let g = reg.gauge("temp");
+        g.set(42.5);
+        assert_eq!(reg.gauge("temp").get(), 42.5);
+    }
+
+    #[test]
+    fn histogram_quantiles_interpolate() {
+        let h = Histogram::with_bounds(vec![10.0, 20.0, 30.0]);
+        for v in [5.0, 15.0, 25.0, 25.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 70.0);
+        let p50 = h.quantile(0.5);
+        assert!((10.0..=20.0).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile(0.99);
+        assert!((20.0..=30.0).contains(&p99), "p99 = {p99}");
+    }
+
+    #[test]
+    fn histogram_overflow_bucket_counts() {
+        let h = Histogram::with_bounds(vec![1.0]);
+        h.observe(100.0);
+        let (buckets, count, _) = h.snapshot();
+        assert_eq!(count, 1);
+        assert_eq!(buckets, vec![(1.0, 0), (f64::INFINITY, 1)]);
+    }
+
+    #[test]
+    fn prometheus_text_includes_all_families() {
+        let reg = Registry::new();
+        reg.counter("a_total").inc();
+        reg.gauge("b{server=\"0\"}").set(1.5);
+        reg.histogram("c_ns", Histogram::ns_buckets).observe(300.0);
+        let text = reg.to_prometheus();
+        assert!(text.contains("# TYPE a_total counter"));
+        assert!(text.contains("a_total 1"));
+        assert!(text.contains("# TYPE b gauge"));
+        assert!(text.contains("b{server=\"0\"} 1.5"));
+        assert!(text.contains("c_ns_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("c_ns_count 1"));
+    }
+
+    #[test]
+    fn json_snapshot_has_quantiles() {
+        let reg = Registry::new();
+        let h = reg.histogram("h", || vec![1.0, 2.0]);
+        h.observe(1.5);
+        let json = reg.to_json();
+        let entry = json.get("h").expect("h present");
+        assert_eq!(entry.get("type").and_then(Json::as_str), Some("histogram"));
+        assert_eq!(entry.get("count").and_then(Json::as_num), Some(1.0));
+    }
+
+    #[test]
+    fn kind_mismatch_returns_detached_handle() {
+        let reg = Registry::new();
+        reg.counter("x").inc();
+        // Asking for the same name as a gauge must not panic.
+        reg.gauge("x").set(1.0);
+        assert_eq!(reg.counter("x").get(), 1);
+    }
+}

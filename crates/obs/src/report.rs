@@ -1,0 +1,352 @@
+//! Parses JSONL trace files and renders a timing tree plus top-line metrics.
+//!
+//! This is the engine behind `vmtherm obs-report`. Parsing is strict — every
+//! line must be a valid schema-v1 record — so the CI smoke step doubles as
+//! schema validation for traces produced by instrumented runs.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::event::ObsEvent;
+use crate::json;
+use crate::span::SpanStat;
+
+/// One rejected JSONL line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineError {
+    /// 1-based line number in the input.
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl std::fmt::Display for LineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+/// Parses a JSONL document into events, validating every line against the
+/// schema. Blank lines are permitted; any other invalid line is an error.
+pub fn parse_jsonl(text: &str) -> Result<Vec<ObsEvent>, Vec<LineError>> {
+    let mut events = Vec::new();
+    let mut errors = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match json::parse(line)
+            .map_err(|e| e.to_string())
+            .and_then(|v| ObsEvent::from_json(&v))
+        {
+            Ok(event) => events.push(event),
+            Err(message) => errors.push(LineError {
+                line: i + 1,
+                message,
+            }),
+        }
+    }
+    if errors.is_empty() {
+        Ok(events)
+    } else {
+        Err(errors)
+    }
+}
+
+/// Aggregated view of a trace, ready to render.
+#[derive(Debug, Default)]
+pub struct TraceReport {
+    /// Commands named in `meta` records, in order of appearance.
+    pub cmds: Vec<String>,
+    /// Aggregated span timings keyed by slash-joined path.
+    pub spans: BTreeMap<String, SpanStat>,
+    /// Record count per event kind.
+    pub kind_counts: BTreeMap<String, u64>,
+    /// SMO solves seen.
+    pub smo_solves: u64,
+    /// Total SMO iterations across solves.
+    pub smo_iterations: u64,
+    /// SMO solves that converged.
+    pub smo_converged: u64,
+    /// Kernel cache hits / misses across solves.
+    pub cache_hits: u64,
+    /// Kernel cache misses across solves.
+    pub cache_misses: u64,
+    /// γ updates seen, and the last γ value.
+    pub gamma_updates: u64,
+    /// Most recent γ value, if any update was traced.
+    pub last_gamma: Option<f64>,
+    /// Re-anchor count per reason string.
+    pub reanchors: BTreeMap<String, u64>,
+    /// Scored forecasts and their accumulated |error|.
+    pub forecasts_scored: u64,
+    /// Sum of |forecast error| in °C over scored forecasts.
+    pub sum_abs_err_c: f64,
+}
+
+impl TraceReport {
+    /// Mean absolute forecast error over scored forecasts, °C.
+    pub fn mean_abs_err_c(&self) -> f64 {
+        if self.forecasts_scored == 0 {
+            0.0
+        } else {
+            self.sum_abs_err_c / self.forecasts_scored as f64
+        }
+    }
+
+    /// Number of distinct leaf span names (last path segment) in the trace.
+    pub fn distinct_span_names(&self) -> usize {
+        let mut names: Vec<&str> = self
+            .spans
+            .keys()
+            .filter_map(|p| p.rsplit('/').next())
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        names.len()
+    }
+}
+
+/// Aggregates parsed events into a [`TraceReport`].
+pub fn summarize(events: &[ObsEvent]) -> TraceReport {
+    let mut report = TraceReport::default();
+    for event in events {
+        *report
+            .kind_counts
+            .entry(event.kind().to_string())
+            .or_insert(0) += 1;
+        match event {
+            ObsEvent::Meta { cmd } => report.cmds.push(cmd.clone()),
+            ObsEvent::Span { path, dur_ns } => {
+                let stat = report.spans.entry(path.clone()).or_default();
+                stat.count += 1;
+                stat.total_ns += dur_ns;
+                stat.max_ns = stat.max_ns.max(*dur_ns);
+            }
+            ObsEvent::SmoSolve {
+                iterations,
+                converged,
+                cache_hits,
+                cache_misses,
+                ..
+            } => {
+                report.smo_solves += 1;
+                report.smo_iterations += *iterations as u64;
+                report.smo_converged += u64::from(*converged);
+                report.cache_hits += cache_hits;
+                report.cache_misses += cache_misses;
+            }
+            ObsEvent::GammaUpdate { gamma, .. } => {
+                report.gamma_updates += 1;
+                report.last_gamma = Some(*gamma);
+            }
+            ObsEvent::Reanchor { reason, .. } => {
+                *report.reanchors.entry(reason.clone()).or_insert(0) += 1;
+            }
+            ObsEvent::ForecastScored { err_c, .. } => {
+                report.forecasts_scored += 1;
+                report.sum_abs_err_c += err_c.abs();
+            }
+            ObsEvent::Sample { .. } | ObsEvent::Forecast { .. } => {}
+        }
+    }
+    report
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}µs", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// Renders the timing tree and top-line metrics as human-readable text.
+pub fn render(report: &TraceReport) -> String {
+    let mut out = String::new();
+    if !report.cmds.is_empty() {
+        let _ = writeln!(out, "commands: {}", report.cmds.join(", "));
+    }
+
+    let _ = writeln!(out, "\ntiming tree ({} span paths):", report.spans.len());
+    if report.spans.is_empty() {
+        let _ = writeln!(out, "  (no spans recorded — was the run traced?)");
+    }
+    for (path, stat) in &report.spans {
+        let depth = path.matches('/').count();
+        let name = path.rsplit('/').next().unwrap_or(path);
+        let _ = writeln!(
+            out,
+            "{:indent$}{name:<24} calls {:>6}  total {:>10}  mean {:>10}  max {:>10}",
+            "",
+            stat.count,
+            fmt_ns(stat.total_ns as f64),
+            fmt_ns(stat.mean_ns()),
+            fmt_ns(stat.max_ns as f64),
+            indent = 2 + depth * 2,
+        );
+    }
+
+    let _ = writeln!(out, "\ntop-line metrics:");
+    let mut kinds: Vec<String> = report
+        .kind_counts
+        .iter()
+        .map(|(kind, n)| format!("{kind}={n}"))
+        .collect();
+    kinds.sort();
+    let _ = writeln!(out, "  records: {}", kinds.join(" "));
+    if report.smo_solves > 0 {
+        let lookups = report.cache_hits + report.cache_misses;
+        let hit_rate = if lookups == 0 {
+            0.0
+        } else {
+            100.0 * report.cache_hits as f64 / lookups as f64
+        };
+        let _ = writeln!(
+            out,
+            "  smo: {} solves ({} converged), {} iterations, cache hit rate {hit_rate:.1}%",
+            report.smo_solves, report.smo_converged, report.smo_iterations,
+        );
+    }
+    if report.gamma_updates > 0 {
+        let _ = writeln!(
+            out,
+            "  calibration: {} γ updates, last γ = {:.4}",
+            report.gamma_updates,
+            report.last_gamma.unwrap_or(0.0),
+        );
+    }
+    if !report.reanchors.is_empty() {
+        let reasons: Vec<String> = report
+            .reanchors
+            .iter()
+            .map(|(r, n)| format!("{r}={n}"))
+            .collect();
+        let _ = writeln!(out, "  re-anchors: {}", reasons.join(" "));
+    }
+    if report.forecasts_scored > 0 {
+        let _ = writeln!(
+            out,
+            "  forecasts: {} scored, mean |err| = {:.3} °C",
+            report.forecasts_scored,
+            report.mean_abs_err_c(),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> String {
+        let events = [
+            ObsEvent::Meta {
+                cmd: "monitor".to_string(),
+            },
+            ObsEvent::Span {
+                path: "experiment_run".to_string(),
+                dur_ns: 4_000_000,
+            },
+            ObsEvent::Span {
+                path: "experiment_run/engine_run".to_string(),
+                dur_ns: 3_000_000,
+            },
+            ObsEvent::Span {
+                path: "experiment_run/engine_run".to_string(),
+                dur_ns: 1_000_000,
+            },
+            ObsEvent::Span {
+                path: "stable_train".to_string(),
+                dur_ns: 9_000_000,
+            },
+            ObsEvent::Span {
+                path: "stable_train/smo_solve".to_string(),
+                dur_ns: 8_000_000,
+            },
+            ObsEvent::GammaUpdate {
+                t_secs: 15.0,
+                gamma: 0.2,
+            },
+            ObsEvent::Reanchor {
+                t_secs: 100.0,
+                server: 0,
+                phi0_c: 45.0,
+                psi_stable_c: 60.0,
+                reason: "vm_boot".to_string(),
+            },
+            ObsEvent::ForecastScored {
+                t_secs: 75.0,
+                server: 0,
+                err_c: -0.5,
+            },
+            ObsEvent::ForecastScored {
+                t_secs: 90.0,
+                server: 0,
+                err_c: 1.5,
+            },
+            ObsEvent::SmoSolve {
+                n: 100,
+                iterations: 500,
+                converged: true,
+                dur_ns: 8_000_000,
+                cache_hits: 80,
+                cache_misses: 20,
+            },
+        ];
+        let mut text = String::new();
+        for e in &events {
+            text.push_str(&e.to_json().render());
+            text.push('\n');
+        }
+        text
+    }
+
+    #[test]
+    fn parses_and_summarizes_a_trace() {
+        let events = parse_jsonl(&trace()).expect("valid trace");
+        let report = summarize(&events);
+        assert_eq!(report.cmds, vec!["monitor"]);
+        assert_eq!(report.spans["experiment_run/engine_run"].count, 2);
+        assert_eq!(
+            report.spans["experiment_run/engine_run"].total_ns,
+            4_000_000
+        );
+        assert_eq!(report.distinct_span_names(), 4);
+        assert_eq!(report.gamma_updates, 1);
+        assert_eq!(report.reanchors["vm_boot"], 1);
+        assert_eq!(report.forecasts_scored, 2);
+        assert!((report.mean_abs_err_c() - 1.0).abs() < 1e-12);
+        assert_eq!(report.smo_iterations, 500);
+    }
+
+    #[test]
+    fn render_shows_tree_and_toplines() {
+        let events = parse_jsonl(&trace()).expect("valid trace");
+        let text = render(&summarize(&events));
+        assert!(text.contains("engine_run"), "{text}");
+        assert!(text.contains("smo_solve"), "{text}");
+        assert!(text.contains("re-anchors: vm_boot=1"), "{text}");
+        assert!(text.contains("cache hit rate 80.0%"), "{text}");
+    }
+
+    #[test]
+    fn invalid_lines_are_reported_with_numbers() {
+        let text =
+            "{\"v\":1,\"kind\":\"meta\",\"cmd\":\"x\"}\nnot json\n{\"v\":2,\"kind\":\"meta\"}\n";
+        let errors = parse_jsonl(text).expect_err("invalid lines");
+        assert_eq!(errors.len(), 2);
+        assert_eq!(errors[0].line, 2);
+        assert_eq!(errors[1].line, 3);
+    }
+
+    #[test]
+    fn blank_lines_are_tolerated() {
+        let events = parse_jsonl("\n\n{\"v\":1,\"kind\":\"meta\",\"cmd\":\"x\"}\n\n").unwrap();
+        assert_eq!(events.len(), 1);
+    }
+}

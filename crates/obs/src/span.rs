@@ -1,0 +1,167 @@
+//! Span/timer API with thread-local span stacks.
+//!
+//! `span("name")` returns a guard; while the guard lives, nested spans see
+//! the name on their thread's stack, so each close records a slash-joined
+//! path (`experiment_run/engine_run`). Closed spans aggregate into a global
+//! path → `SpanStat` table that `obs-report` renders as a timing tree, and
+//! emit a [`crate::event::ObsEvent::Span`] record when tracing is on.
+//!
+//! When the layer is disabled ([`crate::enabled`] is false) the guard holds
+//! no timestamp and its drop is a branch on `None` — the
+//! zero-overhead-when-disabled guarantee.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
+
+use crate::event::ObsEvent;
+
+thread_local! {
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Aggregate timing for one span path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Number of times the span closed.
+    pub count: u64,
+    /// Total wall-clock nanoseconds across all closes.
+    pub total_ns: u64,
+    /// Longest single close, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl SpanStat {
+    /// Mean duration per close, nanoseconds.
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+
+    fn record(&mut self, dur_ns: u64) {
+        self.count += 1;
+        self.total_ns += dur_ns;
+        self.max_ns = self.max_ns.max(dur_ns);
+    }
+}
+
+static SPAN_STATS: Mutex<BTreeMap<&'static str, SpanStat>> = Mutex::new(BTreeMap::new());
+
+/// RAII guard returned by [`span`]; records timing when dropped.
+pub struct SpanGuard {
+    start: Option<Instant>,
+}
+
+/// Opens a span. When the layer is disabled this is a single relaxed load
+/// and the returned guard does nothing on drop.
+pub fn span(name: &'static str) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard { start: None };
+    }
+    STACK.with(|stack| {
+        if let Ok(mut stack) = stack.try_borrow_mut() {
+            stack.push(name);
+        }
+    });
+    SpanGuard {
+        start: Some(Instant::now()),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start.take() else {
+            return;
+        };
+        let dur_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let path = STACK.with(|stack| {
+            let Ok(mut stack) = stack.try_borrow_mut() else {
+                return String::new();
+            };
+            let path = stack.join("/");
+            stack.pop();
+            path
+        });
+        if path.is_empty() {
+            return;
+        }
+        // Aggregate under a leaked 'static key only on first sight of a path;
+        // span names are a small fixed set so this is bounded.
+        let mut stats = SPAN_STATS.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(stat) = stats.get_mut(path.as_str()) {
+            stat.record(dur_ns);
+        } else {
+            let key: &'static str = Box::leak(path.clone().into_boxed_str());
+            stats.entry(key).or_default().record(dur_ns);
+        }
+        drop(stats);
+        crate::emit_with(|| ObsEvent::Span { path, dur_ns });
+    }
+}
+
+/// Snapshot of all span paths and their aggregate timings, sorted by path.
+pub fn span_stats() -> Vec<(String, SpanStat)> {
+    let stats = SPAN_STATS.lock().unwrap_or_else(PoisonError::into_inner);
+    stats.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+}
+
+/// Clears the aggregate span table (for tests and benchmarks).
+pub fn reset_spans() {
+    SPAN_STATS
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // These tests toggle the process-global enabled flag, so they serialize.
+    use crate::TEST_LOCK;
+
+    #[test]
+    fn disabled_span_records_nothing() {
+        let _lock = TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        crate::set_enabled(false);
+        {
+            let _g = span("quiet");
+        }
+        assert!(span_stats().iter().all(|(p, _)| p != "quiet"));
+    }
+
+    #[test]
+    fn nested_spans_build_slash_paths() {
+        let _lock = TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        crate::set_enabled(true);
+        {
+            let _outer = span("outer_t");
+            let _inner = span("inner_t");
+        }
+        crate::set_enabled(false);
+        let stats = span_stats();
+        let paths: Vec<&str> = stats.iter().map(|(p, _)| p.as_str()).collect();
+        assert!(paths.contains(&"outer_t"), "paths = {paths:?}");
+        assert!(paths.contains(&"outer_t/inner_t"), "paths = {paths:?}");
+        let (_, inner) = stats.iter().find(|(p, _)| p == "outer_t/inner_t").unwrap();
+        assert_eq!(inner.count, 1);
+    }
+
+    #[test]
+    fn repeat_spans_aggregate() {
+        let _lock = TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        crate::set_enabled(true);
+        for _ in 0..3 {
+            let _g = span("thrice_t");
+        }
+        crate::set_enabled(false);
+        let stats = span_stats();
+        let (_, stat) = stats.iter().find(|(p, _)| p == "thrice_t").unwrap();
+        assert_eq!(stat.count, 3);
+        assert!(stat.mean_ns() > 0.0);
+    }
+}

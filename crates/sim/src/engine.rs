@@ -15,7 +15,15 @@ use crate::time::{SimDuration, SimTime};
 use crate::vm::{Vm, VmId, VmSpec, VmState};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use vmtherm_obs::{self as obs, names};
 use vmtherm_units::{Celsius, Seconds, Watts};
+
+/// Engine instrumentation; each handle is one relaxed-load branch when the
+/// observability layer is disabled.
+static OBS_STEPS: obs::LazyCounter = obs::LazyCounter::new(names::METRIC_ENGINE_STEPS);
+static OBS_EVENTS: obs::LazyCounter = obs::LazyCounter::new(names::METRIC_ENGINE_EVENTS);
+static OBS_STEP_NS: obs::LazyHistogram =
+    obs::LazyHistogram::new(names::METRIC_ENGINE_STEP_NS, obs::Histogram::ns_buckets);
 
 /// A reconfiguration applied at a scheduled time.
 #[derive(Debug, Clone, PartialEq)]
@@ -139,7 +147,15 @@ pub struct Simulation {
     log: Vec<(SimTime, SimEvent)>,
     seed: u64,
     room_heat_kw: f64,
+    /// Steps not yet flushed to the obs step counter; bounds per-step
+    /// instrumentation cost to one branch plus an integer increment.
+    obs_backlog: u32,
 }
+
+/// Engine steps are counted (and one step latency sampled) once per this
+/// many steps, so the hot loop pays an atomic and two clock reads only on
+/// every 64th step.
+const OBS_SAMPLE_EVERY: u32 = 64;
 
 impl Simulation {
     /// Wraps a datacenter with a room model. `seed` drives VM workload
@@ -161,6 +177,7 @@ impl Simulation {
             log: Vec::new(),
             seed,
             room_heat_kw: 0.0,
+            obs_backlog: 0,
         }
     }
 
@@ -255,6 +272,21 @@ impl Simulation {
 
     /// Advances the simulation by one step.
     pub fn step(&mut self) {
+        // Batched instrumentation: count (and time) one step per sampling
+        // window so the hot loop stays within the <3% overhead budget.
+        let _step_timer = if obs::enabled() {
+            self.obs_backlog += 1;
+            if self.obs_backlog >= OBS_SAMPLE_EVERY {
+                OBS_STEPS.add(u64::from(self.obs_backlog));
+                self.obs_backlog = 0;
+                Some(OBS_STEP_NS.start_timer())
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+
         // Telemetry arrays may lag behind a datacenter the caller extended.
         while self.traces.len() < self.datacenter.len() {
             self.traces.push(ServerTrace::new());
@@ -304,11 +336,15 @@ impl Simulation {
             server.step(now, Celsius::new(local_ambient), Seconds::new(dt_secs));
             let trace = &mut self.traces[idx];
             let reading = server.read_sensor();
-            trace.sensor_c.push(now, reading);
-            trace.die_c.push(now, server.die_temperature());
-            trace.utilization.push(now, server.last_utilization());
-            trace.power_w.push(now, server.last_power());
-            trace.ambient_c.push(now, local_ambient);
+            let recorded = trace
+                .sensor_c
+                .push(now, reading)
+                .and(trace.die_c.push(now, server.die_temperature()))
+                .and(trace.utilization.push(now, server.last_utilization()))
+                .and(trace.power_w.push(now, server.last_power()))
+                .and(trace.ambient_c.push(now, local_ambient));
+            // The engine clock is monotone, so recording cannot go backwards.
+            debug_assert!(recorded.is_ok(), "engine clock regressed: {recorded:?}");
         }
         self.room_heat_kw = self.datacenter.room_heat_kw();
 
@@ -318,8 +354,13 @@ impl Simulation {
     /// Runs until the clock reaches `t` (inclusive of steps starting
     /// before `t`).
     pub fn run_until(&mut self, t: SimTime) {
+        let _span = obs::span(names::SPAN_ENGINE_RUN);
         while self.clock < t {
             self.step();
+        }
+        if self.obs_backlog > 0 {
+            OBS_STEPS.add(u64::from(self.obs_backlog));
+            self.obs_backlog = 0;
         }
     }
 
@@ -330,6 +371,7 @@ impl Simulation {
     }
 
     fn apply_event(&mut self, event: Event) {
+        OBS_EVENTS.inc();
         let outcome = self.try_apply(event);
         if let Err(error) = outcome {
             self.log.push((self.clock, SimEvent::EventFailed { error }));

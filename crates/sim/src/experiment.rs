@@ -157,6 +157,7 @@ impl ExperimentConfig {
     /// or if `t_break >= duration`.
     #[must_use]
     pub fn run(&self) -> ExperimentOutcome {
+        let _span = vmtherm_obs::span(vmtherm_obs::names::SPAN_EXPERIMENT_RUN);
         assert!(
             self.t_break < self.duration,
             "t_break must precede the experiment end"

@@ -86,6 +86,7 @@ pub use environment::AmbientModel;
 pub use error::SimError;
 pub use experiment::{CaseGenerator, ConfigSnapshot, ExperimentConfig, ExperimentOutcome};
 pub use server::{Server, ServerId, ServerSpec};
+pub use telemetry::{ServerTrace, TelemetryError, TimeSeries};
 pub use time::{SimDuration, SimTime};
 pub use vm::{Vm, VmId, VmSpec};
 pub use workload::TaskProfile;

@@ -5,6 +5,36 @@ use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
+/// Errors produced when recording telemetry.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TelemetryError {
+    /// A sample was offered with a timestamp before the last recorded one
+    /// (series are monotone).
+    NonMonotonicTime {
+        /// Timestamp of the last recorded sample (seconds).
+        last_secs: f64,
+        /// Timestamp of the rejected sample (seconds).
+        new_secs: f64,
+    },
+}
+
+impl std::fmt::Display for TelemetryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TelemetryError::NonMonotonicTime {
+                last_secs,
+                new_secs,
+            } => write!(
+                f,
+                "time series going backwards: {new_secs} after {last_secs}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TelemetryError {}
+
 /// A time-stamped scalar series.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct TimeSeries {
@@ -21,19 +51,23 @@ impl TimeSeries {
 
     /// Appends a sample.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `t` precedes the last sample (series are monotone).
-    pub fn push(&mut self, t: SimTime, value: f64) {
+    /// Returns [`TelemetryError::NonMonotonicTime`] (recording nothing) if
+    /// `t` precedes the last sample — series are monotone.
+    pub fn push(&mut self, t: SimTime, value: f64) -> Result<(), TelemetryError> {
         let secs = t.as_secs_f64();
         if let Some(last) = self.times.last() {
-            assert!(
-                secs >= *last,
-                "time series going backwards: {secs} after {last}"
-            );
+            if secs < *last {
+                return Err(TelemetryError::NonMonotonicTime {
+                    last_secs: *last,
+                    new_secs: secs,
+                });
+            }
         }
         self.times.push(secs);
         self.values.push(value);
+        Ok(())
     }
 
     /// Number of samples.
@@ -126,10 +160,12 @@ impl TimeSeries {
 }
 
 impl FromIterator<(f64, f64)> for TimeSeries {
+    /// Collects `(time_secs, value)` pairs; out-of-order samples are
+    /// silently dropped (the series stays monotone).
     fn from_iter<I: IntoIterator<Item = (f64, f64)>>(iter: I) -> Self {
         let mut ts = TimeSeries::new();
         for (t, v) in iter {
-            ts.push(SimTime::from_millis((t * 1000.0).round() as u64), v);
+            let _ = ts.push(SimTime::from_millis((t * 1000.0).round() as u64), v);
         }
         ts
     }
@@ -165,7 +201,8 @@ mod tests {
     fn series() -> TimeSeries {
         let mut ts = TimeSeries::new();
         for s in 0..10 {
-            ts.push(SimTime::from_secs(s), s as f64 * 2.0);
+            ts.push(SimTime::from_secs(s), s as f64 * 2.0)
+                .expect("monotone");
         }
         ts
     }
@@ -178,11 +215,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "backwards")]
-    fn non_monotone_push_panics() {
+    fn non_monotone_push_errors_without_recording() {
         let mut ts = TimeSeries::new();
-        ts.push(SimTime::from_secs(5), 0.0);
-        ts.push(SimTime::from_secs(4), 0.0);
+        ts.push(SimTime::from_secs(5), 0.0).expect("first push");
+        let err = ts.push(SimTime::from_secs(4), 1.0).expect_err("backwards");
+        assert_eq!(
+            err,
+            TelemetryError::NonMonotonicTime {
+                last_secs: 5.0,
+                new_secs: 4.0
+            }
+        );
+        assert!(err.to_string().contains("backwards"));
+        // The rejected sample left the series untouched.
+        assert_eq!(ts.len(), 1);
+        // Equal timestamps are still accepted.
+        ts.push(SimTime::from_secs(5), 2.0)
+            .expect("equal timestamp");
+        assert_eq!(ts.len(), 2);
     }
 
     #[test]
@@ -217,7 +267,7 @@ mod tests {
     #[test]
     fn csv_round_numbers() {
         let mut ts = TimeSeries::new();
-        ts.push(SimTime::from_secs(1), 42.5);
+        ts.push(SimTime::from_secs(1), 42.5).expect("monotone");
         let csv = ts.to_csv("temp_c");
         assert_eq!(csv, "time_s,temp_c\n1,42.5\n");
     }

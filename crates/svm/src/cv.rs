@@ -10,6 +10,9 @@ use crate::metrics;
 use crate::svr::{SvrModel, SvrParams};
 use rand::seq::SliceRandom;
 use rand::Rng;
+use vmtherm_obs::{self as obs, names};
+
+static OBS_FOLDS: obs::LazyCounter = obs::LazyCounter::new(names::METRIC_CV_FOLDS);
 
 /// Splits `n` sample indices into `k` disjoint folds of near-equal size
 /// (sizes differ by at most one), shuffled with `rng`.
@@ -69,6 +72,8 @@ pub fn cross_validate_svr<R: Rng>(
     let folds = kfold_indices(data.len(), k, rng)?;
     let mut fold_mse = Vec::with_capacity(k);
     for held_out in &folds {
+        let _span = obs::span(names::SPAN_CV_FOLD);
+        OBS_FOLDS.inc();
         let train_idx: Vec<usize> = folds
             .iter()
             .filter(|f| !std::ptr::eq(*f, held_out))

@@ -117,6 +117,12 @@ impl<'a> RegressionQ<'a> {
             -1.0
         }
     }
+
+    /// Kernel row-cache `(hits, misses)` accumulated by this matrix, for
+    /// the observability layer.
+    pub(crate) fn cache_stats(&self) -> (u64, u64) {
+        (self.cache.hits(), self.cache.misses())
+    }
 }
 
 impl QMatrix for RegressionQ<'_> {

@@ -7,6 +7,14 @@ use crate::error::SvmError;
 use crate::kernel::Kernel;
 use crate::smo::{self, QMatrix, RegressionQ, SolveOptions};
 use serde::{Deserialize, Serialize};
+use vmtherm_obs::{self as obs, names, ObsEvent};
+
+static OBS_SOLVE_NS: obs::LazyHistogram =
+    obs::LazyHistogram::new(names::METRIC_SMO_SOLVE_NS, obs::Histogram::ns_buckets);
+static OBS_ITERATIONS: obs::LazyCounter = obs::LazyCounter::new(names::METRIC_SMO_ITERATIONS);
+static OBS_CACHE_HITS: obs::LazyCounter = obs::LazyCounter::new(names::METRIC_KERNEL_CACHE_HITS);
+static OBS_CACHE_MISSES: obs::LazyCounter =
+    obs::LazyCounter::new(names::METRIC_KERNEL_CACHE_MISSES);
 
 /// Hyper-parameters for ε-SVR training.
 ///
@@ -222,6 +230,8 @@ impl SvrModel {
         let c = vec![params.c; 2 * l];
 
         let mut q = RegressionQ::new(params.kernel, points, params.cache_rows);
+        let span = obs::span(names::SPAN_SMO_SOLVE);
+        let timer = OBS_SOLVE_NS.start_timer();
         let solution = smo::solve(
             &mut q,
             &p,
@@ -234,6 +244,20 @@ impl SvrModel {
                 shrinking: params.shrinking,
             },
         );
+        let dur_ns = timer.stop().unwrap_or(0);
+        drop(span);
+        let (cache_hits, cache_misses) = q.cache_stats();
+        OBS_ITERATIONS.add(solution.iterations as u64);
+        OBS_CACHE_HITS.add(cache_hits);
+        OBS_CACHE_MISSES.add(cache_misses);
+        obs::emit_with(|| ObsEvent::SmoSolve {
+            n: l,
+            iterations: solution.iterations,
+            converged: solution.converged,
+            dur_ns,
+            cache_hits,
+            cache_misses,
+        });
         debug_assert_eq!(q.len(), 2 * l);
 
         // β_i = α_i − α*_i; keep only support vectors (β != 0).

@@ -24,7 +24,9 @@
 //!   `vmtherm-sim` library code; use `total_cmp` or epsilon helpers.
 //! - **L5** — the paper constants (λ = 0.8, t_break = 600 s, Δ_update,
 //!   Δ_gap) are defined exactly once, in `vmtherm-units::constants`,
-//!   and imported everywhere else.
+//!   and imported everywhere else. Likewise metric and span name
+//!   constants (`METRIC_*`, `SPAN_*`) live only in
+//!   `vmtherm-obs` (`crates/obs/src/names.rs`).
 //!
 //! The scanner is deliberately line-oriented (no syn/proc-macro
 //! dependency): rules are written so that the idioms they police are
@@ -206,7 +208,7 @@ impl Allowlist {
 }
 
 /// Crates whose library code must be panic-free (rule L2).
-const PANIC_FREE_CRATES: [&str; 3] = ["core", "svm", "sim"];
+const PANIC_FREE_CRATES: [&str; 4] = ["core", "svm", "sim", "obs"];
 
 /// Crates whose public signatures must use unit newtypes (rules L3, L4).
 const UNIT_SAFE_CRATES: [&str; 2] = ["core", "sim"];
@@ -674,6 +676,7 @@ fn is_temperature_ident(ident: &str) -> bool {
 /// L5: paper constants live only in `vmtherm-units` and exactly once.
 fn check_paper_constants(root: &Path, out: &mut Vec<Violation>) -> Result<(), String> {
     let units_src = root.join("crates").join("units").join("src");
+    let obs_src = root.join("crates").join("obs").join("src");
     let mut unit_defs: Vec<(String, PathBuf, usize)> = Vec::new();
     for dir in crate_dirs(root)? {
         let src = dir.join("src");
@@ -681,10 +684,24 @@ fn check_paper_constants(root: &Path, out: &mut Vec<Violation>) -> Result<(), St
             let rel = relative(root, &file);
             let text = read_source(root, &file)?;
             let in_units = file.starts_with(&units_src);
+            let in_obs = file.starts_with(&obs_src);
             for (line, raw, code) in &SourceLines::non_test(&text).lines {
                 let Some(name) = const_definition_name(code) else {
                     continue;
                 };
+                if !in_obs && (name.starts_with("METRIC_") || name.starts_with("SPAN_")) {
+                    out.push(Violation {
+                        rule: Rule::L5,
+                        path: rel.clone(),
+                        line: *line,
+                        message: format!(
+                            "metric/span name constant `{name}` defined outside vmtherm-obs; \
+                             `crates/obs/src/names.rs` is the single definition point"
+                        ),
+                        source: (*raw).to_string(),
+                    });
+                    continue;
+                }
                 let Some(paper) = PAPER_CONSTANT_NAMES.iter().find(|p| name == **p) else {
                     if !in_units && is_paper_constant_alias(&name) {
                         out.push(Violation {

@@ -1,0 +1,2 @@
+pub const METRIC_ENGINE_STEPS: &str = "vmtherm_engine_steps_total";
+pub const SPAN_ENGINE_RUN: &str = "engine_run";

@@ -1,0 +1,5 @@
+#![deny(unsafe_code)]
+
+pub const METRIC_LOCAL_STEPS: &str = "vmtherm_local_steps_total";
+
+pub const SPAN_LOCAL: &str = "local_span";

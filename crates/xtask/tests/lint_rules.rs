@@ -104,6 +104,21 @@ fn l5_constant_redefinitions_fire() {
 }
 
 #[test]
+fn l5_metric_names_outside_obs_fire() {
+    let violations = lint_fixture("l5_metrics");
+    let metric = find(&violations, Rule::L5, "crates/sim/src/lib.rs", 3);
+    assert!(
+        metric.message.contains("METRIC_LOCAL_STEPS") && metric.message.contains("vmtherm-obs"),
+        "{metric:#?}"
+    );
+    let span = find(&violations, Rule::L5, "crates/sim/src/lib.rs", 5);
+    assert!(span.message.contains("SPAN_LOCAL"), "{span:#?}");
+    // The definitions in crates/obs/src/names.rs are the canonical ones.
+    assert_eq!(violations.len(), 2, "{violations:#?}");
+    assert!(!binary_passes("l5_metrics"));
+}
+
+#[test]
 fn allowlist_suppresses_a_vetted_site() {
     let allow = Allowlist::parse(
         "L2 | crates/core/src/lib.rs | .unwrap() | fixture: first element checked by caller\n\

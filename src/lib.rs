@@ -14,6 +14,9 @@
 //! - [`core`] (`vmtherm-core`) — the paper's contribution: stable (SVR) and
 //!   dynamic (calibrated curve) CPU temperature prediction, baselines,
 //!   evaluation, and thermal management.
+//! - [`obs`] (`vmtherm-obs`) — dependency-free observability: metrics
+//!   registry, span timers and the schema-versioned JSONL event log that
+//!   the pipeline is instrumented with.
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and
 //! `vmtherm-bench` for the figure-regeneration harness.
@@ -31,6 +34,7 @@
 #![deny(unsafe_code)]
 
 pub use vmtherm_core as core;
+pub use vmtherm_obs as obs;
 pub use vmtherm_sim as sim;
 pub use vmtherm_svm as svm;
 
