@@ -1,0 +1,366 @@
+//! Measures what the flat row-major [`DenseMatrix`] layout buys over the
+//! pre-refactor nested `Vec<Vec<f64>>` layout and writes the
+//! machine-readable baseline `BENCH_matrix.json`:
+//!
+//! - kernel-row evaluation (one query against every stored row) for the
+//!   linear and RBF kernels, nested loop-of-`eval` vs.
+//!   [`Kernel::eval_row_batch`] over contiguous storage,
+//! - `predict_dataset` throughput of a trained SVR, nested scalar replica
+//!   vs. the batched flat path,
+//! - `smo_solve_ns` before (the committed pre-refactor `BENCH_obs.json`
+//!   numbers) and after (re-measured with the same 3-model protocol).
+//!
+//! Both arms compute identical math in identical order, so outputs are
+//! asserted bit-identical before anything is timed.
+//!
+//! Run with: `cargo run --release -p vmtherm-bench --bin matrix_bench`
+//! (optionally `--out PATH`, default `BENCH_matrix.json`). Pass `--check`
+//! for the CI smoke mode: a small dataset, no SMO re-measurement, and the
+//! rendered JSON parsed back — exits non-zero if the batched and scalar
+//! predictions disagree.
+
+use std::hint::black_box;
+use std::time::Instant;
+use vmtherm_bench::{train_stable_model, training_campaign};
+use vmtherm_obs::{self as obs, json, names, Histogram, Json};
+use vmtherm_svm::data::Dataset;
+use vmtherm_svm::kernel::Kernel;
+use vmtherm_svm::matrix::DenseMatrix;
+use vmtherm_svm::svr::{SvrModel, SvrParams};
+
+/// Pre-refactor `smo_solve_ns` quantiles from the committed
+/// `BENCH_obs.json` (the "before" side of the satellite comparison).
+const BASELINE_SMO_P50_NS: f64 = 750_000.0;
+/// See [`BASELINE_SMO_P50_NS`].
+const BASELINE_SMO_P99_NS: f64 = 995_000.0;
+
+/// Benchmark configuration: full run or the CI `--check` smoke.
+struct Opts {
+    check: bool,
+    out: String,
+    rows: usize,
+    rounds: usize,
+}
+
+fn parse_opts() -> Opts {
+    let check = std::env::args().any(|a| a == "--check");
+    let mut out = "BENCH_matrix.json".to_string();
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--out" {
+            if let Some(path) = args.next() {
+                out = path;
+            }
+        }
+    }
+    Opts {
+        check,
+        out,
+        rows: if check { 256 } else { 2000 },
+        rounds: if check { 2 } else { 5 },
+    }
+}
+
+const COLS: usize = 16;
+
+/// Deterministic xorshift stream in [-1, 1).
+fn rng(seed: u64) -> impl FnMut() -> f64 {
+    let mut state = seed | 1;
+    move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+    }
+}
+
+fn synthetic_matrix(rows: usize, seed: u64) -> DenseMatrix {
+    let mut next = rng(seed);
+    let mut m = DenseMatrix::with_cols(COLS);
+    let mut row = vec![0.0; COLS];
+    for _ in 0..rows {
+        for v in &mut row {
+            *v = next();
+        }
+        m.push_row(&row);
+    }
+    m
+}
+
+/// Materializes the pre-refactor nested layout for the same rows. The row
+/// boxes are allocated in shuffled order — the steady state of a
+/// long-running prediction service's heap — so the baseline pays the
+/// pointer-chase the flat layout removes.
+fn nested_rows(m: &DenseMatrix, seed: u64) -> Vec<Vec<f64>> {
+    let n = m.rows();
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut next = rng(seed);
+    for i in (1..n).rev() {
+        let j = ((next() + 1.0) / 2.0 * (i + 1) as f64) as usize % (i + 1);
+        order.swap(i, j);
+    }
+    let mut slots: Vec<Vec<f64>> = vec![Vec::new(); n];
+    for &i in &order {
+        slots[i] = m.row(i).to_vec();
+    }
+    slots
+}
+
+/// Runs `f` for `rounds` timed rounds of `reps` calls each and returns the
+/// best ops/second, where one call counts as `ops_per_call` operations.
+fn best_rate(rounds: usize, reps: usize, ops_per_call: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let mut best = 0.0f64;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        let rate = (reps * ops_per_call) as f64 / start.elapsed().as_secs_f64();
+        best = best.max(rate);
+    }
+    best
+}
+
+/// One nested-vs-flat comparison cell: `(label, json, speedup)`.
+fn cell(label: &str, nested: f64, flat: f64) -> (String, Json, f64) {
+    println!(
+        "{label:<24} nested {nested:>14.0} ops/s | flat {flat:>14.0} ops/s | {:.2}x",
+        flat / nested
+    );
+    (
+        label.to_string(),
+        Json::obj(vec![
+            ("nested_per_sec", Json::Num(nested)),
+            ("flat_per_sec", Json::Num(flat)),
+            ("speedup", Json::Num(flat / nested)),
+        ]),
+        flat / nested,
+    )
+}
+
+/// Times one kernel row (query against every stored row) both ways.
+fn kernel_row_cell(
+    label: &str,
+    kernel: &Kernel,
+    m: &DenseMatrix,
+    nested: &[Vec<f64>],
+    opts: &Opts,
+) -> (String, Json, f64) {
+    let query: Vec<f64> = (0..COLS).map(|i| (i as f64 * 0.37).sin()).collect();
+    let mut out = vec![0.0; m.rows()];
+    let reps = if opts.check { 20 } else { 400 };
+
+    kernel.eval_row_batch(&query, m, &mut out);
+    let flat_row = out.clone();
+    for (o, row) in out.iter_mut().zip(nested) {
+        *o = kernel.eval(&query, row);
+    }
+    assert!(
+        flat_row
+            .iter()
+            .zip(&out)
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "{label}: eval_row_batch disagrees with per-row eval"
+    );
+
+    let nested_rate = best_rate(opts.rounds, reps, m.rows(), || {
+        for (o, row) in out.iter_mut().zip(nested) {
+            *o = kernel.eval(black_box(&query), row);
+        }
+        black_box(&out);
+    });
+    let flat_rate = best_rate(opts.rounds, reps, m.rows(), || {
+        kernel.eval_row_batch(black_box(&query), m, &mut out);
+        black_box(&out);
+    });
+    cell(label, nested_rate, flat_rate)
+}
+
+/// Replicates the pre-refactor scalar `predict` over nested support
+/// vectors: same kernel, same accumulation order, same bias placement —
+/// bit-identical to `SvrModel::predict`, minus the flat layout.
+fn nested_predict(x: &[f64], svs: &[Vec<f64>], coeffs: &[f64], bias: f64, kernel: &Kernel) -> f64 {
+    let mut acc = 0.0;
+    for (sv, b) in svs.iter().zip(coeffs) {
+        acc += b * kernel.eval(x, sv);
+    }
+    acc + bias
+}
+
+fn main() {
+    let opts = parse_opts();
+    println!(
+        "=== DenseMatrix layout baseline ({} x {COLS}{}) ===\n",
+        opts.rows,
+        if opts.check { ", --check" } else { "" }
+    );
+
+    let m = synthetic_matrix(opts.rows, 0xDEAD_BEEF_1234_5678);
+    let nested = nested_rows(&m, 0x05EE_D0FF_5EED);
+
+    let mut kernel_cells = Vec::new();
+    for (label, kernel) in [("linear", Kernel::Linear), ("rbf", Kernel::rbf(0.02))] {
+        kernel_cells.push(kernel_row_cell(label, &kernel, &m, &nested, &opts));
+    }
+
+    // An SVR trained on a slice of the data, then asked for every row.
+    let train_rows = opts.rows / 4;
+    let mut next = rng(0xC0FFEE);
+    let mut targets = Vec::with_capacity(opts.rows);
+    for row in &m {
+        let y = 40.0 + 10.0 * row[0] + 6.0 * (row[3] + row[7]).tanh() + 0.05 * next();
+        targets.push(y);
+    }
+    let train = Dataset::from_parts(
+        DenseMatrix::from_vec(m.as_slice()[..train_rows * COLS].to_vec(), train_rows, COLS)
+            .expect("train matrix"),
+        targets[..train_rows].to_vec(),
+    )
+    .expect("train dataset");
+    let full = Dataset::from_parts(m.clone(), targets).expect("full dataset");
+    // A linear-kernel model so the cell measures the layout change, not
+    // libm's `exp` (which dominates RBF evaluation identically in both
+    // arms — the `rbf` kernel-row cell above shows that bound case).
+    let params = SvrParams::new()
+        .with_c(64.0)
+        .with_epsilon(0.05)
+        .with_kernel(Kernel::Linear);
+    let model = SvrModel::train(&train, params).expect("train");
+    println!("\nSVR: {} support vectors\n", model.num_support_vectors());
+
+    let sv_nested = nested_rows(model.support_vectors(), 0xABCD_EF01);
+    let coeffs = model.coefficients().to_vec();
+    let (bias, kernel) = (model.bias(), model.kernel());
+
+    // The batched path, the nested replica and the scalar path must agree
+    // bit-for-bit before their throughput is comparable.
+    let batch = model.predict_dataset(&full).expect("predict_dataset");
+    for (i, (row, b)) in full.features().iter().zip(&batch).enumerate() {
+        let scalar = model.predict(row).expect("predict");
+        let replica = nested_predict(row, &sv_nested, &coeffs, bias, &kernel);
+        assert!(
+            scalar.to_bits() == b.to_bits() && replica.to_bits() == b.to_bits(),
+            "row {i}: batch {b} vs scalar {scalar} vs nested replica {replica}"
+        );
+    }
+    println!(
+        "batch == scalar == nested replica (bit-identical on all {} rows)\n",
+        full.len()
+    );
+
+    let reps = if opts.check { 5 } else { 40 };
+    let nested_rate = best_rate(opts.rounds, reps, full.len(), || {
+        let preds: Vec<f64> = full
+            .features()
+            .iter()
+            .map(|x| nested_predict(black_box(x), &sv_nested, &coeffs, bias, &kernel))
+            .collect();
+        black_box(preds);
+    });
+    let flat_rate = best_rate(opts.rounds, reps, full.len(), || {
+        black_box(
+            model
+                .predict_dataset(black_box(&full))
+                .expect("predict_dataset"),
+        );
+    });
+    let predict_cell = cell("predict_dataset", nested_rate, flat_rate);
+
+    // Re-measure smo_solve_ns with the BENCH_obs protocol (3 stable models,
+    // 30 experiments each) so before/after share a methodology.
+    let smo_after = if opts.check {
+        None
+    } else {
+        obs::global().reset();
+        obs::set_enabled(true);
+        println!("\nre-measuring smo_solve_ns (3 stable models, 30 experiments each)...");
+        for seed in 1..=3u64 {
+            let outcomes = training_campaign(30, seed);
+            let _ = train_stable_model(&outcomes, false);
+        }
+        obs::set_enabled(false);
+        let h = obs::global().histogram(names::METRIC_SMO_SOLVE_NS, Histogram::ns_buckets);
+        println!(
+            "smo solves: {} (p50 {:.0} ns vs baseline {BASELINE_SMO_P50_NS:.0} ns)",
+            h.count(),
+            h.quantile(0.5)
+        );
+        Some(h)
+    };
+
+    let mut sections = vec![
+        ("schema", Json::Num(1.0)),
+        (
+            "dataset",
+            Json::obj(vec![
+                ("rows", Json::Num(opts.rows as f64)),
+                ("cols", Json::Num(COLS as f64)),
+                (
+                    "support_vectors",
+                    Json::Num(model.num_support_vectors() as f64),
+                ),
+            ]),
+        ),
+    ];
+    let kernel_pairs: Vec<(&str, Json)> = kernel_cells
+        .iter()
+        .map(|(k, v, _)| (k.as_str(), v.clone()))
+        .collect();
+    sections.push(("kernel_row_eval", Json::obj(kernel_pairs)));
+    sections.push((predict_cell.0.as_str(), predict_cell.1.clone()));
+    // The target applies to the cells the layout can move: the rbf row
+    // cell spends its time inside libm's `exp` either way.
+    let layout_speedup = kernel_cells
+        .iter()
+        .filter(|(k, _, _)| k == "linear")
+        .map(|(_, _, s)| *s)
+        .chain(std::iter::once(predict_cell.2))
+        .fold(f64::INFINITY, f64::min);
+    sections.push(("layout_speedup", Json::Num(layout_speedup)));
+    let smo = Json::obj(vec![
+        (
+            "before",
+            Json::obj(vec![
+                ("p50_ns", Json::Num(BASELINE_SMO_P50_NS)),
+                ("p99_ns", Json::Num(BASELINE_SMO_P99_NS)),
+            ]),
+        ),
+        (
+            "after",
+            match &smo_after {
+                Some(h) => Json::obj(vec![
+                    ("count", Json::Num(h.count() as f64)),
+                    ("p50_ns", Json::Num(h.quantile(0.5))),
+                    ("p99_ns", Json::Num(h.quantile(0.99))),
+                ]),
+                None => Json::str("skipped (--check)"),
+            },
+        ),
+    ]);
+    sections.push(("smo_solve_ns", smo));
+    let doc = Json::obj(sections);
+
+    let mut text = doc.render_pretty();
+    text.push('\n');
+    json::parse(&text).expect("rendered BENCH_matrix.json must parse");
+
+    if opts.check {
+        println!("\n--check OK: outputs bit-identical, JSON round-trips");
+        return;
+    }
+    if let Err(e) = std::fs::write(&opts.out, text) {
+        eprintln!("error writing {}: {e}", opts.out);
+        std::process::exit(1);
+    }
+    println!("\nwrote {}", opts.out);
+    println!(
+        "layout speedup (linear kernel row + predict_dataset) {layout_speedup:.2}x -> {}",
+        if layout_speedup >= 1.5 {
+            "TARGET MET (>= 1.5x)"
+        } else {
+            "below the 1.5x target"
+        }
+    );
+    println!("(the rbf kernel-row cell is bound by libm exp, identical in both arms)");
+}

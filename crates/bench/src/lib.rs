@@ -130,14 +130,15 @@ pub fn dynamic_scenario(
     let snapshot_after = ConfigSnapshot::capture(&sim, sid, Celsius::new(ambient));
     let series = sim.trace(sid).expect("trace").sensor_c.clone();
 
+    let psi = model.predict_batch(&[snapshot_before.clone(), snapshot_after.clone()]);
     let anchors = vec![
         AnchorPoint {
             t_secs: 0.0,
-            psi_stable: model.predict(&snapshot_before),
+            psi_stable: psi[0],
         },
         AnchorPoint {
             t_secs: reconfig_at_secs as f64,
-            psi_stable: model.predict(&snapshot_after),
+            psi_stable: psi[1],
         },
     ];
     DynamicScenario {

@@ -37,9 +37,11 @@ COMMANDS:
             --out FILE [--cases N=200] [--seed S=42] [--duration SECS=1200]
   train     train the stable-temperature SVR from records
             --records FILE --out MODEL [--grid] [--folds K=10] [--seed S]
-  eval      score a model against labeled records (prints MSE/MAE)
+  eval      score a model against labeled records (prints MSE/MAE);
+            records are scored in one batched kernel pass
             --model MODEL --records FILE
-  predict   print one prediction per record (targets ignored)
+  predict   print one prediction per record (targets ignored); records are
+            scored in one batched kernel pass
             --model MODEL --records FILE
   monitor   simulate a server with a mid-run burst; write empirical vs forecast CSV
             --model MODEL --out CSV [--vms N=5] [--fans F=4] [--ambient C=24]
@@ -232,11 +234,9 @@ fn load_model(path: &str) -> Result<StablePredictor, String> {
 fn eval(flags: &Flags) -> Result<String, String> {
     let model = load_model(flags.require("model")?)?;
     let ds = load_records(flags.require("records")?)?;
-    let predictions: Vec<f64> = ds
-        .features()
-        .iter()
-        .map(|x| model.predict_features(x))
-        .collect();
+    let predictions = model
+        .predict_features_batch(ds.features())
+        .map_err(|e| format!("predicting: {e}"))?;
     let mse = metrics::mse(ds.targets(), &predictions);
     let mae = metrics::mae(ds.targets(), &predictions);
     let max = metrics::max_error(ds.targets(), &predictions);
@@ -250,9 +250,12 @@ fn eval(flags: &Flags) -> Result<String, String> {
 fn predict(flags: &Flags) -> Result<String, String> {
     let model = load_model(flags.require("model")?)?;
     let ds = load_records(flags.require("records")?)?;
+    let predictions = model
+        .predict_features_batch(ds.features())
+        .map_err(|e| format!("predicting: {e}"))?;
     let mut out = String::new();
-    for x in ds.features() {
-        let _ = writeln!(out, "{:.3}", model.predict_features(x));
+    for p in predictions {
+        let _ = writeln!(out, "{p:.3}");
     }
     Ok(out)
 }

@@ -242,7 +242,9 @@ impl NoveltyDetector {
     #[must_use]
     pub fn score(&self, snapshot: &ConfigSnapshot, observed_stable_c: Celsius) -> f64 {
         let x = vec![self.predictor.predict(snapshot), observed_stable_c.get()];
-        self.model.decision_value(&self.scaler.transform(&x))
+        self.model
+            .decision_value(&self.scaler.transform(&x))
+            .expect("detector dims agree by construction")
     }
 }
 

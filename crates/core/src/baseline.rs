@@ -315,7 +315,9 @@ impl LinearStablePredictor {
             return Err(PredictError::NoTrainingData);
         }
         let d = encoding.dim() + 1; // + intercept
-        let mut xtx = vec![vec![0.0; d]; d];
+                                    // XᵀX accumulated flat, row-major — same layout as the feature
+                                    // pipeline's DenseMatrix.
+        let mut xtx = vec![0.0; d * d];
         let mut xty = vec![0.0; d];
         for o in outcomes {
             let mut x = encoding.encode(&o.snapshot);
@@ -323,14 +325,14 @@ impl LinearStablePredictor {
             for i in 0..d {
                 xty[i] += x[i] * o.psi_stable;
                 for j in 0..d {
-                    xtx[i][j] += x[i] * x[j];
+                    xtx[i * d + j] += x[i] * x[j];
                 }
             }
         }
-        for (i, row) in xtx.iter_mut().enumerate() {
-            row[i] += ridge;
+        for i in 0..d {
+            xtx[i * d + i] += ridge;
         }
-        let weights = solve_linear(xtx, xty)
+        let weights = solve_linear(xtx, d, xty)
             .ok_or_else(|| PredictError::invalid("ridge", "singular normal equations"))?;
         Ok(LinearStablePredictor { encoding, weights })
     }
@@ -347,26 +349,32 @@ impl LinearStablePredictor {
     }
 }
 
-/// Gaussian elimination with partial pivoting. Returns `None` for a
-/// (numerically) singular system.
-fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
-    let n = b.len();
+/// Gaussian elimination with partial pivoting over a flat row-major
+/// `n × n` matrix. Returns `None` for a (numerically) singular system.
+fn solve_linear(mut a: Vec<f64>, n: usize, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    debug_assert_eq!(a.len(), n * n, "matrix is not n×n");
+    debug_assert_eq!(b.len(), n, "rhs length != n");
     for col in 0..n {
         // Pivot.
-        let pivot = (col..n).max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))?;
-        if a[pivot][col].abs() < 1e-12 {
+        let pivot =
+            (col..n).max_by(|&i, &j| a[i * n + col].abs().total_cmp(&a[j * n + col].abs()))?;
+        if a[pivot * n + col].abs() < 1e-12 {
             return None;
         }
-        a.swap(col, pivot);
-        b.swap(col, pivot);
+        if pivot != col {
+            for k in 0..n {
+                a.swap(col * n + k, pivot * n + k);
+            }
+            b.swap(col, pivot);
+        }
         // Eliminate below.
         for row in (col + 1)..n {
-            let f = a[row][col] / a[col][col];
+            let f = a[row * n + col] / a[col * n + col];
             if f == 0.0 {
                 continue;
             }
             for k in col..n {
-                a[row][k] -= f * a[col][k];
+                a[row * n + k] -= f * a[col * n + k];
             }
             b[row] -= f * b[col];
         }
@@ -376,9 +384,9 @@ fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
     for row in (0..n).rev() {
         let mut acc = b[row];
         for k in (row + 1)..n {
-            acc -= a[row][k] * x[k];
+            acc -= a[row * n + k] * x[k];
         }
-        x[row] = acc / a[row][row];
+        x[row] = acc / a[row * n + row];
     }
     Some(x)
 }
@@ -525,15 +533,23 @@ mod tests {
 
     #[test]
     fn solve_linear_identity() {
-        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
-        let x = solve_linear(a, vec![3.0, 4.0]).unwrap();
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let x = solve_linear(a, 2, vec![3.0, 4.0]).unwrap();
         assert_eq!(x, vec![3.0, 4.0]);
     }
 
     #[test]
     fn solve_linear_singular_returns_none() {
-        let a = vec![vec![1.0, 1.0], vec![1.0, 1.0]];
-        assert!(solve_linear(a, vec![1.0, 2.0]).is_none());
+        let a = vec![1.0, 1.0, 1.0, 1.0];
+        assert!(solve_linear(a, 2, vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn solve_linear_with_pivoting() {
+        // Leading zero forces a row swap: 0x + y = 1, 2x + y = 3 → x=1, y=1.
+        let a = vec![0.0, 1.0, 2.0, 1.0];
+        let x = solve_linear(a, 2, vec![1.0, 3.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
     }
 
     #[test]

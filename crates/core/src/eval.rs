@@ -255,10 +255,14 @@ pub fn evaluate_stable(
     test: &[ExperimentOutcome],
 ) -> StableEvalReport {
     assert!(!test.is_empty(), "empty test set");
-    let mut cases = Vec::with_capacity(test.len());
-    for (i, o) in test.iter().enumerate() {
-        cases.push((i, o.psi_stable, predictor.predict(&o.snapshot)));
-    }
+    let snapshots: Vec<_> = test.iter().map(|o| o.snapshot.clone()).collect();
+    let predicted = predictor.predict_batch(&snapshots);
+    let cases: Vec<_> = test
+        .iter()
+        .zip(predicted)
+        .enumerate()
+        .map(|(i, (o, p))| (i, o.psi_stable, p))
+        .collect();
     let actual: Vec<f64> = cases.iter().map(|c| c.1).collect();
     let predicted: Vec<f64> = cases.iter().map(|c| c.2).collect();
     StableEvalReport {

@@ -46,13 +46,13 @@ impl PlacementAdvisor {
     }
 
     /// Predicted ψ_stable of each candidate host *after* receiving `vm`,
-    /// in candidate order.
+    /// in candidate order. All hypothetical placements are scored in one
+    /// batch prediction.
     #[must_use]
     pub fn score(&self, candidates: &[ConfigSnapshot], vm: &VmInfo) -> Vec<f64> {
-        candidates
-            .iter()
-            .map(|c| self.predictor.predict(&snapshot_with_vm(c, vm)))
-            .collect()
+        let hypothetical: Vec<ConfigSnapshot> =
+            candidates.iter().map(|c| snapshot_with_vm(c, vm)).collect();
+        self.predictor.predict_batch(&hypothetical)
     }
 
     /// The candidate index with the lowest predicted post-placement
@@ -129,7 +129,7 @@ impl HotspotClassifier {
     #[must_use]
     pub fn is_hotspot(&self, snapshot: &ConfigSnapshot) -> bool {
         let x = self.scaler.transform(&self.encoding.encode(snapshot));
-        self.model.classify(&x) > 0.0
+        self.model.classify(&x).is_ok_and(|label| label > 0.0)
     }
 
     /// The decision threshold (°C).
@@ -184,7 +184,7 @@ impl MigrationAdvisor {
     /// lowers the hot host's prediction below every alternative.
     #[must_use]
     pub fn advise(&self, hosts: &[ConfigSnapshot]) -> Option<MigrationAdvice> {
-        let scores: Vec<f64> = hosts.iter().map(|h| self.predictor.predict(h)).collect();
+        let scores = self.predictor.predict_batch(hosts);
         let (from, from_score) = scores
             .iter()
             .copied()
@@ -199,8 +199,10 @@ impl MigrationAdvisor {
             let db = f64::from(b.1.vcpus) * b.1.task.nominal_cpu();
             da.total_cmp(&db)
         })?;
-        // Best feasible destination by post-migration prediction.
-        let mut best: Option<(usize, f64)> = None;
+        // Best feasible destination by post-migration prediction: gather
+        // the feasible hypothetical placements, score them in one batch.
+        let mut feasible: Vec<usize> = Vec::new();
+        let mut hypothetical: Vec<ConfigSnapshot> = Vec::new();
         for (i, host) in hosts.iter().enumerate() {
             if i == from {
                 continue;
@@ -209,12 +211,14 @@ impl MigrationAdvisor {
             if used + vm.memory_gb > self.host_memory_gb {
                 continue;
             }
-            let post = self.predictor.predict(&snapshot_with_vm(host, vm));
-            if best.is_none_or(|(_, b)| post < b) {
-                best = Some((i, post));
-            }
+            feasible.push(i);
+            hypothetical.push(snapshot_with_vm(host, vm));
         }
-        let (to, post_dest) = best?;
+        let posts = self.predictor.predict_batch(&hypothetical);
+        let (to, post_dest) = feasible
+            .into_iter()
+            .zip(posts)
+            .min_by(|a, b| a.1.total_cmp(&b.1))?;
         // Only advise if the move does not just relocate the hotspot.
         if post_dest >= from_score {
             return None;

@@ -156,10 +156,22 @@ impl FleetMonitor {
         let Ok(server) = sim.datacenter().server(sid) else {
             return;
         };
-        let idx = sid.raw();
         let snap = ConfigSnapshot::capture(sim, sid, ambient_c);
         let phi0 = server.die_temperature();
         let psi_stable = self.stable.predict(&snap);
+        self.apply_anchor(sid.raw(), t_secs, phi0, psi_stable, reason);
+    }
+
+    /// Anchors one predictor to an already-computed ψ_stable and records
+    /// the bookkeeping shared by the scalar and batch anchor paths.
+    fn apply_anchor(
+        &mut self,
+        idx: usize,
+        t_secs: f64,
+        phi0: f64,
+        psi_stable: f64,
+        reason: &'static str,
+    ) {
         self.predictors[idx].anchor(
             Seconds::new(t_secs),
             Celsius::new(phi0),
@@ -211,12 +223,22 @@ impl FleetMonitor {
             self.gauges = (0..n).map(ServerGauges::register).collect();
         }
 
-        // Initial anchor for every server, once traces exist.
+        // Initial anchor for every server, once traces exist: one batch
+        // ψ_stable prediction over the whole fleet instead of a scalar
+        // predict per server.
         if !self.anchored {
             self.anchored = true;
             let t = sim.now().as_secs_f64();
-            for idx in 0..sim.datacenter().len() {
-                self.reanchor(sim, ServerId::new(idx), t, ambient_c, "initial");
+            let snapshots: Vec<ConfigSnapshot> = (0..sim.datacenter().len())
+                .map(|idx| ConfigSnapshot::capture(sim, ServerId::new(idx), ambient_c))
+                .collect();
+            let psi = self.stable.predict_batch(&snapshots);
+            for (idx, psi_stable) in psi.into_iter().enumerate() {
+                let Ok(server) = sim.datacenter().server(ServerId::new(idx)) else {
+                    continue;
+                };
+                let phi0 = server.die_temperature();
+                self.apply_anchor(idx, t, phi0, psi_stable, "initial");
             }
         }
 

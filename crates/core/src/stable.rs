@@ -17,6 +17,7 @@ use vmtherm_sim::experiment::{ConfigSnapshot, ExperimentConfig, ExperimentOutcom
 use vmtherm_svm::data::Dataset;
 use vmtherm_svm::grid::{GridSearch, Log2Range};
 use vmtherm_svm::kernel::Kernel;
+use vmtherm_svm::matrix::DenseMatrix;
 use vmtherm_svm::scale::{ScaleMethod, Scaler};
 use vmtherm_svm::svr::{SvrModel, SvrParams};
 
@@ -167,18 +168,70 @@ impl StablePredictor {
     #[must_use]
     pub fn predict(&self, snapshot: &ConfigSnapshot) -> f64 {
         let x = self.encoding.encode(snapshot);
-        self.model.predict(&self.scaler.transform(&x))
+        self.model
+            .predict(&self.scaler.transform(&x))
+            .expect("encoder/scaler/model dims agree by construction")
+    }
+
+    /// Predicts ψ_stable for a whole batch of configurations through the
+    /// flat-matrix pipeline: all snapshots are encoded into one
+    /// [`DenseMatrix`], scaled in place, and pushed through the SVR's
+    /// batch path. Bit-identical to mapping [`StablePredictor::predict`]
+    /// over the slice.
+    #[must_use]
+    pub fn predict_batch(&self, snapshots: &[ConfigSnapshot]) -> Vec<f64> {
+        let mut features = DenseMatrix::with_cols(self.encoding.dim());
+        for snapshot in snapshots {
+            features.push_row(&self.encoding.encode(snapshot));
+        }
+        self.model
+            .predict_batch(&self.scaler.transform_matrix(&features))
+            .expect("encoder/scaler/model dims agree by construction")
     }
 
     /// Predicts from a raw (unscaled) feature vector in this predictor's
     /// encoding.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the vector length does not match the encoding.
-    #[must_use]
-    pub fn predict_features(&self, raw_features: &[f64]) -> f64 {
-        self.model.predict(&self.scaler.transform(raw_features))
+    /// [`PredictError::Svm`] wrapping a dimension mismatch when the vector
+    /// length does not match the encoding.
+    pub fn predict_features(&self, raw_features: &[f64]) -> Result<f64, PredictError> {
+        if raw_features.len() != self.encoding.dim() {
+            return Err(PredictError::Svm(
+                vmtherm_svm::SvmError::DimensionMismatch {
+                    expected: self.encoding.dim(),
+                    actual: raw_features.len(),
+                },
+            ));
+        }
+        Ok(self.model.predict(&self.scaler.transform(raw_features))?)
+    }
+
+    /// Predicts every row of a raw (unscaled) feature matrix in this
+    /// predictor's encoding — the batch counterpart of
+    /// [`StablePredictor::predict_features`], bit-identical to mapping it
+    /// per row.
+    ///
+    /// # Errors
+    ///
+    /// [`PredictError::Svm`] wrapping a dimension mismatch when the matrix
+    /// width does not match the encoding.
+    pub fn predict_features_batch(
+        &self,
+        raw_features: &DenseMatrix,
+    ) -> Result<Vec<f64>, PredictError> {
+        if raw_features.cols() != self.encoding.dim() {
+            return Err(PredictError::Svm(
+                vmtherm_svm::SvmError::DimensionMismatch {
+                    expected: self.encoding.dim(),
+                    actual: raw_features.cols(),
+                },
+            ));
+        }
+        Ok(self
+            .model
+            .predict_batch(&self.scaler.transform_matrix(raw_features))?)
     }
 
     /// The encoding used at training time.
@@ -349,6 +402,25 @@ mod tests {
         assert_eq!(ds.len(), 5);
         assert_eq!(ds.dim(), FeatureEncoding::Full.dim());
         assert_eq!(ds.target(0), data[0].psi_stable);
+    }
+
+    #[test]
+    fn predict_batch_matches_scalar_bitwise() {
+        let data = outcomes(20);
+        let p = StablePredictor::fit(&data, &fast_options()).unwrap();
+        let snapshots: Vec<_> = data.iter().map(|o| o.snapshot.clone()).collect();
+        let batch = p.predict_batch(&snapshots);
+        assert_eq!(batch.len(), snapshots.len());
+        for (s, got) in snapshots.iter().zip(&batch) {
+            assert_eq!(p.predict(s).to_bits(), got.to_bits());
+        }
+    }
+
+    #[test]
+    fn predict_features_rejects_wrong_dim() {
+        let data = outcomes(10);
+        let p = StablePredictor::fit(&data, &fast_options()).unwrap();
+        assert!(p.predict_features(&[1.0]).is_err());
     }
 
     #[test]

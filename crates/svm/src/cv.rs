@@ -83,7 +83,7 @@ pub fn cross_validate_svr<R: Rng>(
         let train = data.subset(&train_idx);
         let test = data.subset(held_out);
         let model = SvrModel::train(&train, params)?;
-        let preds = model.predict_dataset(&test);
+        let preds = model.predict_dataset(&test)?;
         fold_mse.push(metrics::mse(test.targets(), &preds));
     }
     let mean_mse = fold_mse.iter().sum::<f64>() / fold_mse.len() as f64;
@@ -147,7 +147,8 @@ mod tests {
         // y = 2x + 1, easily learnable: CV MSE must be small.
         let xs: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64 * 0.1]).collect();
         let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x[0] + 1.0).collect();
-        let ds = Dataset::from_parts(xs, ys).unwrap();
+        let ds =
+            Dataset::from_parts(crate::matrix::DenseMatrix::from_nested(xs).unwrap(), ys).unwrap();
         let params = SvrParams::new()
             .with_c(100.0)
             .with_epsilon(0.01)
@@ -162,7 +163,8 @@ mod tests {
     fn cv_mean_is_mean_of_folds() {
         let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
         let ys: Vec<f64> = xs.iter().map(|x| x[0]).collect();
-        let ds = Dataset::from_parts(xs, ys).unwrap();
+        let ds =
+            Dataset::from_parts(crate::matrix::DenseMatrix::from_nested(xs).unwrap(), ys).unwrap();
         let mut rng = StdRng::seed_from_u64(5);
         let r = cross_validate_svr(&ds, SvrParams::new(), 4, &mut rng).unwrap();
         let mean = r.fold_mse.iter().sum::<f64>() / 4.0;

@@ -5,15 +5,17 @@
 //! The paper stores one record per experiment in the Eq. (2) schema
 //! `{input = (θ_cpu, θ_memory, θ_fan, ξ_VM, δ_env), output = ψ_stable}`;
 //! a [`Dataset`] is exactly a bag of such records after feature encoding.
+//! Features live in a flat row-major [`DenseMatrix`], one row per sample.
 
 use crate::error::SvmError;
+use crate::matrix::DenseMatrix;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
 /// A labelled dataset: `n` samples of dimension `d` plus one target each.
 ///
-/// Invariant: every feature vector has the same length, equal to
-/// [`Dataset::dim`].
+/// Invariant: the feature matrix is `n × d`, so every sample has exactly
+/// [`Dataset::dim`] features.
 ///
 /// ```
 /// use vmtherm_svm::data::Dataset;
@@ -26,8 +28,7 @@ use std::fmt::Write as _;
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Dataset {
-    dim: usize,
-    features: Vec<Vec<f64>>,
+    features: DenseMatrix,
     targets: Vec<f64>,
 }
 
@@ -36,43 +37,31 @@ impl Dataset {
     #[must_use]
     pub fn new(dim: usize) -> Self {
         Dataset {
-            dim,
-            features: Vec::new(),
+            features: DenseMatrix::with_cols(dim),
             targets: Vec::new(),
         }
     }
 
-    /// Builds a dataset from parallel feature/target vectors.
+    /// Builds a dataset from a feature matrix and a parallel target vector.
+    ///
+    /// Nested-vec data enters through [`DenseMatrix::from_nested`] first.
     ///
     /// # Errors
     ///
-    /// Returns [`SvmError::DimensionMismatch`] if the vectors disagree in
-    /// length or any feature vector has the wrong dimension, and
-    /// [`SvmError::EmptyDataset`] for zero samples.
-    pub fn from_parts(features: Vec<Vec<f64>>, targets: Vec<f64>) -> Result<Self, SvmError> {
+    /// Returns [`SvmError::DimensionMismatch`] if the matrix row count and
+    /// target count disagree, and [`SvmError::EmptyDataset`] for zero
+    /// samples.
+    pub fn from_parts(features: DenseMatrix, targets: Vec<f64>) -> Result<Self, SvmError> {
         if features.is_empty() {
             return Err(SvmError::EmptyDataset);
         }
-        if features.len() != targets.len() {
+        if features.rows() != targets.len() {
             return Err(SvmError::DimensionMismatch {
-                expected: features.len(),
+                expected: features.rows(),
                 actual: targets.len(),
             });
         }
-        let dim = features[0].len();
-        for f in &features {
-            if f.len() != dim {
-                return Err(SvmError::DimensionMismatch {
-                    expected: dim,
-                    actual: f.len(),
-                });
-            }
-        }
-        Ok(Dataset {
-            dim,
-            features,
-            targets,
-        })
+        Ok(Dataset { features, targets })
     }
 
     /// Appends one sample.
@@ -83,19 +72,19 @@ impl Dataset {
     pub fn push(&mut self, x: Vec<f64>, y: f64) {
         assert_eq!(
             x.len(),
-            self.dim,
+            self.dim(),
             "sample dimension {} != dataset dimension {}",
             x.len(),
-            self.dim
+            self.dim()
         );
-        self.features.push(x);
+        self.features.push_row(&x);
         self.targets.push(y);
     }
 
     /// Number of samples.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.features.len()
+        self.features.rows()
     }
 
     /// `true` when the dataset holds no samples.
@@ -107,12 +96,12 @@ impl Dataset {
     /// Feature dimensionality.
     #[must_use]
     pub fn dim(&self) -> usize {
-        self.dim
+        self.features.cols()
     }
 
     /// The feature matrix, one row per sample.
     #[must_use]
-    pub fn features(&self) -> &[Vec<f64>] {
+    pub fn features(&self) -> &DenseMatrix {
         &self.features
     }
 
@@ -125,7 +114,7 @@ impl Dataset {
     /// Feature vector of sample `i`.
     #[must_use]
     pub fn feature(&self, i: usize) -> &[f64] {
-        &self.features[i]
+        self.features.row(i)
     }
 
     /// Target of sample `i`.
@@ -136,24 +125,24 @@ impl Dataset {
 
     /// Iterates over `(features, target)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&[f64], f64)> + '_ {
-        self.features
-            .iter()
-            .map(Vec::as_slice)
-            .zip(self.targets.iter().copied())
+        self.features.iter().zip(self.targets.iter().copied())
     }
 
     /// Returns a new dataset containing the samples at `indices` (in order).
+    /// Rows are copied flat into the new matrix, no per-sample allocation.
     ///
     /// # Panics
     ///
     /// Panics if any index is out of bounds.
     #[must_use]
     pub fn subset(&self, indices: &[usize]) -> Dataset {
-        let mut out = Dataset::new(self.dim);
+        let mut features = DenseMatrix::with_cols(self.dim());
+        let mut targets = Vec::with_capacity(indices.len());
         for &i in indices {
-            out.push(self.features[i].clone(), self.targets[i]);
+            features.push_row(self.features.row(i));
+            targets.push(self.targets[i]);
         }
-        out
+        Dataset { features, targets }
     }
 
     /// Splits into `(head, tail)` where `head` has `n` samples.
@@ -243,10 +232,10 @@ impl Dataset {
     /// Shuffles the samples in place with the given RNG (used before k-fold
     /// splitting so folds are unbiased).
     pub fn shuffle<R: rand::Rng>(&mut self, rng: &mut R) {
-        // Fisher–Yates over both parallel vectors.
+        // Fisher–Yates over the matrix rows and the parallel target vector.
         for i in (1..self.len()).rev() {
             let j = rng.gen_range(0..=i);
-            self.features.swap(i, j);
+            self.features.swap_rows(i, j);
             self.targets.swap(i, j);
         }
     }
@@ -291,7 +280,7 @@ mod tests {
 
     fn sample_ds() -> Dataset {
         Dataset::from_parts(
-            vec![vec![1.0, 0.0], vec![0.0, 2.0], vec![3.0, 4.0]],
+            DenseMatrix::from_nested(vec![vec![1.0, 0.0], vec![0.0, 2.0], vec![3.0, 4.0]]).unwrap(),
             vec![10.0, 20.0, 30.0],
         )
         .unwrap()
@@ -299,20 +288,22 @@ mod tests {
 
     #[test]
     fn from_parts_validates_lengths() {
-        let err = Dataset::from_parts(vec![vec![1.0]], vec![1.0, 2.0]).unwrap_err();
+        let m = DenseMatrix::from_nested(vec![vec![1.0]]).unwrap();
+        let err = Dataset::from_parts(m, vec![1.0, 2.0]).unwrap_err();
         assert!(matches!(err, SvmError::DimensionMismatch { .. }));
     }
 
     #[test]
-    fn from_parts_validates_dims() {
-        let err = Dataset::from_parts(vec![vec![1.0], vec![1.0, 2.0]], vec![1.0, 2.0]).unwrap_err();
+    fn from_nested_validates_dims() {
+        let err = DenseMatrix::from_nested(vec![vec![1.0], vec![1.0, 2.0]]).unwrap_err();
         assert!(matches!(err, SvmError::DimensionMismatch { .. }));
     }
 
     #[test]
     fn from_parts_rejects_empty() {
+        let m = DenseMatrix::from_nested(vec![]).unwrap();
         assert!(matches!(
-            Dataset::from_parts(vec![], vec![]),
+            Dataset::from_parts(m, vec![]),
             Err(SvmError::EmptyDataset)
         ));
     }
@@ -351,7 +342,11 @@ mod tests {
 
     #[test]
     fn libsvm_format_omits_zeros() {
-        let ds = Dataset::from_parts(vec![vec![0.0, 5.0]], vec![1.0]).unwrap();
+        let ds = Dataset::from_parts(
+            DenseMatrix::from_nested(vec![vec![0.0, 5.0]]).unwrap(),
+            vec![1.0],
+        )
+        .unwrap();
         assert_eq!(ds.to_libsvm(), "1 2:5\n");
     }
 

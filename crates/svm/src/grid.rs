@@ -369,7 +369,7 @@ mod tests {
     fn wave_dataset() -> Dataset {
         let xs: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 * 0.2]).collect();
         let ys: Vec<f64> = xs.iter().map(|x| (x[0]).sin() + 0.1 * x[0]).collect();
-        Dataset::from_parts(xs, ys).unwrap()
+        Dataset::from_parts(crate::matrix::DenseMatrix::from_nested(xs).unwrap(), ys).unwrap()
     }
 
     #[test]
@@ -496,7 +496,11 @@ mod tests {
 
     #[test]
     fn propagates_cv_errors() {
-        let ds = Dataset::from_parts(vec![vec![1.0], vec![2.0]], vec![1.0, 2.0]).unwrap();
+        let ds = Dataset::from_parts(
+            crate::matrix::DenseMatrix::from_nested(vec![vec![1.0], vec![2.0]]).unwrap(),
+            vec![1.0, 2.0],
+        )
+        .unwrap();
         let g = GridSearch::new().with_folds(10);
         assert!(matches!(g.run(&ds), Err(SvmError::TooFewSamples { .. })));
     }

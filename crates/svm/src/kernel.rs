@@ -6,6 +6,7 @@
 //! (see `DESIGN.md` §6.2).
 
 use crate::linalg::{dot, squared_distance};
+use crate::matrix::DenseMatrix;
 use serde::{Deserialize, Serialize};
 
 /// A kernel function `K(x, z)` over dense feature vectors.
@@ -84,6 +85,66 @@ impl Kernel {
         }
     }
 
+    /// Evaluates one kernel row in a single pass: `out[i] = K(x, m_i)` for
+    /// every row `m_i` of `m`.
+    ///
+    /// The kernel dispatch is hoisted out of the row loop and the matrix is
+    /// walked in row-major order, so the pass streams through one
+    /// contiguous allocation, [`ROW_UNROLL`] rows at a time (the rows'
+    /// independent accumulator chains pipeline where the scalar path
+    /// serialises on one). Each entry is computed with exactly the same
+    /// arithmetic, in the same order, as [`Kernel::eval`], so results are
+    /// bit-identical to the scalar path. Callers reuse `out` as a scratch
+    /// buffer across rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != m.rows()` or `x.len() != m.cols()` (for a
+    /// non-empty matrix).
+    pub fn eval_row_batch(&self, x: &[f64], m: &DenseMatrix, out: &mut [f64]) {
+        assert_eq!(
+            out.len(),
+            m.rows(),
+            "eval_row_batch: out length {} != matrix rows {}",
+            out.len(),
+            m.rows()
+        );
+        if m.rows() > 0 {
+            assert_eq!(
+                x.len(),
+                m.cols(),
+                "eval_row_batch: query dim {} != matrix width {}",
+                x.len(),
+                m.cols()
+            );
+        }
+        match *self {
+            Kernel::Linear => dot_rows(x, m, out),
+            Kernel::Polynomial {
+                gamma,
+                coef0,
+                degree,
+            } => {
+                dot_rows(x, m, out);
+                for o in out.iter_mut() {
+                    *o = (gamma * *o + coef0).powi(degree as i32);
+                }
+            }
+            Kernel::Rbf { gamma } => {
+                squared_distance_rows(x, m, out);
+                for o in out.iter_mut() {
+                    *o = (-gamma * *o).exp();
+                }
+            }
+            Kernel::Sigmoid { gamma, coef0 } => {
+                dot_rows(x, m, out);
+                for o in out.iter_mut() {
+                    *o = (gamma * *o + coef0).tanh();
+                }
+            }
+        }
+    }
+
     /// The `gamma` hyper-parameter if this kernel has one.
     #[must_use]
     pub fn gamma(&self) -> Option<f64> {
@@ -112,6 +173,73 @@ impl Kernel {
                 coef0,
             },
         }
+    }
+}
+
+/// Cross-row unroll width of [`Kernel::eval_row_batch`]: enough
+/// independent accumulator chains to hide the FP-add latency of one, small
+/// enough to stay within the register file.
+const ROW_UNROLL: usize = 4;
+
+/// `out[i] = dot(x, row_i)` for every row of `m`, [`ROW_UNROLL`] rows per
+/// iteration. Each row's products accumulate in their own register in
+/// index order — the exact additions [`dot`] performs — so every entry is
+/// bit-identical to the scalar path; the unroll only interleaves
+/// independent rows.
+fn dot_rows(x: &[f64], m: &DenseMatrix, out: &mut [f64]) {
+    let cols = m.cols();
+    let data = m.as_slice();
+    let quads = m.rows() / ROW_UNROLL;
+    for q in 0..quads {
+        let base = q * ROW_UNROLL * cols;
+        let r0 = &data[base..base + cols];
+        let r1 = &data[base + cols..base + 2 * cols];
+        let r2 = &data[base + 2 * cols..base + 3 * cols];
+        let r3 = &data[base + 3 * cols..base + 4 * cols];
+        let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0, 0.0, 0.0);
+        for (k, &xk) in x.iter().enumerate() {
+            a0 += xk * r0[k];
+            a1 += xk * r1[k];
+            a2 += xk * r2[k];
+            a3 += xk * r3[k];
+        }
+        out[q * ROW_UNROLL] = a0;
+        out[q * ROW_UNROLL + 1] = a1;
+        out[q * ROW_UNROLL + 2] = a2;
+        out[q * ROW_UNROLL + 3] = a3;
+    }
+    for i in quads * ROW_UNROLL..m.rows() {
+        out[i] = dot(x, m.row(i));
+    }
+}
+
+/// `out[i] = squared_distance(x, row_i)` for every row of `m`, unrolled
+/// like [`dot_rows`] and equally bit-identical per row.
+fn squared_distance_rows(x: &[f64], m: &DenseMatrix, out: &mut [f64]) {
+    let cols = m.cols();
+    let data = m.as_slice();
+    let quads = m.rows() / ROW_UNROLL;
+    for q in 0..quads {
+        let base = q * ROW_UNROLL * cols;
+        let r0 = &data[base..base + cols];
+        let r1 = &data[base + cols..base + 2 * cols];
+        let r2 = &data[base + 2 * cols..base + 3 * cols];
+        let r3 = &data[base + 3 * cols..base + 4 * cols];
+        let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0, 0.0, 0.0);
+        for (k, &xk) in x.iter().enumerate() {
+            let (d0, d1, d2, d3) = (xk - r0[k], xk - r1[k], xk - r2[k], xk - r3[k]);
+            a0 += d0 * d0;
+            a1 += d1 * d1;
+            a2 += d2 * d2;
+            a3 += d3 * d3;
+        }
+        out[q * ROW_UNROLL] = a0;
+        out[q * ROW_UNROLL + 1] = a1;
+        out[q * ROW_UNROLL + 2] = a2;
+        out[q * ROW_UNROLL + 3] = a3;
+    }
+    for i in quads * ROW_UNROLL..m.rows() {
+        out[i] = squared_distance(x, m.row(i));
     }
 }
 
@@ -147,14 +275,14 @@ impl std::fmt::Display for Kernel {
 /// Used by tests and small-problem utilities; the SMO solver computes rows
 /// on demand through [`RowCache`] instead of materialising the full matrix.
 #[must_use]
-pub fn gram_matrix(kernel: Kernel, points: &[Vec<f64>]) -> Vec<Vec<f64>> {
-    let n = points.len();
-    let mut g = vec![vec![0.0; n]; n];
+pub fn gram_matrix(kernel: Kernel, points: &DenseMatrix) -> DenseMatrix {
+    let n = points.rows();
+    let mut g = DenseMatrix::zeros(n, n);
     for i in 0..n {
         for j in i..n {
-            let v = kernel.eval(&points[i], &points[j]);
-            g[i][j] = v;
-            g[j][i] = v;
+            let v = kernel.eval(points.row(i), points.row(j));
+            g.row_mut(i)[j] = v;
+            g.row_mut(j)[i] = v;
         }
     }
     g
@@ -215,7 +343,9 @@ impl RowCache {
             self.hits += 1;
         }
         self.stamps[i] = self.clock;
-        self.rows[i].as_deref().expect("row just inserted")
+        // The row was inserted just above on a miss, so the slot is always
+        // occupied; the empty-slice arm exists only to avoid a panic site.
+        self.rows[i].as_deref().unwrap_or(&[])
     }
 
     fn evict_lru(&mut self, keep: usize) {
@@ -334,14 +464,49 @@ mod tests {
 
     #[test]
     fn gram_matrix_is_symmetric_with_unit_diagonal_for_rbf() {
-        let pts = vec![vec![0.0, 1.0], vec![1.0, 0.0], vec![2.0, 2.0]];
+        let pts =
+            DenseMatrix::from_nested(vec![vec![0.0, 1.0], vec![1.0, 0.0], vec![2.0, 2.0]]).unwrap();
         let g = gram_matrix(Kernel::rbf(1.0), &pts);
         for i in 0..3 {
-            assert!((g[i][i] - 1.0).abs() < 1e-15);
+            assert!((g.row(i)[i] - 1.0).abs() < 1e-15);
             for j in 0..3 {
-                assert_eq!(g[i][j], g[j][i]);
+                assert_eq!(g.row(i)[j], g.row(j)[i]);
             }
         }
+    }
+
+    #[test]
+    fn eval_row_batch_matches_scalar_eval_bitwise() {
+        let m = DenseMatrix::from_nested(vec![
+            vec![0.1, -0.4, 2.0],
+            vec![1.3, 0.0, -5.5],
+            vec![-2.2, 3.1, 0.7],
+        ])
+        .unwrap();
+        let x = [0.9, -1.1, 0.3];
+        for kernel in [
+            Kernel::Linear,
+            Kernel::rbf(0.7),
+            Kernel::polynomial(0.5),
+            Kernel::Sigmoid {
+                gamma: 0.2,
+                coef0: 0.1,
+            },
+        ] {
+            let mut out = vec![0.0; m.rows()];
+            kernel.eval_row_batch(&x, &m, &mut out);
+            for (o, row) in out.iter().zip(&m) {
+                assert_eq!(o.to_bits(), kernel.eval(&x, row).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "eval_row_batch")]
+    fn eval_row_batch_wrong_out_len_panics() {
+        let m = DenseMatrix::from_nested(vec![vec![1.0]]).unwrap();
+        let mut out = vec![0.0; 2];
+        Kernel::Linear.eval_row_batch(&[1.0], &m, &mut out);
     }
 
     #[test]

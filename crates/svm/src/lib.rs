@@ -15,13 +15,16 @@
 //! ```
 //! use vmtherm_svm::data::Dataset;
 //! use vmtherm_svm::kernel::Kernel;
+//! use vmtherm_svm::matrix::DenseMatrix;
 //! use vmtherm_svm::scale::{ScaleMethod, Scaler};
 //! use vmtherm_svm::svr::{SvrModel, SvrParams};
 //!
 //! # fn main() -> Result<(), vmtherm_svm::error::SvmError> {
 //! // A toy regression problem: y = x0 + 2*x1.
 //! let train = Dataset::from_parts(
-//!     vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0], vec![0.5, 0.5]],
+//!     DenseMatrix::from_nested(vec![
+//!         vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0], vec![0.5, 0.5],
+//!     ])?,
 //!     vec![0.0, 1.0, 2.0, 3.0, 1.5],
 //! )?;
 //!
@@ -33,7 +36,13 @@
 //! let model = SvrModel::train(&scaled, params)?;
 //!
 //! let x = scaler.transform(&[0.25, 0.75]);
-//! assert!((model.predict(&x) - 1.75).abs() < 0.2);
+//! assert!((model.predict(&x)? - 1.75).abs() < 0.2);
+//!
+//! // Batch prediction over a whole feature matrix at once.
+//! let queries = scaler.transform_matrix(&DenseMatrix::from_nested(vec![
+//!     vec![0.25, 0.75], vec![1.0, 0.0],
+//! ])?);
+//! assert_eq!(model.predict_batch(&queries)?.len(), 2);
 //! # Ok(())
 //! # }
 //! ```
@@ -41,6 +50,7 @@
 //! ## Module map
 //!
 //! - [`data`] — datasets and the libsvm text format
+//! - [`matrix`] — the flat row-major [`matrix::DenseMatrix`] feature storage
 //! - [`scale`] — `svm-scale`-style feature scaling
 //! - [`kernel`] — kernel functions and the solver's row cache
 //! - [`svr`] / [`nusvr`] / [`svc`] / [`oneclass`] — ε/ν regression,
@@ -65,6 +75,7 @@ pub mod error;
 pub mod grid;
 pub mod kernel;
 pub mod linalg;
+pub mod matrix;
 pub mod metrics;
 pub mod model_io;
 pub mod nusvr;
@@ -77,6 +88,7 @@ pub mod svr;
 pub use data::Dataset;
 pub use error::SvmError;
 pub use kernel::Kernel;
+pub use matrix::DenseMatrix;
 pub use nusvr::{NuSvrModel, NuSvrParams};
 pub use oneclass::{OneClassModel, OneClassParams};
 pub use scale::{ScaleMethod, Scaler};

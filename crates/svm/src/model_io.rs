@@ -12,6 +12,7 @@
 
 use crate::error::SvmError;
 use crate::kernel::Kernel;
+use crate::matrix::DenseMatrix;
 use crate::scale::{ScaleMethod, Scaler};
 use crate::svr::SvrModel;
 use std::fmt::Write as _;
@@ -97,7 +98,7 @@ pub fn svr_from_string(text: &str) -> Result<SvrModel, SvmError> {
     let nsv = nsv.ok_or_else(|| SvmError::parse(0, "missing nsv"))?;
 
     let mut coefficients = Vec::with_capacity(nsv);
-    let mut support_vectors = Vec::with_capacity(nsv);
+    let mut support_vectors = DenseMatrix::with_cols(dim);
     for _ in 0..nsv {
         let (lineno, line) = lines
             .next()
@@ -122,7 +123,7 @@ pub fn svr_from_string(text: &str) -> Result<SvrModel, SvmError> {
             ));
         }
         coefficients.push(coef);
-        support_vectors.push(sv);
+        support_vectors.push_row(&sv);
     }
 
     SvrModel::from_parts(kernel, support_vectors, coefficients, bias, dim)
@@ -289,7 +290,7 @@ mod tests {
             .map(|i| vec![i as f64 * 0.4, (i as f64).cos()])
             .collect();
         let ys: Vec<f64> = xs.iter().map(|x| x[0] * 2.0 + x[1]).collect();
-        let ds = Dataset::from_parts(xs, ys).unwrap();
+        let ds = Dataset::from_parts(DenseMatrix::from_nested(xs).unwrap(), ys).unwrap();
         SvrModel::train(&ds, SvrParams::new().with_c(50.0)).unwrap()
     }
 
@@ -301,7 +302,7 @@ mod tests {
         for i in 0..10 {
             let x = [i as f64 * 0.37, (i as f64 * 0.9).sin()];
             assert!(
-                (model.predict(&x) - back.predict(&x)).abs() < 1e-9,
+                (model.predict(&x).unwrap() - back.predict(&x).unwrap()).abs() < 1e-9,
                 "prediction drift at {x:?}"
             );
         }
@@ -363,7 +364,8 @@ mod tests {
         use crate::data::Dataset;
         use crate::scale::ScaleMethod;
         let ds = Dataset::from_parts(
-            vec![vec![0.0, 5.0], vec![10.0, 15.0], vec![4.0, 9.0]],
+            DenseMatrix::from_nested(vec![vec![0.0, 5.0], vec![10.0, 15.0], vec![4.0, 9.0]])
+                .unwrap(),
             vec![0.0; 3],
         )
         .unwrap();

@@ -10,6 +10,7 @@
 use crate::data::Dataset;
 use crate::error::SvmError;
 use crate::kernel::Kernel;
+use crate::matrix::DenseMatrix;
 use crate::smo::{self, QMatrix, RegressionQ, SolveOptions};
 use crate::svr::SvrModel;
 use serde::{Deserialize, Serialize};
@@ -142,12 +143,12 @@ impl NuSvrModel {
     ///
     /// let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
     /// let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x[0] + 1.0).collect();
-    /// let ds = Dataset::from_parts(xs, ys)?;
+    /// let ds = Dataset::from_parts(vmtherm_svm::matrix::DenseMatrix::from_nested(xs)?, ys)?;
     /// let model = NuSvrModel::train(
     ///     &ds,
     ///     NuSvrParams::new().with_c(100.0).with_nu(0.5).with_kernel(Kernel::Linear),
     /// )?;
-    /// assert!((model.predict(&[4.5]) - 10.0).abs() < 0.3);
+    /// assert!((model.predict(&[4.5])? - 10.0).abs() < 0.3);
     /// # Ok::<(), vmtherm_svm::error::SvmError>(())
     /// ```
     pub fn train(train: &Dataset, params: NuSvrParams) -> Result<Self, SvmError> {
@@ -196,12 +197,12 @@ impl NuSvrModel {
         );
         debug_assert_eq!(q.len(), 2 * l);
 
-        let mut support_vectors = Vec::new();
+        let mut support_vectors = DenseMatrix::with_cols(train.dim());
         let mut coefficients = Vec::new();
         for i in 0..l {
             let beta = solution.base.alpha[i] - solution.base.alpha[l + i];
             if beta != 0.0 {
-                support_vectors.push(points[i].clone());
+                support_vectors.push_row(points.row(i));
                 coefficients.push(beta);
             }
         }
@@ -220,12 +221,23 @@ impl NuSvrModel {
 
     /// Predicts the target for one feature vector.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `x.len()` differs from the training dimensionality.
-    #[must_use]
-    pub fn predict(&self, x: &[f64]) -> f64 {
+    /// [`SvmError::DimensionMismatch`] if `x.len()` differs from the
+    /// training dimensionality.
+    pub fn predict(&self, x: &[f64]) -> Result<f64, SvmError> {
         self.inner.predict(x)
+    }
+
+    /// Predicts targets for every row of a feature matrix; see
+    /// [`SvrModel::predict_batch`].
+    ///
+    /// # Errors
+    ///
+    /// [`SvmError::DimensionMismatch`] if the matrix width differs from
+    /// the training dimensionality.
+    pub fn predict_batch(&self, queries: &DenseMatrix) -> Result<Vec<f64>, SvmError> {
+        self.inner.predict_batch(queries)
     }
 
     /// The tube half-width ε the optimisation learned.
@@ -263,7 +275,7 @@ mod tests {
                 2.0 * x[0] - 1.0 + wiggle
             })
             .collect();
-        Dataset::from_parts(xs, ys).unwrap()
+        Dataset::from_parts(DenseMatrix::from_nested(xs).unwrap(), ys).unwrap()
     }
 
     #[test]
@@ -277,7 +289,7 @@ mod tests {
                 .with_kernel(Kernel::Linear),
         )
         .unwrap();
-        let preds: Vec<f64> = ds.features().iter().map(|x| model.predict(x)).collect();
+        let preds = model.predict_batch(ds.features()).unwrap();
         assert!(
             mse(ds.targets(), &preds) < 0.05,
             "mse {}",
@@ -360,8 +372,8 @@ mod tests {
                 .with_kernel(Kernel::rbf(0.5)),
         )
         .unwrap();
-        let nu_preds: Vec<f64> = ds.features().iter().map(|x| nu.predict(x)).collect();
-        let eps_preds: Vec<f64> = ds.features().iter().map(|x| eps.predict(x)).collect();
+        let nu_preds = nu.predict_batch(ds.features()).unwrap();
+        let eps_preds = eps.predict_batch(ds.features()).unwrap();
         let (a, b) = (mse(ds.targets(), &nu_preds), mse(ds.targets(), &eps_preds));
         assert!(
             a < 2.0 * b + 0.05,

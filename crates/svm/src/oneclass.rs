@@ -10,6 +10,7 @@
 use crate::data::Dataset;
 use crate::error::SvmError;
 use crate::kernel::Kernel;
+use crate::matrix::DenseMatrix;
 use crate::smo::{self, PointQ, SolveOptions};
 use serde::{Deserialize, Serialize};
 
@@ -95,7 +96,7 @@ impl Default for OneClassParams {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OneClassModel {
     kernel: Kernel,
-    support_vectors: Vec<Vec<f64>>,
+    support_vectors: DenseMatrix,
     coefficients: Vec<f64>,
     rho: f64,
     dim: usize,
@@ -120,13 +121,16 @@ impl OneClassModel {
     ///     .map(|i| vec![(i as f64 * 0.7).sin() * 0.3, (i as f64 * 1.3).cos() * 0.3])
     ///     .collect();
     /// let n = normal.len();
-    /// let ds = Dataset::from_parts(normal, vec![0.0; n])?;
+    /// let ds = Dataset::from_parts(
+    ///     vmtherm_svm::matrix::DenseMatrix::from_nested(normal)?,
+    ///     vec![0.0; n],
+    /// )?;
     /// let model = OneClassModel::train(
     ///     &ds,
     ///     OneClassParams::new().with_nu(0.1).with_kernel(Kernel::rbf(1.0)),
     /// )?;
-    /// assert!(model.is_inlier(&[0.0, 0.0]));
-    /// assert!(!model.is_inlier(&[5.0, 5.0]));
+    /// assert!(model.is_inlier(&[0.0, 0.0])?);
+    /// assert!(!model.is_inlier(&[5.0, 5.0])?);
     /// # Ok::<(), vmtherm_svm::error::SvmError>(())
     /// ```
     pub fn train(train: &Dataset, params: OneClassParams) -> Result<Self, SvmError> {
@@ -163,11 +167,11 @@ impl OneClassModel {
             },
         );
 
-        let mut support_vectors = Vec::new();
+        let mut support_vectors = DenseMatrix::with_cols(train.dim());
         let mut coefficients = Vec::new();
         for i in 0..l {
             if solution.alpha[i] > 0.0 {
-                support_vectors.push(train.feature(i).to_vec());
+                support_vectors.push_row(train.feature(i));
                 coefficients.push(solution.alpha[i]);
             }
         }
@@ -183,36 +187,72 @@ impl OneClassModel {
 
     /// The signed decision value: ≥ 0 inside the learned region.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `x.len()` differs from the training dimensionality.
-    #[must_use]
-    pub fn decision_value(&self, x: &[f64]) -> f64 {
-        assert_eq!(
-            x.len(),
-            self.dim,
-            "decision_value: dim {} != model dim {}",
-            x.len(),
-            self.dim
-        );
-        self.support_vectors
+    /// [`SvmError::DimensionMismatch`] if `x.len()` differs from the
+    /// training dimensionality.
+    pub fn decision_value(&self, x: &[f64]) -> Result<f64, SvmError> {
+        if x.len() != self.dim {
+            return Err(SvmError::DimensionMismatch {
+                expected: self.dim,
+                actual: x.len(),
+            });
+        }
+        Ok(self
+            .support_vectors
             .iter()
             .zip(&self.coefficients)
             .map(|(sv, a)| a * self.kernel.eval(sv, x))
             .sum::<f64>()
-            - self.rho
+            - self.rho)
     }
 
     /// `true` when `x` looks like the training (normal) data.
-    #[must_use]
-    pub fn is_inlier(&self, x: &[f64]) -> bool {
-        self.decision_value(x) >= 0.0
+    ///
+    /// # Errors
+    ///
+    /// [`SvmError::DimensionMismatch`] if `x.len()` differs from the
+    /// training dimensionality.
+    pub fn is_inlier(&self, x: &[f64]) -> Result<bool, SvmError> {
+        Ok(self.decision_value(x)? >= 0.0)
+    }
+
+    /// Decision values for every row of a feature matrix, evaluating one
+    /// kernel row per query into a reused scratch buffer. Bit-identical to
+    /// calling [`OneClassModel::decision_value`] per row.
+    ///
+    /// # Errors
+    ///
+    /// [`SvmError::DimensionMismatch`] if the matrix width differs from
+    /// the training dimensionality.
+    pub fn predict_batch(&self, queries: &DenseMatrix) -> Result<Vec<f64>, SvmError> {
+        if queries.cols() != self.dim {
+            return Err(SvmError::DimensionMismatch {
+                expected: self.dim,
+                actual: queries.cols(),
+            });
+        }
+        let mut scratch = vec![0.0; self.support_vectors.rows()];
+        let mut out = Vec::with_capacity(queries.rows());
+        for x in queries {
+            self.kernel
+                .eval_row_batch(x, &self.support_vectors, &mut scratch);
+            out.push(
+                scratch
+                    .iter()
+                    .zip(&self.coefficients)
+                    .map(|(k, a)| a * k)
+                    .sum::<f64>()
+                    - self.rho,
+            );
+        }
+        Ok(out)
     }
 
     /// Number of support vectors retained.
     #[must_use]
     pub fn num_support_vectors(&self) -> usize {
-        self.support_vectors.len()
+        self.support_vectors.rows()
     }
 
     /// Whether the solver reached its KKT tolerance.
@@ -241,7 +281,7 @@ mod tests {
                 vec![r * a.cos(), r * a.sin()]
             })
             .collect();
-        Dataset::from_parts(pts, vec![0.0; n]).unwrap()
+        Dataset::from_parts(DenseMatrix::from_nested(pts).unwrap(), vec![0.0; n]).unwrap()
     }
 
     #[test]
@@ -258,14 +298,14 @@ mod tests {
         // Points on the ring are inliers.
         let mut hits = 0;
         for (x, _) in ds.iter() {
-            if model.is_inlier(x) {
+            if model.is_inlier(x).unwrap() {
                 hits += 1;
             }
         }
         assert!(hits as f64 >= 0.85 * ds.len() as f64, "only {hits} inliers");
         // Far away is an outlier.
-        assert!(!model.is_inlier(&[6.0, -6.0]));
-        assert!(!model.is_inlier(&[0.0, 10.0]));
+        assert!(!model.is_inlier(&[6.0, -6.0]).unwrap());
+        assert!(!model.is_inlier(&[0.0, 10.0]).unwrap());
     }
 
     #[test]
@@ -279,8 +319,11 @@ mod tests {
                     .with_kernel(Kernel::rbf(1.0)),
             )
             .unwrap();
-            let outliers =
-                ds.iter().filter(|(x, _)| !model.is_inlier(x)).count() as f64 / ds.len() as f64;
+            let outliers = ds
+                .iter()
+                .filter(|(x, _)| !model.is_inlier(x).unwrap())
+                .count() as f64
+                / ds.len() as f64;
             assert!(
                 outliers <= nu + 0.1,
                 "nu={nu}: training outlier fraction {outliers}"
@@ -313,7 +356,11 @@ mod tests {
 
     #[test]
     fn single_point_region_is_tight() {
-        let ds = Dataset::from_parts(vec![vec![1.0, 1.0]], vec![0.0]).unwrap();
+        let ds = Dataset::from_parts(
+            DenseMatrix::from_nested(vec![vec![1.0, 1.0]]).unwrap(),
+            vec![0.0],
+        )
+        .unwrap();
         let model = OneClassModel::train(
             &ds,
             OneClassParams::new()
@@ -321,7 +368,7 @@ mod tests {
                 .with_kernel(Kernel::rbf(1.0)),
         )
         .unwrap();
-        assert!(model.is_inlier(&[1.0, 1.0]));
-        assert!(!model.is_inlier(&[4.0, 4.0]));
+        assert!(model.is_inlier(&[1.0, 1.0]).unwrap());
+        assert!(!model.is_inlier(&[4.0, 4.0]).unwrap());
     }
 }

@@ -7,6 +7,7 @@
 
 use crate::data::Dataset;
 use crate::error::SvmError;
+use crate::matrix::DenseMatrix;
 use serde::{Deserialize, Serialize};
 
 /// The scaling method.
@@ -24,10 +25,11 @@ pub enum ScaleMethod {
 ///
 /// ```
 /// use vmtherm_svm::data::Dataset;
+/// use vmtherm_svm::matrix::DenseMatrix;
 /// use vmtherm_svm::scale::{ScaleMethod, Scaler};
 ///
 /// let train = Dataset::from_parts(
-///     vec![vec![0.0, 100.0], vec![10.0, 300.0]],
+///     DenseMatrix::from_nested(vec![vec![0.0, 100.0], vec![10.0, 300.0]])?,
 ///     vec![0.0, 1.0],
 /// )?;
 /// let scaler = Scaler::fit(&train, ScaleMethod::MinMax);
@@ -144,6 +146,28 @@ impl Scaler {
         ds.iter().map(|(x, y)| (self.transform(x), y)).collect()
     }
 
+    /// Scales every row of a feature matrix into a new matrix, applying
+    /// exactly the per-element expression of [`Scaler::transform`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m.cols() != self.dim()`.
+    #[must_use]
+    pub fn transform_matrix(&self, m: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(
+            m.cols(),
+            self.dim(),
+            "scaler dim {} != input {}",
+            self.dim(),
+            m.cols()
+        );
+        let mut out = DenseMatrix::with_cols(m.cols());
+        for row in m {
+            out.push_row(&self.transform(row));
+        }
+        out
+    }
+
     /// Inverts the transform for one scaled vector. Constant features
     /// (scale 0) recover their training value.
     ///
@@ -223,11 +247,12 @@ mod tests {
 
     fn train() -> Dataset {
         Dataset::from_parts(
-            vec![
+            DenseMatrix::from_nested(vec![
                 vec![0.0, 10.0, 5.0],
                 vec![4.0, 20.0, 5.0],
                 vec![2.0, 15.0, 5.0],
-            ],
+            ])
+            .unwrap(),
             vec![1.0, 2.0, 3.0],
         )
         .unwrap()
@@ -279,6 +304,21 @@ mod tests {
     }
 
     #[test]
+    fn transform_matrix_matches_per_row_transform() {
+        for method in [ScaleMethod::MinMax, ScaleMethod::ZScore] {
+            let s = Scaler::fit(&train(), method);
+            let ds = train();
+            let scaled = s.transform_matrix(ds.features());
+            for (row, x) in scaled.iter().zip(ds.features()) {
+                let expect = s.transform(x);
+                for (a, b) in row.iter().zip(&expect) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{method:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn transform_dataset_keeps_targets() {
         let s = Scaler::fit(&train(), ScaleMethod::MinMax);
         let scaled = s.transform_dataset(&train());
@@ -297,7 +337,11 @@ mod tests {
     #[test]
     fn check_compatible_detects_mismatch() {
         let s = Scaler::fit(&train(), ScaleMethod::MinMax);
-        let other = Dataset::from_parts(vec![vec![1.0]], vec![0.0]).unwrap();
+        let other = Dataset::from_parts(
+            DenseMatrix::from_nested(vec![vec![1.0]]).unwrap(),
+            vec![0.0],
+        )
+        .unwrap();
         assert!(s.check_compatible(&other).is_err());
         assert!(s.check_compatible(&train()).is_ok());
     }

@@ -16,6 +16,7 @@
 //! form; the regression case uses the standard expansion to `2l` variables.
 
 use crate::kernel::{Kernel, RowCache};
+use crate::matrix::DenseMatrix;
 
 /// Numerical floor for the second derivative of the two-variable subproblem,
 /// as in LIBSVM (`TAU`).
@@ -37,7 +38,7 @@ pub(crate) trait QMatrix {
 /// (C-SVC), with an LRU row cache.
 pub(crate) struct PointQ<'a> {
     kernel: Kernel,
-    points: &'a [Vec<f64>],
+    points: &'a DenseMatrix,
     y: &'a [f64],
     diag: Vec<f64>,
     cache: RowCache,
@@ -46,7 +47,7 @@ pub(crate) struct PointQ<'a> {
 impl<'a> PointQ<'a> {
     pub(crate) fn new(
         kernel: Kernel,
-        points: &'a [Vec<f64>],
+        points: &'a DenseMatrix,
         y: &'a [f64],
         cache_rows: usize,
     ) -> Self {
@@ -56,25 +57,28 @@ impl<'a> PointQ<'a> {
             points,
             y,
             diag,
-            cache: RowCache::new(points.len(), cache_rows),
+            cache: RowCache::new(points.rows(), cache_rows),
         }
     }
 }
 
 impl QMatrix for PointQ<'_> {
     fn len(&self) -> usize {
-        self.points.len()
+        self.points.rows()
     }
 
     fn row(&mut self, i: usize) -> &[f64] {
         let (kernel, points, y) = (self.kernel, self.points, self.y);
         self.cache.row(i, || {
-            let xi = &points[i];
-            points
-                .iter()
-                .enumerate()
-                .map(|(j, xj)| y[i] * y[j] * kernel.eval(xi, xj))
-                .collect()
+            // One kernel row in a single pass over the flat matrix, then
+            // the sign pattern on top: Q_ij = y_i y_j K_ij.
+            let mut row = vec![0.0; points.rows()];
+            kernel.eval_row_batch(points.row(i), points, &mut row);
+            let yi = y[i];
+            for (q, yj) in row.iter_mut().zip(y) {
+                *q *= yi * *yj;
+            }
+            row
         })
     }
 
@@ -88,7 +92,7 @@ impl QMatrix for PointQ<'_> {
 /// and `l..2l` are `α*` (sign −1), all over the same `l` points.
 pub(crate) struct RegressionQ<'a> {
     kernel: Kernel,
-    points: &'a [Vec<f64>],
+    points: &'a DenseMatrix,
     l: usize,
     diag: Vec<f64>,
     /// Cache of *kernel* rows over the l points; Q rows are derived.
@@ -97,8 +101,8 @@ pub(crate) struct RegressionQ<'a> {
 }
 
 impl<'a> RegressionQ<'a> {
-    pub(crate) fn new(kernel: Kernel, points: &'a [Vec<f64>], cache_rows: usize) -> Self {
-        let l = points.len();
+    pub(crate) fn new(kernel: Kernel, points: &'a DenseMatrix, cache_rows: usize) -> Self {
+        let l = points.rows();
         let diag = points.iter().map(|p| kernel.eval(p, p)).collect();
         RegressionQ {
             kernel,
@@ -135,8 +139,9 @@ impl QMatrix for RegressionQ<'_> {
         let si = self.sign(i);
         let (kernel, points) = (self.kernel, self.points);
         let krow = self.cache.row(base, || {
-            let xb = &points[base];
-            points.iter().map(|xj| kernel.eval(xb, xj)).collect()
+            let mut row = vec![0.0; points.rows()];
+            kernel.eval_row_batch(points.row(base), points, &mut row);
+            row
         });
         // Q_ij = s_i s_j K(base_i, base_j).
         for j in 0..self.l {
@@ -889,7 +894,7 @@ mod tests {
     /// with rho = 0.
     #[test]
     fn two_point_svc_dual() {
-        let points = vec![vec![-1.0], vec![1.0]];
+        let points = DenseMatrix::from_nested(vec![vec![-1.0], vec![1.0]]).unwrap();
         let y = vec![-1.0, 1.0];
         let mut q = PointQ::new(Kernel::Linear, &points, &y, 16);
         let p = vec![-1.0, -1.0];
@@ -904,9 +909,12 @@ mod tests {
     /// Equality constraint Σ y_i a_i = 0 must hold throughout.
     #[test]
     fn solution_satisfies_equality_constraint() {
-        let points: Vec<Vec<f64>> = (0..12)
-            .map(|i| vec![i as f64 * 0.3, (i as f64 * 0.7).sin()])
-            .collect();
+        let points = DenseMatrix::from_nested(
+            (0..12)
+                .map(|i| vec![i as f64 * 0.3, (i as f64 * 0.7).sin()])
+                .collect(),
+        )
+        .unwrap();
         let y: Vec<f64> = (0..12)
             .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
             .collect();
@@ -928,7 +936,9 @@ mod tests {
     /// of spinning.
     #[test]
     fn iteration_cap_reported() {
-        let points: Vec<Vec<f64>> = (0..40).map(|i| vec![(i as f64 * 1.37).sin()]).collect();
+        let points =
+            DenseMatrix::from_nested((0..40).map(|i| vec![(i as f64 * 1.37).sin()]).collect())
+                .unwrap();
         let y: Vec<f64> = (0..40)
             .map(|i| if i % 3 == 0 { 1.0 } else { -1.0 })
             .collect();
@@ -955,9 +965,12 @@ mod tests {
     /// iterations allowed (SMO is a descent method).
     #[test]
     fn objective_descends_with_more_iterations() {
-        let points: Vec<Vec<f64>> = (0..20)
-            .map(|i| vec![(i as f64 * 0.9).cos(), (i as f64 * 0.4).sin()])
-            .collect();
+        let points = DenseMatrix::from_nested(
+            (0..20)
+                .map(|i| vec![(i as f64 * 0.9).cos(), (i as f64 * 0.4).sin()])
+                .collect(),
+        )
+        .unwrap();
         let y: Vec<f64> = (0..20).map(|i| if i < 10 { 1.0 } else { -1.0 }).collect();
         let p = vec![-1.0; 20];
         let c = vec![1.0; 20];
@@ -984,7 +997,7 @@ mod tests {
     /// Q[i][j] = s_i s_j K(i%l, j%l).
     #[test]
     fn regression_q_signs() {
-        let points = vec![vec![0.0], vec![1.0]];
+        let points = DenseMatrix::from_nested(vec![vec![0.0], vec![1.0]]).unwrap();
         let mut q = RegressionQ::new(Kernel::Linear, &points, 8);
         assert_eq!(q.len(), 4);
         let row1 = q.row(1).to_vec(); // alpha row for point 1, sign +1

@@ -7,6 +7,7 @@
 use crate::data::Dataset;
 use crate::error::SvmError;
 use crate::kernel::Kernel;
+use crate::matrix::DenseMatrix;
 use crate::smo::{self, PointQ, SolveOptions};
 use serde::{Deserialize, Serialize};
 
@@ -98,7 +99,7 @@ impl Default for SvcParams {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SvcModel {
     kernel: Kernel,
-    support_vectors: Vec<Vec<f64>>,
+    support_vectors: DenseMatrix,
     /// `y_i α_i` per support vector.
     coefficients: Vec<f64>,
     bias: f64,
@@ -121,12 +122,14 @@ impl SvcModel {
     /// use vmtherm_svm::svc::{SvcModel, SvcParams};
     ///
     /// let ds = Dataset::from_parts(
-    ///     vec![vec![-2.0], vec![-1.0], vec![1.0], vec![2.0]],
+    ///     vmtherm_svm::matrix::DenseMatrix::from_nested(
+    ///         vec![vec![-2.0], vec![-1.0], vec![1.0], vec![2.0]],
+    ///     )?,
     ///     vec![-1.0, -1.0, 1.0, 1.0],
     /// )?;
     /// let model = SvcModel::train(&ds, SvcParams::new().with_kernel(Kernel::Linear))?;
-    /// assert_eq!(model.classify(&[-3.0]), -1.0);
-    /// assert_eq!(model.classify(&[3.0]), 1.0);
+    /// assert_eq!(model.classify(&[-3.0])?, -1.0);
+    /// assert_eq!(model.classify(&[3.0])?, 1.0);
     /// # Ok::<(), vmtherm_svm::error::SvmError>(())
     /// ```
     pub fn train(train: &Dataset, params: SvcParams) -> Result<Self, SvmError> {
@@ -160,11 +163,11 @@ impl SvcModel {
             },
         );
 
-        let mut support_vectors = Vec::new();
+        let mut support_vectors = DenseMatrix::with_cols(train.dim());
         let mut coefficients = Vec::new();
         for i in 0..l {
             if solution.alpha[i] > 0.0 {
-                support_vectors.push(train.feature(i).to_vec());
+                support_vectors.push_row(train.feature(i));
                 coefficients.push(y[i] * solution.alpha[i]);
             }
         }
@@ -180,41 +183,76 @@ impl SvcModel {
 
     /// The signed decision value `f(x)`; its sign is the class.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `x.len()` differs from the training dimensionality.
-    #[must_use]
-    pub fn decision_value(&self, x: &[f64]) -> f64 {
-        assert_eq!(
-            x.len(),
-            self.dim,
-            "decision_value: dim {} != model dim {}",
-            x.len(),
-            self.dim
-        );
-        self.support_vectors
+    /// [`SvmError::DimensionMismatch`] if `x.len()` differs from the
+    /// training dimensionality.
+    pub fn decision_value(&self, x: &[f64]) -> Result<f64, SvmError> {
+        if x.len() != self.dim {
+            return Err(SvmError::DimensionMismatch {
+                expected: self.dim,
+                actual: x.len(),
+            });
+        }
+        Ok(self
+            .support_vectors
             .iter()
             .zip(&self.coefficients)
             .map(|(sv, b)| b * self.kernel.eval(sv, x))
             .sum::<f64>()
-            + self.bias
+            + self.bias)
     }
 
     /// Classifies `x` as `+1.0` or `-1.0` (ties break positive, as in
     /// LIBSVM).
-    #[must_use]
-    pub fn classify(&self, x: &[f64]) -> f64 {
-        if self.decision_value(x) >= 0.0 {
+    ///
+    /// # Errors
+    ///
+    /// [`SvmError::DimensionMismatch`] if `x.len()` differs from the
+    /// training dimensionality.
+    pub fn classify(&self, x: &[f64]) -> Result<f64, SvmError> {
+        Ok(if self.decision_value(x)? >= 0.0 {
             1.0
         } else {
             -1.0
+        })
+    }
+
+    /// Classifies every row of a feature matrix (`+1.0`/`-1.0` per row),
+    /// evaluating one kernel row per query into a reused scratch buffer.
+    /// Bit-identical to calling [`SvcModel::classify`] per row.
+    ///
+    /// # Errors
+    ///
+    /// [`SvmError::DimensionMismatch`] if the matrix width differs from
+    /// the training dimensionality.
+    pub fn predict_batch(&self, queries: &DenseMatrix) -> Result<Vec<f64>, SvmError> {
+        if queries.cols() != self.dim {
+            return Err(SvmError::DimensionMismatch {
+                expected: self.dim,
+                actual: queries.cols(),
+            });
         }
+        let mut scratch = vec![0.0; self.support_vectors.rows()];
+        let mut out = Vec::with_capacity(queries.rows());
+        for x in queries {
+            self.kernel
+                .eval_row_batch(x, &self.support_vectors, &mut scratch);
+            let dv = scratch
+                .iter()
+                .zip(&self.coefficients)
+                .map(|(k, b)| b * k)
+                .sum::<f64>()
+                + self.bias;
+            out.push(if dv >= 0.0 { 1.0 } else { -1.0 });
+        }
+        Ok(out)
     }
 
     /// Number of support vectors retained.
     #[must_use]
     pub fn num_support_vectors(&self) -> usize {
-        self.support_vectors.len()
+        self.support_vectors.rows()
     }
 
     /// Whether the solver reached its KKT tolerance.
@@ -243,7 +281,7 @@ mod tests {
             xs.push(vec![i as f64 * 0.1, -1.0 - i as f64 * 0.05]);
             ys.push(-1.0);
         }
-        Dataset::from_parts(xs, ys).unwrap()
+        Dataset::from_parts(DenseMatrix::from_nested(xs).unwrap(), ys).unwrap()
     }
 
     #[test]
@@ -253,19 +291,21 @@ mod tests {
         assert!(model.converged());
         let ds = separable();
         for (x, y) in ds.iter() {
-            assert_eq!(model.classify(x), y);
+            assert_eq!(model.classify(x).unwrap(), y);
         }
+        assert_eq!(model.predict_batch(ds.features()).unwrap(), ds.targets());
     }
 
     #[test]
     fn xor_needs_rbf() {
         let ds = Dataset::from_parts(
-            vec![
+            DenseMatrix::from_nested(vec![
                 vec![0.0, 0.0],
                 vec![1.0, 1.0],
                 vec![0.0, 1.0],
                 vec![1.0, 0.0],
-            ],
+            ])
+            .unwrap(),
             vec![1.0, 1.0, -1.0, -1.0],
         )
         .unwrap();
@@ -275,13 +315,17 @@ mod tests {
         )
         .unwrap();
         for (x, y) in ds.iter() {
-            assert_eq!(model.classify(x), y, "x = {x:?}");
+            assert_eq!(model.classify(x).unwrap(), y, "x = {x:?}");
         }
     }
 
     #[test]
     fn rejects_non_binary_labels() {
-        let ds = Dataset::from_parts(vec![vec![0.0], vec![1.0]], vec![0.0, 1.0]).unwrap();
+        let ds = Dataset::from_parts(
+            DenseMatrix::from_nested(vec![vec![0.0], vec![1.0]]).unwrap(),
+            vec![0.0, 1.0],
+        )
+        .unwrap();
         assert!(matches!(
             SvcModel::train(&ds, SvcParams::new()),
             Err(SvmError::InvalidParameter {
@@ -309,9 +353,22 @@ mod tests {
     fn decision_value_sign_matches_class() {
         let model =
             SvcModel::train(&separable(), SvcParams::new().with_kernel(Kernel::Linear)).unwrap();
-        let v = model.decision_value(&[0.5, 2.0]);
+        let v = model.decision_value(&[0.5, 2.0]).unwrap();
         assert!(v > 0.0);
-        assert_eq!(model.classify(&[0.5, 2.0]), 1.0);
+        assert_eq!(model.classify(&[0.5, 2.0]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn decision_value_wrong_dim_errors() {
+        let model =
+            SvcModel::train(&separable(), SvcParams::new().with_kernel(Kernel::Linear)).unwrap();
+        assert!(matches!(
+            model.decision_value(&[0.5]),
+            Err(SvmError::DimensionMismatch {
+                expected: 2,
+                actual: 1
+            })
+        ));
     }
 
     #[test]

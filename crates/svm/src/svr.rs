@@ -5,6 +5,7 @@
 use crate::data::Dataset;
 use crate::error::SvmError;
 use crate::kernel::Kernel;
+use crate::matrix::DenseMatrix;
 use crate::smo::{self, QMatrix, RegressionQ, SolveOptions};
 use serde::{Deserialize, Serialize};
 use vmtherm_obs::{self as obs, names, ObsEvent};
@@ -171,7 +172,7 @@ impl Default for SvrParams {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SvrModel {
     kernel: Kernel,
-    support_vectors: Vec<Vec<f64>>,
+    support_vectors: DenseMatrix,
     coefficients: Vec<f64>,
     bias: f64,
     dim: usize,
@@ -197,12 +198,14 @@ impl SvrModel {
     ///
     /// // y = 2x, four points.
     /// let ds = Dataset::from_parts(
-    ///     vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]],
+    ///     vmtherm_svm::matrix::DenseMatrix::from_nested(
+    ///         vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]],
+    ///     )?,
     ///     vec![0.0, 2.0, 4.0, 6.0],
     /// )?;
     /// let params = SvrParams::new().with_c(100.0).with_epsilon(0.01).with_kernel(Kernel::Linear);
     /// let model = SvrModel::train(&ds, params)?;
-    /// assert!((model.predict(&[1.5]) - 3.0).abs() < 0.1);
+    /// assert!((model.predict(&[1.5])? - 3.0).abs() < 0.1);
     /// # Ok::<(), vmtherm_svm::error::SvmError>(())
     /// ```
     pub fn train(train: &Dataset, params: SvrParams) -> Result<Self, SvmError> {
@@ -261,12 +264,12 @@ impl SvrModel {
         debug_assert_eq!(q.len(), 2 * l);
 
         // β_i = α_i − α*_i; keep only support vectors (β != 0).
-        let mut support_vectors = Vec::new();
+        let mut support_vectors = DenseMatrix::with_cols(train.dim());
         let mut coefficients = Vec::new();
         for i in 0..l {
             let beta = solution.alpha[i] - solution.alpha[l + i];
             if beta != 0.0 {
-                support_vectors.push(points[i].clone());
+                support_vectors.push_row(points.row(i));
                 coefficients.push(beta);
             }
         }
@@ -284,36 +287,85 @@ impl SvrModel {
 
     /// Predicts the target for one feature vector.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `x.len()` differs from the training dimensionality.
-    #[must_use]
-    pub fn predict(&self, x: &[f64]) -> f64 {
-        assert_eq!(
-            x.len(),
-            self.dim,
-            "predict: dim {} != model dim {}",
-            x.len(),
-            self.dim
-        );
-        self.support_vectors
+    /// [`SvmError::DimensionMismatch`] if `x.len()` differs from the
+    /// training dimensionality.
+    pub fn predict(&self, x: &[f64]) -> Result<f64, SvmError> {
+        if x.len() != self.dim {
+            return Err(SvmError::DimensionMismatch {
+                expected: self.dim,
+                actual: x.len(),
+            });
+        }
+        Ok(self
+            .support_vectors
             .iter()
             .zip(&self.coefficients)
             .map(|(sv, b)| b * self.kernel.eval(sv, x))
             .sum::<f64>()
-            + self.bias
+            + self.bias)
+    }
+
+    /// Predicts targets for every row of a feature matrix, evaluating one
+    /// kernel row per query into a reused scratch buffer. Bit-identical to
+    /// calling [`SvrModel::predict`] per row.
+    ///
+    /// # Errors
+    ///
+    /// [`SvmError::DimensionMismatch`] if the matrix width differs from the
+    /// training dimensionality.
+    pub fn predict_batch(&self, queries: &DenseMatrix) -> Result<Vec<f64>, SvmError> {
+        if queries.cols() != self.dim {
+            return Err(SvmError::DimensionMismatch {
+                expected: self.dim,
+                actual: queries.cols(),
+            });
+        }
+        let mut scratch = vec![0.0; self.support_vectors.rows()];
+        let mut out = Vec::with_capacity(queries.rows());
+        for x in queries {
+            self.kernel
+                .eval_row_batch(x, &self.support_vectors, &mut scratch);
+            out.push(
+                scratch
+                    .iter()
+                    .zip(&self.coefficients)
+                    .map(|(k, b)| b * k)
+                    .sum::<f64>()
+                    + self.bias,
+            );
+        }
+        Ok(out)
     }
 
     /// Predicts targets for every sample of a dataset.
-    #[must_use]
-    pub fn predict_dataset(&self, ds: &Dataset) -> Vec<f64> {
-        ds.features().iter().map(|x| self.predict(x)).collect()
+    ///
+    /// # Errors
+    ///
+    /// [`SvmError::DimensionMismatch`] if the dataset dimensionality
+    /// differs from the model's.
+    pub fn predict_dataset(&self, ds: &Dataset) -> Result<Vec<f64>, SvmError> {
+        self.predict_batch(ds.features())
     }
 
     /// Number of support vectors retained.
     #[must_use]
     pub fn num_support_vectors(&self) -> usize {
-        self.support_vectors.len()
+        self.support_vectors.rows()
+    }
+
+    /// The retained support vectors, one per matrix row.
+    #[must_use]
+    pub fn support_vectors(&self) -> &DenseMatrix {
+        &self.support_vectors
+    }
+
+    /// Dual coefficients `alpha_i - alpha_i*`, aligned with
+    /// [`SvrModel::support_vectors`] rows.
+    #[must_use]
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
     }
 
     /// The bias term `b`.
@@ -348,7 +400,7 @@ impl SvrModel {
 
     /// Destructures the model for serialisation:
     /// `(kernel, bias, dim, coefficients, support_vectors)`.
-    pub(crate) fn parts(&self) -> (Kernel, f64, usize, &[f64], &[Vec<f64>]) {
+    pub(crate) fn parts(&self) -> (Kernel, f64, usize, &[f64], &DenseMatrix) {
         (
             self.kernel,
             self.bias,
@@ -361,24 +413,22 @@ impl SvrModel {
     /// Rebuilds a model from serialised parts, validating consistency.
     pub(crate) fn from_parts(
         kernel: Kernel,
-        support_vectors: Vec<Vec<f64>>,
+        support_vectors: DenseMatrix,
         coefficients: Vec<f64>,
         bias: f64,
         dim: usize,
     ) -> Result<Self, SvmError> {
-        if support_vectors.len() != coefficients.len() {
+        if support_vectors.rows() != coefficients.len() {
             return Err(SvmError::DimensionMismatch {
-                expected: support_vectors.len(),
+                expected: support_vectors.rows(),
                 actual: coefficients.len(),
             });
         }
-        for sv in &support_vectors {
-            if sv.len() != dim {
-                return Err(SvmError::DimensionMismatch {
-                    expected: dim,
-                    actual: sv.len(),
-                });
-            }
+        if !support_vectors.is_empty() && support_vectors.cols() != dim {
+            return Err(SvmError::DimensionMismatch {
+                expected: dim,
+                actual: support_vectors.cols(),
+            });
         }
         Ok(SvrModel {
             kernel,
@@ -397,11 +447,15 @@ mod tests {
     use super::*;
     use crate::metrics::mse;
 
+    fn nested_dataset(xs: Vec<Vec<f64>>, ys: Vec<f64>) -> Dataset {
+        Dataset::from_parts(DenseMatrix::from_nested(xs).unwrap(), ys).unwrap()
+    }
+
     fn line_dataset() -> Dataset {
         // y = 3x − 1 over a few points.
         let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 * 0.5]).collect();
         let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x[0] - 1.0).collect();
-        Dataset::from_parts(xs, ys).unwrap()
+        nested_dataset(xs, ys)
     }
 
     #[test]
@@ -414,7 +468,7 @@ mod tests {
         assert!(model.converged());
         for x in [0.25, 1.7, 4.2] {
             let want = 3.0 * x - 1.0;
-            assert!((model.predict(&[x]) - want).abs() < 0.1, "x={x}");
+            assert!((model.predict(&[x]).unwrap() - want).abs() < 0.1, "x={x}");
         }
     }
 
@@ -429,7 +483,7 @@ mod tests {
             .with_kernel(Kernel::Linear);
         let model = SvrModel::train(&ds, params).unwrap();
         for (x, y) in ds.iter() {
-            let r = (model.predict(x) - y).abs();
+            let r = (model.predict(x).unwrap() - y).abs();
             assert!(r <= eps + 0.02, "residual {r} exceeds tube");
         }
     }
@@ -438,13 +492,13 @@ mod tests {
     fn rbf_fits_nonlinear_function() {
         let xs: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 * 0.25]).collect();
         let ys: Vec<f64> = xs.iter().map(|x| (x[0]).sin() * 5.0 + 20.0).collect();
-        let ds = Dataset::from_parts(xs, ys).unwrap();
+        let ds = nested_dataset(xs, ys);
         let params = SvrParams::new()
             .with_c(100.0)
             .with_epsilon(0.05)
             .with_kernel(Kernel::rbf(0.5));
         let model = SvrModel::train(&ds, params).unwrap();
-        let preds = model.predict_dataset(&ds);
+        let preds = model.predict_dataset(&ds).unwrap();
         assert!(
             mse(ds.targets(), &preds) < 0.05,
             "mse = {}",
@@ -454,18 +508,18 @@ mod tests {
 
     #[test]
     fn single_sample_predicts_its_target() {
-        let ds = Dataset::from_parts(vec![vec![1.0, 2.0]], vec![42.0]).unwrap();
+        let ds = nested_dataset(vec![vec![1.0, 2.0]], vec![42.0]);
         let model = SvrModel::train(&ds, SvrParams::new()).unwrap();
-        assert!((model.predict(&[1.0, 2.0]) - 42.0).abs() <= 0.1 + 1e-9);
+        assert!((model.predict(&[1.0, 2.0]).unwrap() - 42.0).abs() <= 0.1 + 1e-9);
     }
 
     #[test]
     fn constant_targets_yield_constant_model() {
         let xs: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64]).collect();
-        let ds = Dataset::from_parts(xs, vec![7.0; 8]).unwrap();
+        let ds = nested_dataset(xs, vec![7.0; 8]);
         let model = SvrModel::train(&ds, SvrParams::new()).unwrap();
         // All targets inside one tube: no support vectors needed, bias ≈ 7.
-        assert!((model.predict(&[3.5]) - 7.0).abs() < 0.2);
+        assert!((model.predict(&[3.5]).unwrap() - 7.0).abs() < 0.2);
     }
 
     #[test]
@@ -505,10 +559,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "predict: dim")]
-    fn predict_wrong_dim_panics() {
+    fn predict_wrong_dim_errors() {
         let model = SvrModel::train(&line_dataset(), SvrParams::new()).unwrap();
-        let _ = model.predict(&[1.0, 2.0]);
+        assert!(matches!(
+            model.predict(&[1.0, 2.0]),
+            Err(SvmError::DimensionMismatch {
+                expected: 1,
+                actual: 2
+            })
+        ));
+        let queries = DenseMatrix::from_nested(vec![vec![1.0, 2.0]]).unwrap();
+        assert!(matches!(
+            model.predict_batch(&queries),
+            Err(SvmError::DimensionMismatch {
+                expected: 1,
+                actual: 2
+            })
+        ));
     }
 
     #[test]
@@ -522,7 +589,7 @@ mod tests {
     fn larger_epsilon_gives_sparser_model() {
         let xs: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64 * 0.3]).collect();
         let ys: Vec<f64> = xs.iter().map(|x| x[0].cos() * 3.0).collect();
-        let ds = Dataset::from_parts(xs, ys).unwrap();
+        let ds = nested_dataset(xs, ys);
         let tight = SvrModel::train(
             &ds,
             SvrParams::new()

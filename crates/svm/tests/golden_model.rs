@@ -1,0 +1,78 @@
+//! Golden-model compatibility test.
+//!
+//! The embedded model text below was serialised by the *pre-refactor*
+//! (nested `Vec<Vec<f64>>`) pipeline, and the expected predictions were
+//! captured from its scalar `predict` as raw `f64` bits. Loading the same
+//! text through today's `DenseMatrix`-backed loader must parse cleanly,
+//! round-trip byte-identically, and reproduce every prediction bit for
+//! bit — proving both the on-disk format and the numeric path survived
+//! the data-layout refactor unchanged.
+
+use vmtherm_svm::model_io::{svr_from_string, svr_to_string};
+
+/// Serialised by the pre-refactor code from: 24 points with
+/// `x0 = i*0.37`, `x1 = cos(i*0.11)*2.0`, `y = sin(x0)*3.0 + 0.5*x1`,
+/// trained with `C = 10`, `ε = 0.05`, RBF γ = 0.5.
+const GOLDEN_MODEL: &str = "\
+vmtherm-model svr v1
+kernel=rbf 0.5
+bias=0.5936967283941557
+dim=2
+nsv=11
+-4.805528337111992 0 2
+5.2617077689975345 0.37 1.9879121959133936
+1.7402870266393236 1.85 1.7050490441190114
+0.6131826303523352 2.2199999999999998 1.5799844629947302
+-1.1146121923994972 4.07 0.7060388024386608
+-0.9938722690453106 4.4399999999999995 0.4963509033047458
+-1.185281625609743 5.18 0.06158291816493224
+-0.9491285418004439 5.55 -0.15824177761346772
+0.20123583178073565 7.03 -0.9923778254119977
+3.568930197357059 8.14 -1.5015092094509819
+-2.3369204891599993 8.51 -1.6374691985547631
+";
+
+/// `(query, f64::to_bits(pre-refactor predict(query)))`.
+const GOLDEN_PREDICTIONS: [([f64; 2], u64); 5] = [
+    ([0.0, 0.0], 0x3fe6cea73999bfaa),
+    ([1.0, 1.0], 0x40053c1542c40875),
+    ([2.5, -0.5], 0x3fe07bb38ca284b5),
+    ([4.2, 1.7], 0xbfe38295e4adb2cc),
+    ([8.88, 0.33], 0x3fe97d00b28527a0),
+];
+
+#[test]
+fn golden_model_loads_and_predicts_bit_identically() {
+    let model = svr_from_string(GOLDEN_MODEL).expect("golden model must parse");
+    assert_eq!(model.dim(), 2);
+    assert_eq!(model.num_support_vectors(), 11);
+    for (query, bits) in GOLDEN_PREDICTIONS {
+        let got = model.predict(&query).unwrap();
+        assert_eq!(
+            got.to_bits(),
+            bits,
+            "prediction for {query:?} drifted: got {got} ({:#018x}), want {:#018x}",
+            got.to_bits(),
+            bits
+        );
+    }
+}
+
+#[test]
+fn golden_model_round_trips_byte_identically() {
+    let model = svr_from_string(GOLDEN_MODEL).expect("golden model must parse");
+    assert_eq!(svr_to_string(&model), GOLDEN_MODEL);
+}
+
+#[test]
+fn golden_model_batch_path_matches_golden_bits() {
+    let model = svr_from_string(GOLDEN_MODEL).expect("golden model must parse");
+    let mut queries = vmtherm_svm::matrix::DenseMatrix::with_cols(2);
+    for (query, _) in &GOLDEN_PREDICTIONS {
+        queries.push_row(query);
+    }
+    let batch = model.predict_batch(&queries).unwrap();
+    for ((_, bits), got) in GOLDEN_PREDICTIONS.iter().zip(&batch) {
+        assert_eq!(got.to_bits(), *bits);
+    }
+}

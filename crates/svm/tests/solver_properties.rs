@@ -5,6 +5,7 @@
 use proptest::prelude::*;
 use vmtherm_svm::data::Dataset;
 use vmtherm_svm::kernel::Kernel;
+use vmtherm_svm::matrix::DenseMatrix;
 use vmtherm_svm::oneclass::{OneClassModel, OneClassParams};
 use vmtherm_svm::svc::{SvcModel, SvcParams};
 use vmtherm_svm::svr::{SvrModel, SvrParams};
@@ -33,7 +34,7 @@ proptest! {
     ) {
         let xs: Vec<Vec<f64>> = (0..n).map(|i| (0..3).map(|j| feature(i, j, salt)).collect()).collect();
         let ys: Vec<f64> = xs.iter().map(|x| x[0] * 2.0 + (x[1] * x[2]).tanh()).collect();
-        let ds = Dataset::from_parts(xs, ys).unwrap();
+        let ds = Dataset::from_parts(DenseMatrix::from_nested(xs).unwrap(), ys).unwrap();
         let model = SvrModel::train(
             &ds,
             SvrParams::new().with_c(c).with_epsilon(eps).with_kernel(Kernel::rbf(0.5)),
@@ -45,7 +46,7 @@ proptest! {
         // absorption, so instead verify against the direct dual property
         // via residual bounds below.
         for (x, y) in ds.iter() {
-            let r = model.predict(x) - y;
+            let r = model.predict(x).unwrap() - y;
             // No point may sit further than ε + slack outside the tube
             // unless it is at the C bound; with moderate C the violation
             // is bounded by the data scale. We assert the universal bound
@@ -58,7 +59,7 @@ proptest! {
         // predictor achieves (the dual optimum is at least that good).
         let mean_y = ds.targets().iter().sum::<f64>() / n as f64;
         let model_mae: f64 =
-            ds.iter().map(|(x, y)| (model.predict(x) - y).abs()).sum::<f64>() / n as f64;
+            ds.iter().map(|(x, y)| (model.predict(x).unwrap() - y).abs()).sum::<f64>() / n as f64;
         let const_mae: f64 =
             ds.targets().iter().map(|y| (y - mean_y).abs()).sum::<f64>() / n as f64;
         prop_assert!(model_mae <= const_mae + eps + 0.1,
@@ -83,13 +84,13 @@ proptest! {
             xs.push(vec![side * (margin + 1.0) + jitter * 0.1, jitter]);
             ys.push(side);
         }
-        let ds = Dataset::from_parts(xs, ys).unwrap();
+        let ds = Dataset::from_parts(DenseMatrix::from_nested(xs).unwrap(), ys).unwrap();
         let model = SvcModel::train(
             &ds,
             SvcParams::new().with_c(1000.0).with_kernel(Kernel::Linear),
         ).unwrap();
         for (x, y) in ds.iter() {
-            prop_assert_eq!(model.classify(x), y);
+            prop_assert_eq!(model.classify(x).unwrap(), y);
         }
     }
 
@@ -103,7 +104,7 @@ proptest! {
     ) {
         let xs: Vec<Vec<f64>> =
             (0..n).map(|i| (0..2).map(|j| feature(i, j, salt)).collect()).collect();
-        let ds = Dataset::from_parts(xs, vec![0.0; n]).unwrap();
+        let ds = Dataset::from_parts(DenseMatrix::from_nested(xs).unwrap(), vec![0.0; n]).unwrap();
         let model = OneClassModel::train(
             &ds,
             OneClassParams::new().with_nu(nu).with_kernel(Kernel::rbf(0.5)),
@@ -112,7 +113,7 @@ proptest! {
         // boundary; solver tolerance can flip their sign. Count only points
         // *clearly* outside as outliers.
         let outliers =
-            ds.iter().filter(|(x, _)| model.decision_value(x) < -0.01).count() as f64 / n as f64;
+            ds.iter().filter(|(x, _)| model.decision_value(x).unwrap() < -0.01).count() as f64 / n as f64;
         // ν upper-bounds the fraction of outliers (asymptotically; allow
         // one point of slack for tiny samples).
         prop_assert!(outliers <= nu + 1.5 / n as f64 + 1e-9,
@@ -132,7 +133,7 @@ proptest! {
         let xs: Vec<Vec<f64>> =
             (0..n).map(|i| (0..3).map(|j| feature(i, j, salt)).collect()).collect();
         let ys: Vec<f64> = xs.iter().map(|x| 4.0 * x[0] + (2.0 * x[1]).sin()).collect();
-        let ds = Dataset::from_parts(xs, ys).unwrap();
+        let ds = Dataset::from_parts(DenseMatrix::from_nested(xs).unwrap(), ys).unwrap();
         let base = SvrParams::new()
             .with_c(c)
             .with_epsilon(0.1)
@@ -146,9 +147,10 @@ proptest! {
                 feature(200 + i, 1, salt),
                 feature(200 + i, 2, salt),
             ];
-            prop_assert!((with.predict(&probe) - without.predict(&probe)).abs() < 1e-3,
+            prop_assert!(
+                (with.predict(&probe).unwrap() - without.predict(&probe).unwrap()).abs() < 1e-3,
                 "shrinking changed prediction: {} vs {}",
-                with.predict(&probe), without.predict(&probe));
+                with.predict(&probe).unwrap(), without.predict(&probe).unwrap());
         }
     }
 
@@ -162,7 +164,8 @@ proptest! {
         let xs: Vec<Vec<f64>> =
             (0..n).map(|i| (0..2).map(|j| feature(i, j, salt)).collect()).collect();
         let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x[0] - x[1]).collect();
-        let forward = Dataset::from_parts(xs.clone(), ys.clone()).unwrap();
+        let forward =
+            Dataset::from_parts(DenseMatrix::from_nested(xs.clone()).unwrap(), ys.clone()).unwrap();
         let reversed: Dataset = xs
             .into_iter()
             .zip(ys)
@@ -179,9 +182,10 @@ proptest! {
         let b = SvrModel::train(&reversed, params).unwrap();
         for i in 0..5 {
             let probe = vec![feature(100 + i, 0, salt), feature(100 + i, 1, salt)];
-            prop_assert!((a.predict(&probe) - b.predict(&probe)).abs() < 1e-3,
+            prop_assert!(
+                (a.predict(&probe).unwrap() - b.predict(&probe).unwrap()).abs() < 1e-3,
                 "permutation changed prediction: {} vs {}",
-                a.predict(&probe), b.predict(&probe));
+                a.predict(&probe).unwrap(), b.predict(&probe).unwrap());
         }
     }
 }

@@ -27,6 +27,11 @@
 //!   and imported everywhere else. Likewise metric and span name
 //!   constants (`METRIC_*`, `SPAN_*`) live only in
 //!   `vmtherm-obs` (`crates/obs/src/names.rs`).
+//! - **L6** — no `Vec<Vec<f64>>` in `pub fn` (or public trait)
+//!   signatures of `vmtherm-svm` and `vmtherm-core`: feature matrices
+//!   cross public APIs as [`DenseMatrix`] (flat, row-major), keeping the
+//!   pipeline on one contiguous allocation. The designated boundary
+//!   constructor `DenseMatrix::from_nested` is allowlisted.
 //!
 //! The scanner is deliberately line-oriented (no syn/proc-macro
 //! dependency): rules are written so that the idioms they police are
@@ -54,6 +59,8 @@ pub enum Rule {
     L4,
     /// Paper constants defined exactly once (in `vmtherm-units`).
     L5,
+    /// No nested `Vec<Vec<f64>>` matrices in public signatures.
+    L6,
 }
 
 impl fmt::Display for Rule {
@@ -64,6 +71,7 @@ impl fmt::Display for Rule {
             Rule::L3 => "L3",
             Rule::L4 => "L4",
             Rule::L5 => "L5",
+            Rule::L6 => "L6",
         };
         f.write_str(name)
     }
@@ -154,6 +162,7 @@ impl Allowlist {
                 "L3" => Rule::L3,
                 "L4" => Rule::L4,
                 "L5" => Rule::L5,
+                "L6" => Rule::L6,
                 other => {
                     return Err(format!(
                         "allowlist line {}: unknown rule {other:?}",
@@ -213,6 +222,10 @@ const PANIC_FREE_CRATES: [&str; 4] = ["core", "svm", "sim", "obs"];
 /// Crates whose public signatures must use unit newtypes (rules L3, L4).
 const UNIT_SAFE_CRATES: [&str; 2] = ["core", "sim"];
 
+/// Crates whose public signatures must pass feature matrices as
+/// `DenseMatrix`, never `Vec<Vec<f64>>` (rule L6).
+const MATRIX_SAFE_CRATES: [&str; 2] = ["svm", "core"];
+
 /// Parameter-name suffixes that denote a single physical quantity, with
 /// the newtype each must use.
 const UNIT_SUFFIXES: [(&str, &str); 8] = [
@@ -252,6 +265,13 @@ pub fn lint_workspace(root: &Path, allow: &Allowlist) -> Result<Vec<Violation>, 
             let rel = relative(root, &file);
             check_unit_newtypes(&rel, &text, &mut violations);
             check_float_comparisons(&rel, &text, &mut violations);
+        }
+    }
+    for name in MATRIX_SAFE_CRATES {
+        for file in rust_sources(&root.join("crates").join(name).join("src"))? {
+            let text = read_source(root, &file)?;
+            let rel = relative(root, &file);
+            check_nested_matrices(&rel, &text, &mut violations);
         }
     }
     check_paper_constants(root, &mut violations)?;
@@ -601,6 +621,65 @@ fn raw_unit_params(signature: &str) -> Vec<(String, &'static str, &'static str)>
     found
 }
 
+/// L6: `Vec<Vec<f64>>` in public signatures.
+///
+/// Walks `pub fn` items and methods of `pub trait` blocks (the same
+/// signature collection as [`check_unit_newtypes`], so multi-line
+/// rustfmt signatures and return types on the closing-paren line are
+/// covered) and flags any whose text contains a nested `Vec<Vec<f64>>`.
+/// Feature matrices cross these APIs as `DenseMatrix`; the allowlist
+/// carries the one sanctioned boundary (`DenseMatrix::from_nested`).
+fn check_nested_matrices(rel: &Path, text: &str, out: &mut Vec<Violation>) {
+    let lines = SourceLines::non_test(text).lines;
+    let mut trait_depth: Option<i64> = None;
+    let mut i = 0;
+    while i < lines.len() {
+        let (line_no, raw, code) = &lines[i];
+        let trimmed = code.trim_start();
+        let in_pub_trait = trait_depth.is_some();
+        if let Some(depth) = trait_depth.as_mut() {
+            *depth += code.matches('{').count() as i64 - code.matches('}').count() as i64;
+            if *depth <= 0 {
+                trait_depth = None;
+            }
+        } else if trimmed.starts_with("pub trait ") {
+            let depth = code.matches('{').count() as i64 - code.matches('}').count() as i64;
+            if depth > 0 {
+                trait_depth = Some(depth);
+            }
+            i += 1;
+            continue;
+        }
+
+        let is_pub_fn = trimmed.starts_with("pub fn ");
+        let is_trait_fn = in_pub_trait && trimmed.starts_with("fn ");
+        if !(is_pub_fn || is_trait_fn) {
+            i += 1;
+            continue;
+        }
+        let mut signature = code.trim().to_string();
+        let mut j = i;
+        while !signature_complete(&signature) && j + 1 < lines.len() {
+            j += 1;
+            signature.push(' ');
+            signature.push_str(lines[j].2.trim());
+        }
+        let compact: String = signature.chars().filter(|c| !c.is_whitespace()).collect();
+        if compact.contains("Vec<Vec<f64>>") {
+            out.push(Violation {
+                rule: Rule::L6,
+                path: rel.to_path_buf(),
+                line: *line_no,
+                message: "public signature passes a nested `Vec<Vec<f64>>` matrix; \
+                          use DenseMatrix (flat, row-major) instead"
+                    .to_string(),
+                source: (*raw).to_string(),
+            });
+        }
+        i = j + 1;
+    }
+}
+
 /// L4: float equality / `partial_cmp().unwrap()` on temperatures.
 fn check_float_comparisons(rel: &Path, text: &str, out: &mut Vec<Violation>) {
     for (line, raw, code) in &SourceLines::non_test(text).lines {
@@ -853,6 +932,24 @@ mod tests {
         check_unit_newtypes(Path::new("x.rs"), text, &mut out);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].line, 2);
+    }
+
+    #[test]
+    fn nested_matrix_in_multiline_signature_fires() {
+        let text = "pub fn train(\n    xs: Vec<Vec<f64>>,\n    ys: &[f64],\n) -> usize {\n    xs.len()\n}\n";
+        let mut out = Vec::new();
+        check_nested_matrices(Path::new("x.rs"), text, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, Rule::L6);
+        assert_eq!(out[0].line, 1);
+    }
+
+    #[test]
+    fn flat_matrix_signatures_pass() {
+        let text = "pub fn train(xs: &DenseMatrix, ys: &[f64]) -> usize {\n    xs.rows()\n}\nfn scratch(xs: Vec<Vec<f64>>) -> usize {\n    xs.len()\n}\n";
+        let mut out = Vec::new();
+        check_nested_matrices(Path::new("x.rs"), text, &mut out);
+        assert!(out.is_empty(), "{out:?}");
     }
 
     #[test]

@@ -119,6 +119,32 @@ fn l5_metric_names_outside_obs_fire() {
 }
 
 #[test]
+fn l6_nested_matrix_signatures_fire() {
+    let violations = lint_fixture("l6_matrix");
+    // A pub fn parameter, a multi-line rustfmt signature, a pub trait
+    // method return, and the boundary constructor (which the real repo
+    // allowlists) must all fire.
+    find(&violations, Rule::L6, "crates/svm/src/lib.rs", 5);
+    find(&violations, Rule::L6, "crates/svm/src/lib.rs", 10);
+    find(&violations, Rule::L6, "crates/svm/src/lib.rs", 19);
+    find(&violations, Rule::L6, "crates/svm/src/lib.rs", 23);
+    // Private helpers, test modules, and &DenseMatrix signatures must not fire.
+    assert_eq!(violations.len(), 4, "{violations:#?}");
+    assert!(!binary_passes("l6_matrix"));
+}
+
+#[test]
+fn l6_allowlist_covers_the_boundary_constructor() {
+    let allow = Allowlist::parse(
+        "L6 | crates/svm/src/lib.rs | pub fn from_nested | fixture: designated boundary\n",
+    )
+    .expect("parse");
+    let violations = lint_workspace(&fixture("l6_matrix"), &allow).expect("lint run");
+    let l6: Vec<_> = violations.iter().filter(|v| v.rule == Rule::L6).collect();
+    assert_eq!(l6.len(), 3, "{l6:#?}");
+}
+
+#[test]
 fn allowlist_suppresses_a_vetted_site() {
     let allow = Allowlist::parse(
         "L2 | crates/core/src/lib.rs | .unwrap() | fixture: first element checked by caller\n\

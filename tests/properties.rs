@@ -7,6 +7,7 @@ use vmtherm::core::curve::WarmupCurve;
 use vmtherm::sim::thermal::{steady_state, ThermalNetwork, ThermalParams};
 use vmtherm::svm::data::Dataset;
 use vmtherm::svm::kernel::Kernel;
+use vmtherm::svm::matrix::DenseMatrix;
 use vmtherm::svm::scale::{ScaleMethod, Scaler};
 use vmtherm::svm::svr::{SvrModel, SvrParams};
 use vmtherm::units::{Celsius, Seconds, Watts};
@@ -100,7 +101,8 @@ proptest! {
             proptest::collection::vec(-1000.0..1000.0f64, 4), 2..40),
     ) {
         let n = rows.len();
-        let ds = Dataset::from_parts(rows.clone(), vec![0.0; n]).expect("dataset");
+        let m = DenseMatrix::from_nested(rows.clone()).expect("matrix");
+        let ds = Dataset::from_parts(m, vec![0.0; n]).expect("dataset");
         let scaler = Scaler::fit(&ds, ScaleMethod::MinMax);
         for row in &rows {
             let t = scaler.transform(row);
@@ -125,14 +127,15 @@ proptest! {
     ) {
         let xs: Vec<Vec<f64>> = (0..12).map(|i| vec![i as f64 * 0.25]).collect();
         let ys: Vec<f64> = xs.iter().map(|x| slope * x[0] + intercept).collect();
-        let ds = Dataset::from_parts(xs, ys).expect("dataset");
+        let ds = Dataset::from_parts(DenseMatrix::from_nested(xs).expect("matrix"), ys)
+            .expect("dataset");
         let params = SvrParams::new()
             .with_c(1e5)
             .with_epsilon(eps)
             .with_kernel(Kernel::Linear);
         let model = SvrModel::train(&ds, params).expect("train");
         for (x, y) in ds.iter() {
-            let r = (model.predict(x) - y).abs();
+            let r = (model.predict(x).expect("predict") - y).abs();
             prop_assert!(r <= eps + 0.05, "residual {r} above tube {eps}");
         }
     }
