@@ -7,6 +7,7 @@ use std::fs;
 use vmtherm_core::dynamic::{DynamicConfig, DynamicPredictor};
 use vmtherm_core::eval::{evaluate_dynamic, AnchorPoint};
 use vmtherm_core::features::FeatureEncoding;
+use vmtherm_core::monitor::FleetMonitor;
 use vmtherm_core::stable::{
     dataset_from_outcomes, run_experiments, StablePredictor, TrainingOptions,
 };
@@ -14,7 +15,8 @@ use vmtherm_obs::{self as obs, report, ObsEvent, TraceMode};
 use vmtherm_sim::experiment::ConfigSnapshot;
 use vmtherm_sim::units::{Celsius, Seconds, Watts};
 use vmtherm_sim::{
-    AmbientModel, CaseGenerator, Datacenter, Event, ServerSpec, SimDuration, SimTime, Simulation,
+    AmbientModel, CaseGenerator, Datacenter, DropoutFault, Event, FaultPlan, JitterFault,
+    LostEventFault, ServerSpec, SimDuration, SimTime, Simulation, SpikeFault, StuckFault,
     TaskProfile, VmSpec,
 };
 use vmtherm_svm::data::Dataset;
@@ -46,6 +48,16 @@ COMMANDS:
   monitor   simulate a server with a mid-run burst; write empirical vs forecast CSV
             --model MODEL --out CSV [--vms N=5] [--fans F=4] [--ambient C=24]
             [--secs T=1800] [--burst-at SECS=900] [--gap G=60] [--update U=15] [--seed S=7]
+  chaos     drive the fleet monitor through the monitor scenario with
+            injected telemetry faults; report accuracy and the
+            graceful-degradation counters
+            --model MODEL [--dropout F=0] [--stuck F=0] [--spike P=0]
+            [--jitter P=0] [--lost P=0] [--fault-seed S=64023]
+            [--vms N=5] [--fans F=4] [--ambient C=24] [--secs T=1800]
+            [--burst-at SECS=900] [--gap G=60] [--seed S=7]
+            (--dropout/--stuck are target sample fractions lost to 45 s
+            outage windows; --spike/--jitter/--lost are per-sample/event
+            probabilities)
   watchdog  simulate a silent fan failure and report when the residual
             watchdog raises the alarm
             --model MODEL [--fail N=2] [--fail-at SECS=900] [--secs T=3000]
@@ -76,6 +88,7 @@ pub fn run(command: &str, flags: &Flags) -> Result<String, String> {
         "eval" => eval(flags),
         "predict" => predict(flags),
         "monitor" => monitor(flags),
+        "chaos" => chaos(flags),
         "watchdog" => watchdog(flags),
         "setpoint" => setpoint(flags),
         other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
@@ -337,6 +350,134 @@ fn monitor(flags: &Flags) -> Result<String, String> {
     ))
 }
 
+/// Outage windows used by the `chaos` command's dropout and stuck
+/// channels — deliberately longer than the monitor's 30 s staleness
+/// threshold so sustained outages exercise holdover and recovery.
+const CHAOS_WINDOW_SECS: f64 = 45.0;
+
+fn chaos(flags: &Flags) -> Result<String, String> {
+    let model_path = flags.require("model")?;
+    let vms: usize = flags.num("vms", 5)?;
+    let fans: u32 = flags.num("fans", 4)?;
+    let ambient: f64 = flags.num("ambient", 24.0)?;
+    let secs: u64 = flags.num("secs", 1800)?;
+    let burst_at: u64 = flags.num("burst-at", 900)?;
+    let gap: f64 = flags.num("gap", 60.0)?;
+    let dropout: f64 = flags.num("dropout", 0.0)?;
+    let stuck: f64 = flags.num("stuck", 0.0)?;
+    let spike: f64 = flags.num("spike", 0.0)?;
+    let jitter: f64 = flags.num("jitter", 0.0)?;
+    let lost: f64 = flags.num("lost", 0.0)?;
+    let seed: u64 = flags.num("seed", 7)?;
+    let fault_seed: u64 = flags.num("fault-seed", 0xFA17)?;
+    if burst_at >= secs {
+        return Err("--burst-at must precede --secs".to_string());
+    }
+    if !(0.0..1.0).contains(&dropout) || !(0.0..1.0).contains(&stuck) {
+        return Err("--dropout and --stuck are sample fractions in [0, 1)".to_string());
+    }
+    let model = load_model(model_path)?;
+
+    // A target drop fraction f with fixed l-second windows needs a
+    // window-open probability of f / (l * (1 - f)) per delivered sample.
+    let window_prob = |f: f64| f / (CHAOS_WINDOW_SECS * (1.0 - f));
+    let window = Seconds::new(CHAOS_WINDOW_SECS);
+    let mut plan = FaultPlan::new(fault_seed);
+    if dropout > 0.0 {
+        plan = plan.with_dropout(
+            DropoutFault::random(window_prob(dropout), window, window)
+                .map_err(|e| format!("dropout: {e}"))?,
+        );
+    }
+    if stuck > 0.0 {
+        plan = plan.with_stuck(
+            StuckFault::random(window_prob(stuck), window, window)
+                .map_err(|e| format!("stuck: {e}"))?,
+        );
+    }
+    if spike > 0.0 {
+        plan = plan.with_spike(
+            SpikeFault::random(spike, Celsius::new(15.0), Celsius::new(25.0))
+                .map_err(|e| format!("spike: {e}"))?,
+        );
+    }
+    if jitter > 0.0 {
+        plan = plan.with_jitter(
+            JitterFault::random(jitter, Seconds::new(1.5)).map_err(|e| format!("jitter: {e}"))?,
+        );
+    }
+    if lost > 0.0 {
+        plan =
+            plan.with_lost_events(LostEventFault::random(lost).map_err(|e| format!("lost: {e}"))?);
+    }
+
+    // Same scenario as `monitor`, but scored live by the fleet monitor
+    // over the faulted delivery stream.
+    let mut dc = Datacenter::new();
+    let server = ServerSpec::commodity("chaos", 16, 2.4, 64.0, fans);
+    let sid = dc.add_server(server, Celsius::new(ambient), seed);
+    let mut sim = Simulation::new(dc, AmbientModel::Fixed(ambient), seed);
+    let tasks = [
+        TaskProfile::CpuBound,
+        TaskProfile::Mixed,
+        TaskProfile::WebServer,
+        TaskProfile::MemoryBound,
+        TaskProfile::Bursty,
+    ];
+    for i in 0..vms {
+        sim.boot_vm_now(
+            sid,
+            VmSpec::new(format!("vm-{i}"), 2, 4.0, tasks[i % tasks.len()]),
+        )
+        .map_err(|e| format!("placement: {e}"))?;
+    }
+    sim.schedule(
+        SimTime::from_secs(burst_at),
+        Event::BootVm {
+            server: sid,
+            spec: VmSpec::new("burst", 2, 4.0, TaskProfile::CpuBound),
+        },
+    );
+    sim.set_fault_plan(plan)
+        .map_err(|e| format!("fault plan: {e}"))?;
+
+    let mut monitor = FleetMonitor::new(model, DynamicConfig::new(), 1, Seconds::new(gap))
+        .map_err(|e| e.to_string())?;
+    for _ in 0..secs {
+        sim.step();
+        monitor.observe(&sim, Celsius::new(ambient));
+    }
+
+    let stats = monitor.stats(sid);
+    let deg = monitor.degradation(sid);
+    let faults = sim.fault_stats();
+    Ok(format!(
+        "chaos run: {secs} s ({vms} VMs + burst at {burst_at} s), fault seed {fault_seed}\n\
+         injected:  dropped {}, stuck {}, spiked {}, jittered {}, events lost {}\n\
+         monitor:   MSE {:.3} over {} scored forecasts{}\n\
+         degraded:  out-of-order absorbed {}, spikes rejected {}, stuck quarantined {},\n\
+         \x20          holdover entries {}, recovery re-anchors {}, forecasts expired {}",
+        faults.dropped,
+        faults.stuck,
+        faults.spiked,
+        faults.jittered,
+        faults.events_lost,
+        stats.mse(),
+        stats.scored,
+        if monitor.in_holdover(sid) {
+            " (still in holdover)"
+        } else {
+            ""
+        },
+        deg.ooo_absorbed,
+        deg.spikes_rejected,
+        deg.stuck_suspected,
+        deg.holdover_entries,
+        deg.recovery_reanchors,
+        deg.forecasts_expired,
+    ))
+}
+
 fn watchdog(flags: &Flags) -> Result<String, String> {
     let model_path = flags.require("model")?;
     let fail: u32 = flags.num("fail", 2)?;
@@ -382,7 +523,8 @@ fn watchdog(flags: &Flags) -> Result<String, String> {
     let series = &sim.trace(sid).map_err(|e| e.to_string())?.sensor_c;
     let mut watchdog = vmtherm_core::anomaly::ThermalWatchdog::new(
         model,
-        vmtherm_core::anomaly::ResidualDetector::new(8.0, 0.8),
+        vmtherm_core::anomaly::ResidualDetector::new(8.0, 0.8)
+            .map_err(|e| format!("detector: {e}"))?,
     );
     let mut out = format!(
         "configuration predicted stable at {predicted:.1} C;          {fail} fan(s) fail at {fail_at} s
@@ -613,6 +755,54 @@ mod tests {
         )
         .expect("watchdog healthy");
         assert!(healthy.contains("no alarms"), "false alarm in: {healthy}");
+    }
+
+    #[test]
+    fn chaos_reports_injection_and_degradation() {
+        let records = temp_path("chaos_records.libsvm");
+        let model = temp_path("chaos_model.txt");
+        run(
+            "collect",
+            &flags(&[
+                "--out",
+                &records,
+                "--cases",
+                "40",
+                "--seed",
+                "6",
+                "--duration",
+                "900",
+            ]),
+        )
+        .expect("collect");
+        run("train", &flags(&["--records", &records, "--out", &model])).expect("train");
+
+        let msg = run(
+            "chaos",
+            &flags(&[
+                "--model",
+                &model,
+                "--dropout",
+                "0.10",
+                "--spike",
+                "0.02",
+                "--secs",
+                "1200",
+                "--burst-at",
+                "600",
+            ]),
+        )
+        .expect("chaos");
+        assert!(msg.contains("injected:"), "no injection line in: {msg}");
+        assert!(
+            msg.contains("recovery re-anchors"),
+            "no degradation in: {msg}"
+        );
+        assert!(!msg.contains("MSE NaN"), "monitor never scored: {msg}");
+
+        // A fraction outside [0, 1) is rejected up front.
+        let err = run("chaos", &flags(&["--model", &model, "--dropout", "1.5"])).unwrap_err();
+        assert!(err.contains("fractions in [0, 1)"), "unexpected: {err}");
     }
 
     #[test]

@@ -64,27 +64,43 @@ impl ResidualDetector {
     /// the accumulated excess that raises an alarm (e.g. 10 °C·samples:
     /// a 2.5 °C sustained shift with 0.5 drift alarms in five samples).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on non-positive threshold or negative drift.
-    #[must_use]
-    pub fn new(threshold: f64, drift: f64) -> Self {
-        assert!(threshold > 0.0, "threshold must be positive");
-        assert!(drift >= 0.0, "drift must be non-negative");
-        ResidualDetector {
+    /// [`PredictError::InvalidConfig`] on a non-positive threshold or
+    /// negative drift.
+    pub fn new(threshold: f64, drift: f64) -> Result<Self, PredictError> {
+        if !(threshold > 0.0) {
+            return Err(PredictError::invalid(
+                "threshold",
+                format!("threshold must be positive, got {threshold}"),
+            ));
+        }
+        if !(drift >= 0.0) {
+            return Err(PredictError::invalid(
+                "drift",
+                format!("drift must be non-negative, got {drift}"),
+            ));
+        }
+        Ok(ResidualDetector {
             threshold,
             drift,
             cusum_hot: 0.0,
             cusum_cold: 0.0,
             samples: 0,
-        }
+        })
     }
 
     /// Defaults matched to the simulator's default sensor (1 °C
     /// quantization, 0.4 °C noise).
     #[must_use]
     pub fn standard() -> Self {
-        ResidualDetector::new(10.0, 0.6)
+        ResidualDetector {
+            threshold: 10.0,
+            drift: 0.6,
+            cusum_hot: 0.0,
+            cusum_cold: 0.0,
+            samples: 0,
+        }
     }
 
     /// Feeds one residual; returns an alarm if either CUSUM crosses the
@@ -280,7 +296,7 @@ mod tests {
 
     #[test]
     fn cusum_quiet_on_zero_mean_noise() {
-        let mut d = ResidualDetector::new(10.0, 0.6);
+        let mut d = ResidualDetector::new(10.0, 0.6).expect("detector");
         // Deterministic ±0.5 alternating noise.
         for i in 0..2000 {
             let r = if i % 2 == 0 { 0.5 } else { -0.5 };
@@ -290,7 +306,7 @@ mod tests {
 
     #[test]
     fn cusum_catches_sustained_shift_quickly() {
-        let mut d = ResidualDetector::new(10.0, 0.6);
+        let mut d = ResidualDetector::new(10.0, 0.6).expect("detector");
         let mut alarm = None;
         for i in 0..100 {
             if let Some(a) = d.observe(2.5) {
@@ -305,7 +321,7 @@ mod tests {
 
     #[test]
     fn cusum_detects_cold_side_too() {
-        let mut d = ResidualDetector::new(5.0, 0.3);
+        let mut d = ResidualDetector::new(5.0, 0.3).expect("detector");
         let mut saw = None;
         for _ in 0..50 {
             if let Some(a) = d.observe(-1.5) {
@@ -318,7 +334,7 @@ mod tests {
 
     #[test]
     fn cusum_reset_clears() {
-        let mut d = ResidualDetector::new(5.0, 0.0);
+        let mut d = ResidualDetector::new(5.0, 0.0).expect("detector");
         let _ = d.observe(4.0);
         assert!(d.hot_score() > 0.0);
         d.reset();
@@ -327,16 +343,21 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "threshold")]
-    fn bad_threshold_panics() {
-        let _ = ResidualDetector::new(0.0, 0.5);
+    fn bad_detector_params_rejected() {
+        assert!(matches!(
+            ResidualDetector::new(0.0, 0.5),
+            Err(PredictError::InvalidConfig { .. })
+        ));
+        assert!(ResidualDetector::new(10.0, -0.5).is_err());
+        assert!(ResidualDetector::new(f64::NAN, 0.5).is_err());
     }
 
     #[test]
     fn watchdog_fires_on_fan_failure_style_offset() {
         let outcomes = healthy_outcomes(80);
         let model = stable_model(&outcomes);
-        let mut watchdog = ThermalWatchdog::new(model, ResidualDetector::new(8.0, 0.8));
+        let mut watchdog =
+            ThermalWatchdog::new(model, ResidualDetector::new(8.0, 0.8).expect("detector"));
         // Healthy observations: no alarm.
         for o in outcomes.iter().take(20) {
             assert!(

@@ -11,6 +11,7 @@
 //!
 //! At an anchor (t = 0) γ starts at 0 (Eq. 4).
 
+use crate::error::PredictError;
 use serde::{Deserialize, Serialize};
 use vmtherm_units::constants::{paper_delta_update, PAPER_LAMBDA};
 use vmtherm_units::{Celsius, Seconds};
@@ -28,23 +29,36 @@ pub struct Calibrator {
 impl Calibrator {
     /// Creates a calibrator with γ = 0.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics unless `0 ≤ lambda ≤ 1` and `update_interval_secs > 0`.
-    #[must_use]
-    pub fn new(lambda: f64, update_interval_secs: Seconds) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&lambda),
-            "lambda must be in [0, 1], got {lambda}"
-        );
-        assert!(
-            update_interval_secs.get() > 0.0,
-            "update interval must be positive"
-        );
+    /// [`PredictError::InvalidConfig`] unless `0 ≤ lambda ≤ 1` and
+    /// `update_interval_secs > 0`.
+    pub fn new(lambda: f64, update_interval_secs: Seconds) -> Result<Self, PredictError> {
+        if !(0.0..=1.0).contains(&lambda) {
+            return Err(PredictError::invalid(
+                "lambda",
+                format!("lambda must be in [0, 1], got {lambda}"),
+            ));
+        }
+        if !(update_interval_secs.get() > 0.0) {
+            return Err(PredictError::invalid(
+                "update_interval_secs",
+                format!(
+                    "update interval must be positive, got {}",
+                    update_interval_secs.get()
+                ),
+            ));
+        }
+        Ok(Calibrator::unchecked(lambda, update_interval_secs.get()))
+    }
+
+    /// Constructs without validating; for parameters already known to be
+    /// in-domain (the paper constants).
+    fn unchecked(lambda: f64, update_interval_secs: f64) -> Self {
         Calibrator {
             gamma: 0.0,
             lambda,
-            update_interval_secs: update_interval_secs.get(),
+            update_interval_secs,
             last_update_secs: None,
             updates: 0,
         }
@@ -53,7 +67,7 @@ impl Calibrator {
     /// Paper defaults: λ = 0.8, Δ_update = 15 s.
     #[must_use]
     pub fn standard() -> Self {
-        Calibrator::new(PAPER_LAMBDA, paper_delta_update())
+        Calibrator::unchecked(PAPER_LAMBDA, paper_delta_update().get())
     }
 
     /// Current calibration γ.
@@ -145,7 +159,7 @@ mod tests {
     fn paper_worked_example() {
         // Paper §II: at t=15, φ(15) − ψ*(15) = dif, γ = λ·dif with γ
         // previously 0.
-        let mut cal = Calibrator::new(0.8, s(15.0));
+        let mut cal = Calibrator::new(0.8, s(15.0)).expect("calibrator");
         // Suppose ψ*(15) = 50 and we measure 52: dif = 2, γ = 1.6.
         assert!(cal.observe(s(15.0), c(52.0), c(50.0)));
         assert!((cal.gamma() - 1.6).abs() < 1e-12);
@@ -155,7 +169,7 @@ mod tests {
 
     #[test]
     fn respects_update_interval() {
-        let mut cal = Calibrator::new(0.8, s(15.0));
+        let mut cal = Calibrator::new(0.8, s(15.0)).expect("calibrator");
         assert!(cal.observe(s(0.0), c(51.0), c(50.0)));
         let g = cal.gamma();
         // 10 s later: not due.
@@ -170,7 +184,7 @@ mod tests {
     #[test]
     fn converges_to_constant_offset() {
         // If the real system sits exactly k above the curve, γ → k.
-        let mut cal = Calibrator::new(0.8, s(15.0));
+        let mut cal = Calibrator::new(0.8, s(15.0)).expect("calibrator");
         let k = 3.0;
         for step in 0..20 {
             let t = step as f64 * 15.0;
@@ -181,7 +195,7 @@ mod tests {
 
     #[test]
     fn lambda_zero_never_learns() {
-        let mut cal = Calibrator::new(0.0, s(15.0));
+        let mut cal = Calibrator::new(0.0, s(15.0)).expect("calibrator");
         cal.observe(s(0.0), c(99.0), c(50.0));
         cal.observe(s(15.0), c(99.0), c(50.0));
         assert_eq!(cal.gamma(), 0.0);
@@ -189,7 +203,7 @@ mod tests {
 
     #[test]
     fn lambda_one_jumps_immediately() {
-        let mut cal = Calibrator::new(1.0, s(15.0));
+        let mut cal = Calibrator::new(1.0, s(15.0)).expect("calibrator");
         cal.observe(s(0.0), c(57.0), c(50.0));
         assert_eq!(cal.gamma(), 7.0);
     }
@@ -210,7 +224,7 @@ mod tests {
     fn error_relative_to_calibrated_prediction() {
         // Eq. 5 compares against ψ* + γ, not raw ψ*: once γ has absorbed
         // the offset, a matching measurement must not move γ.
-        let mut cal = Calibrator::new(1.0, s(15.0));
+        let mut cal = Calibrator::new(1.0, s(15.0)).expect("calibrator");
         cal.observe(s(0.0), c(53.0), c(50.0)); // γ = 3
         assert!(cal.observe(s(15.0), c(53.0), c(50.0)));
         assert!(
@@ -221,14 +235,21 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "lambda")]
-    fn bad_lambda_panics() {
-        let _ = Calibrator::new(1.5, s(15.0));
+    fn bad_lambda_rejected() {
+        assert!(matches!(
+            Calibrator::new(1.5, s(15.0)),
+            Err(PredictError::InvalidConfig { .. })
+        ));
+        assert!(Calibrator::new(-0.1, s(15.0)).is_err());
+        assert!(Calibrator::new(f64::NAN, s(15.0)).is_err());
     }
 
     #[test]
-    #[should_panic(expected = "interval")]
-    fn bad_interval_panics() {
-        let _ = Calibrator::new(0.5, s(0.0));
+    fn bad_interval_rejected() {
+        assert!(matches!(
+            Calibrator::new(0.5, s(0.0)),
+            Err(PredictError::InvalidConfig { .. })
+        ));
+        assert!(Calibrator::new(0.5, s(-5.0)).is_err());
     }
 }

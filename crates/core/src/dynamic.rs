@@ -139,7 +139,7 @@ impl DynamicPredictor {
         };
         Ok(DynamicPredictor {
             config,
-            calibrator: Calibrator::new(config.lambda, Seconds::new(config.update_interval_secs)),
+            calibrator: Calibrator::new(config.lambda, Seconds::new(config.update_interval_secs))?,
             anchor: None,
             name: name.to_string(),
         })

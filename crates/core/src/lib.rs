@@ -100,7 +100,7 @@ pub use dynamic::{DynamicConfig, DynamicPredictor};
 pub use error::PredictError;
 pub use features::FeatureEncoding;
 pub use interval::{Interval, IntervalPredictor};
-pub use monitor::FleetMonitor;
+pub use monitor::{DegradationPolicy, DegradationStats, FleetMonitor};
 pub use online::OnlineTrainer;
 pub use predictor::OnlinePredictor;
 pub use setpoint::{SetpointAdvice, SetpointOptimizer, SetpointSearch};

@@ -15,7 +15,7 @@ use crate::stable::StablePredictor;
 use std::collections::VecDeque;
 use vmtherm_obs::{self as obs, names, ObsEvent};
 use vmtherm_sim::experiment::ConfigSnapshot;
-use vmtherm_sim::{ServerId, SimEvent, Simulation};
+use vmtherm_sim::{ServerId, SimEvent, SimTime, Simulation, TelemetryError, TimeSeries};
 use vmtherm_units::{Celsius, Seconds};
 
 static OBS_REANCHORS: obs::LazyCounter = obs::LazyCounter::new(names::METRIC_REANCHOR_TOTAL);
@@ -26,6 +26,17 @@ static OBS_ABS_ERR: obs::LazyHistogram = obs::LazyHistogram::new(
     names::METRIC_FORECAST_ABS_ERR_C,
     obs::Histogram::celsius_buckets,
 );
+static OBS_OOO: obs::LazyCounter = obs::LazyCounter::new(names::METRIC_MONITOR_OOO_ABSORBED);
+static OBS_SPIKES_REJECTED: obs::LazyCounter =
+    obs::LazyCounter::new(names::METRIC_MONITOR_SPIKES_REJECTED);
+static OBS_STUCK_SUSPECTED: obs::LazyCounter =
+    obs::LazyCounter::new(names::METRIC_MONITOR_STUCK_SUSPECTED);
+static OBS_HOLDOVER_ENTRIES: obs::LazyCounter =
+    obs::LazyCounter::new(names::METRIC_MONITOR_HOLDOVER_ENTRIES);
+static OBS_RECOVERY_REANCHORS: obs::LazyCounter =
+    obs::LazyCounter::new(names::METRIC_MONITOR_RECOVERY_REANCHORS);
+static OBS_EXPIRED: obs::LazyCounter =
+    obs::LazyCounter::new(names::METRIC_MONITOR_FORECASTS_EXPIRED);
 
 /// Forecast errors kept per server for the rolling-MSE drift gauge.
 const ROLLING_WINDOW: usize = 128;
@@ -38,6 +49,7 @@ struct ServerGauges {
     gamma_abs: obs::Gauge,
     since_reanchor: obs::Gauge,
     pending: obs::Gauge,
+    holdover: obs::Gauge,
 }
 
 impl ServerGauges {
@@ -57,8 +69,105 @@ impl ServerGauges {
                 server,
             )),
             pending: reg.gauge(&names::server_gauge(names::METRIC_MONITOR_PENDING, server)),
+            holdover: reg.gauge(&names::server_gauge(names::METRIC_MONITOR_HOLDOVER, server)),
         }
     }
+}
+
+/// How the monitor degrades when the telemetry stream misbehaves.
+///
+/// All thresholds are in the simulation's units (seconds, °C). The
+/// defaults are conservative for 1 s sampling: a 30 s silence is a stale
+/// stream, a 12 °C instantaneous deviation from the calibrated curve is a
+/// spike (the physics moves a few tenths of a degree per second), and 30
+/// bit-identical readings in a row from a noisy quantized sensor mean the
+/// sensor is stuck.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradationPolicy {
+    /// Silence (s) after which a server stream is stale and the monitor
+    /// enters holdover: it keeps forecasting from the anchored curve but
+    /// stops pretending it has fresh ground truth.
+    pub staleness_secs: f64,
+    /// Absolute deviation (°C) from the calibrated prediction beyond which
+    /// a sample is rejected as a spike and never reaches the γ calibrator
+    /// (protects Eq. 5–6 from single-outlier poisoning).
+    pub spike_threshold_c: f64,
+    /// Bit-identical consecutive readings before a sensor is declared
+    /// stuck and quarantined from calibration. Sensor noise plus
+    /// quantization make accidental exact repeats of this length
+    /// essentially impossible, and the gate must not depend on the
+    /// calibrated prediction: by the time the run is this long, γ has
+    /// already chased the frozen value, so a deviation test would never
+    /// fire (exactly the poisoning this policy exists to stop).
+    pub stuck_run: usize,
+    /// How far (s) a matured forecast's target may sit past the newest
+    /// accepted sample and still be scored against it; targets that fell
+    /// deeper into a telemetry gap expire unscored.
+    pub score_tolerance_secs: f64,
+    /// Force exactly one re-anchor when a stale stream recovers, so the
+    /// curve restarts from the measured temperature instead of trusting a
+    /// calibration that drifted blind through the gap.
+    pub reanchor_on_recovery: bool,
+}
+
+impl Default for DegradationPolicy {
+    fn default() -> Self {
+        DegradationPolicy {
+            staleness_secs: 30.0,
+            spike_threshold_c: 12.0,
+            stuck_run: 30,
+            score_tolerance_secs: 2.0,
+            reanchor_on_recovery: true,
+        }
+    }
+}
+
+impl DegradationPolicy {
+    fn validate(&self) -> Result<(), PredictError> {
+        if !(self.staleness_secs > 0.0) {
+            return Err(PredictError::invalid(
+                "staleness_secs",
+                format!("must be > 0, got {}", self.staleness_secs),
+            ));
+        }
+        if !(self.spike_threshold_c > 0.0) {
+            return Err(PredictError::invalid(
+                "spike_threshold_c",
+                format!("must be > 0, got {}", self.spike_threshold_c),
+            ));
+        }
+        if self.stuck_run < 2 {
+            return Err(PredictError::invalid(
+                "stuck_run",
+                format!("must be >= 2, got {}", self.stuck_run),
+            ));
+        }
+        if !(self.score_tolerance_secs >= 0.0) {
+            return Err(PredictError::invalid(
+                "score_tolerance_secs",
+                format!("must be >= 0, got {}", self.score_tolerance_secs),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// What the degradation machinery did for one server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DegradationStats {
+    /// Out-of-order samples absorbed (dropped without effect).
+    pub ooo_absorbed: u64,
+    /// Spike outliers rejected before calibration.
+    pub spikes_rejected: u64,
+    /// Readings quarantined as a suspected stuck sensor.
+    pub stuck_suspected: u64,
+    /// Times the stream went stale and the monitor entered holdover.
+    pub holdover_entries: u64,
+    /// Forced re-anchors on stream recovery.
+    pub recovery_reanchors: u64,
+    /// Matured forecasts expired unscored because their target fell
+    /// inside a telemetry gap.
+    pub forecasts_expired: u64,
 }
 
 /// Rolling forecast-accuracy statistics for one server.
@@ -103,6 +212,23 @@ pub struct FleetMonitor {
     recent_sq_err: Vec<VecDeque<f64>>,
     /// Drift gauges; registered lazily once the obs layer is enabled.
     gauges: Vec<ServerGauges>,
+    /// Degradation thresholds for faulted delivery streams.
+    policy: DegradationPolicy,
+    /// Per-server degradation counters.
+    degradation: Vec<DegradationStats>,
+    /// Per-server accepted samples (monotone by construction: out-of-order
+    /// arrivals are absorbed before or during the push).
+    ingested: Vec<TimeSeries>,
+    /// Per-server read position into the simulation's delivery stream.
+    delivered_cursor: Vec<usize>,
+    /// Per-server `(bit pattern, run length)` of the newest delivered
+    /// reading, for stuck-sensor detection without float equality.
+    stuck_run: Vec<(u64, usize)>,
+    /// Per-server time (s) of the most recent delivery, `NaN` before any.
+    last_delivery: Vec<f64>,
+    /// Per-server holdover flag: the stream is stale and forecasts ride
+    /// the anchored curve alone.
+    holdover: Vec<bool>,
 }
 
 impl FleetMonitor {
@@ -140,7 +266,46 @@ impl FleetMonitor {
             last_anchor: vec![0.0; servers],
             recent_sq_err: vec![VecDeque::new(); servers],
             gauges: Vec::new(),
+            policy: DegradationPolicy::default(),
+            degradation: vec![DegradationStats::default(); servers],
+            ingested: vec![TimeSeries::new(); servers],
+            delivered_cursor: vec![0; servers],
+            stuck_run: vec![(0, 0); servers],
+            last_delivery: vec![f64::NAN; servers],
+            holdover: vec![false; servers],
         })
+    }
+
+    /// Replaces the degradation policy (validating it).
+    ///
+    /// # Errors
+    ///
+    /// [`PredictError::InvalidConfig`] for out-of-domain thresholds.
+    pub fn with_policy(mut self, policy: DegradationPolicy) -> Result<Self, PredictError> {
+        policy.validate()?;
+        self.policy = policy;
+        Ok(self)
+    }
+
+    /// The active degradation policy.
+    #[must_use]
+    pub fn policy(&self) -> &DegradationPolicy {
+        &self.policy
+    }
+
+    /// Degradation counters for a server.
+    #[must_use]
+    pub fn degradation(&self, server: ServerId) -> DegradationStats {
+        self.degradation
+            .get(server.raw())
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Whether a server's stream is currently stale (holdover active).
+    #[must_use]
+    pub fn in_holdover(&self, server: ServerId) -> bool {
+        self.holdover.get(server.raw()).copied().unwrap_or(false)
     }
 
     /// Re-anchors one server's predictor and does the observability
@@ -242,11 +407,17 @@ impl FleetMonitor {
             }
         }
 
-        // Re-anchor on new reconfiguration events.
+        // Re-anchor on new reconfiguration events. An entry the fault
+        // plan marked lost never reached the monitor: no event re-anchor;
+        // the spike/staleness machinery has to absorb the drift instead.
         while self.log_cursor < sim.log().len() {
             let (at, event) = &sim.log()[self.log_cursor];
             let at = at.as_secs_f64();
+            let lost = sim.log_entry_lost(self.log_cursor);
             self.log_cursor += 1;
+            if lost {
+                continue;
+            }
             let touched: Vec<(ServerId, &'static str)> = match event {
                 SimEvent::VmBooted { server, .. } => vec![(*server, "vm_boot")],
                 SimEvent::VmStopped { server, .. } => vec![(*server, "vm_stop")],
@@ -270,6 +441,13 @@ impl FleetMonitor {
         let now = sim.now().as_secs_f64();
         for idx in 0..sim.datacenter().len() {
             let sid = ServerId::new(idx);
+            // A faulted delivery stream goes through the degradation
+            // machinery; the clean path below reads the physics trace
+            // directly and is untouched by fault handling.
+            if sim.delivered(sid).is_some() {
+                self.observe_faulted(sim, idx, now, ambient_c);
+                continue;
+            }
             let Ok(trace) = sim.trace(sid) else { continue };
             let Some((t, measured)) = trace.sensor_c.last() else {
                 continue;
@@ -319,6 +497,158 @@ impl FleetMonitor {
                 gauges.since_reanchor.set(now - self.last_anchor[idx]);
                 gauges.pending.set(self.pending[idx].len() as f64);
             }
+        }
+    }
+
+    /// Ingests one server's faulted delivery stream: absorbs out-of-order
+    /// samples, quarantines spikes and suspected-stuck readings before
+    /// they reach the γ calibrator, tracks staleness/holdover, forces one
+    /// re-anchor on stream recovery, expires forecasts that matured inside
+    /// a gap and keeps forecasting from the anchored curve throughout.
+    fn observe_faulted(&mut self, sim: &Simulation, idx: usize, now: f64, ambient_c: Celsius) {
+        let sid = ServerId::new(idx);
+        let policy = self.policy;
+        let Some(delivered) = sim.delivered(sid) else {
+            return;
+        };
+        let start = self.delivered_cursor[idx];
+        self.delivered_cursor[idx] = delivered.len();
+        for &(t, v) in &delivered[start..] {
+            let prev = self.last_delivery[idx];
+            let recovered = prev.is_finite() && t - prev >= policy.staleness_secs;
+            self.last_delivery[idx] = if prev.is_finite() { prev.max(t) } else { t };
+
+            // Stuck tracking on the raw bit pattern: sensor noise plus
+            // quantization make long accidental exact repeats unlikely.
+            let bits = v.to_bits();
+            let (last_bits, run) = self.stuck_run[idx];
+            self.stuck_run[idx] = if bits == last_bits {
+                (bits, run + 1)
+            } else {
+                (bits, 1)
+            };
+
+            // Out-of-order arrivals carry stale information: absorb them
+            // into holdover rather than rewinding the calibrator.
+            if let Some((last_t, _)) = self.ingested[idx].last() {
+                if t < last_t {
+                    self.degradation[idx].ooo_absorbed += 1;
+                    OBS_OOO.inc();
+                    continue;
+                }
+            }
+
+            // The stream came back after a gap: re-anchor once from the
+            // measured temperature before trusting calibration again —
+            // γ drifted blind through the silence.
+            if recovered && policy.reanchor_on_recovery {
+                let snap = ConfigSnapshot::capture(sim, sid, ambient_c);
+                let psi_stable = self.stable.predict(&snap);
+                self.apply_anchor(idx, t, v, psi_stable, "recovery");
+                self.degradation[idx].recovery_reanchors += 1;
+                OBS_RECOVERY_REANCHORS.inc();
+                self.holdover[idx] = false;
+            }
+
+            let estimate = self.predictors[idx].predict_ahead(Seconds::new(t), Seconds::ZERO);
+            if estimate.is_finite() && (v - estimate).abs() > policy.spike_threshold_c {
+                self.degradation[idx].spikes_rejected += 1;
+                OBS_SPIKES_REJECTED.inc();
+                continue;
+            }
+            if self.stuck_run[idx].1 >= policy.stuck_run {
+                self.degradation[idx].stuck_suspected += 1;
+                OBS_STUCK_SUSPECTED.inc();
+                continue;
+            }
+
+            // Accepted: record it and feed the calibrator.
+            let recorded = self.ingested[idx].push(
+                SimTime::from_millis((t * 1000.0).round().max(0.0) as u64),
+                v,
+            );
+            if let Err(TelemetryError::NonMonotonicTime { .. }) = recorded {
+                // Sub-millisecond inversions the ordering check missed.
+                self.degradation[idx].ooo_absorbed += 1;
+                OBS_OOO.inc();
+                continue;
+            }
+            self.predictors[idx].observe(Seconds::new(t), Celsius::new(v));
+            OBS_SAMPLES.inc();
+            obs::emit_with(|| ObsEvent::Sample {
+                t_secs: t,
+                server: idx,
+                temp_c: v,
+            });
+        }
+
+        // Staleness bookkeeping at observation time.
+        let last = self.last_delivery[idx];
+        if last.is_finite() {
+            if !self.holdover[idx] && now - last >= policy.staleness_secs {
+                self.holdover[idx] = true;
+                self.degradation[idx].holdover_entries += 1;
+                OBS_HOLDOVER_ENTRIES.inc();
+            } else if self.holdover[idx] && now - last < policy.staleness_secs {
+                self.holdover[idx] = false;
+            }
+        }
+
+        // Score matured forecasts against the newest accepted sample;
+        // targets that matured inside a telemetry gap expire unscored
+        // rather than being graded against stale ground truth.
+        let reference = self.ingested[idx].last();
+        while let Some(&(target, forecast)) = self.pending[idx].front() {
+            if target > now {
+                break;
+            }
+            self.pending[idx].pop_front();
+            match reference {
+                Some((rt, rv)) if target - rt <= policy.score_tolerance_secs => {
+                    let err = rv - forecast;
+                    self.stats[idx].scored += 1;
+                    self.stats[idx].sum_sq_err += err * err;
+                    if self.recent_sq_err[idx].len() >= ROLLING_WINDOW {
+                        self.recent_sq_err[idx].pop_front();
+                    }
+                    self.recent_sq_err[idx].push_back(err * err);
+                    OBS_SCORED.inc();
+                    OBS_ABS_ERR.observe(err.abs());
+                    obs::emit_with(|| ObsEvent::ForecastScored {
+                        t_secs: now,
+                        server: idx,
+                        err_c: err,
+                    });
+                }
+                _ => {
+                    self.degradation[idx].forecasts_expired += 1;
+                    OBS_EXPIRED.inc();
+                }
+            }
+        }
+
+        // Forecast from the wall clock: holdover keeps issuing even while
+        // the stream is silent — the anchored curve is all we have.
+        let forecast =
+            self.predictors[idx].predict_ahead(Seconds::new(now), Seconds::new(self.gap_secs));
+        if forecast.is_finite() {
+            self.pending[idx].push_back((now + self.gap_secs, forecast));
+            OBS_ISSUED.inc();
+            obs::emit_with(|| ObsEvent::Forecast {
+                t_secs: now,
+                server: idx,
+                target_t_secs: now + self.gap_secs,
+                temp_c: forecast,
+            });
+        }
+        if let Some(gauges) = self.gauges.get(idx) {
+            gauges.rolling_mse.set(self.rolling_mse(sid));
+            gauges.gamma_abs.set(self.predictors[idx].gamma().abs());
+            gauges.since_reanchor.set(now - self.last_anchor[idx]);
+            gauges.pending.set(self.pending[idx].len() as f64);
+            gauges
+                .holdover
+                .set(if self.holdover[idx] { 1.0 } else { 0.0 });
         }
     }
 

@@ -47,6 +47,34 @@ pub const METRIC_MONITOR_GAMMA_ABS: &str = "vmtherm_monitor_gamma_abs";
 pub const METRIC_MONITOR_SINCE_REANCHOR: &str = "vmtherm_monitor_since_reanchor_secs";
 /// Base name of the per-server forecast-maturity queue-depth gauge.
 pub const METRIC_MONITOR_PENDING: &str = "vmtherm_monitor_pending_forecasts";
+/// Base name of the per-server holdover gauge (1 while the stream is stale
+/// and the monitor is forecasting without fresh samples, else 0).
+pub const METRIC_MONITOR_HOLDOVER: &str = "vmtherm_monitor_holdover";
+
+/// Sensor samples dropped by the fault injector (counter).
+pub const METRIC_FAULT_DROPPED_SAMPLES: &str = "vmtherm_fault_dropped_samples_total";
+/// Sensor samples replaced by a stuck-at value (counter).
+pub const METRIC_FAULT_STUCK_SAMPLES: &str = "vmtherm_fault_stuck_samples_total";
+/// Spike outliers injected into delivered samples (counter).
+pub const METRIC_FAULT_SPIKES_INJECTED: &str = "vmtherm_fault_spikes_injected_total";
+/// Samples delivered with a jittered (skewed) timestamp (counter).
+pub const METRIC_FAULT_JITTERED_SAMPLES: &str = "vmtherm_fault_jittered_samples_total";
+/// Reconfiguration events lost before reaching monitoring (counter).
+pub const METRIC_FAULT_EVENTS_LOST: &str = "vmtherm_fault_events_lost_total";
+
+/// Out-of-order samples absorbed by the monitor's holdover path (counter).
+pub const METRIC_MONITOR_OOO_ABSORBED: &str = "vmtherm_monitor_ooo_absorbed_total";
+/// Spike outliers rejected before reaching the γ calibrator (counter).
+pub const METRIC_MONITOR_SPIKES_REJECTED: &str = "vmtherm_monitor_spikes_rejected_total";
+/// Samples flagged as a suspected stuck sensor (counter).
+pub const METRIC_MONITOR_STUCK_SUSPECTED: &str = "vmtherm_monitor_stuck_suspected_total";
+/// Times a server stream went stale and entered holdover (counter).
+pub const METRIC_MONITOR_HOLDOVER_ENTRIES: &str = "vmtherm_monitor_holdover_entries_total";
+/// Forced re-anchors triggered by stream recovery (counter).
+pub const METRIC_MONITOR_RECOVERY_REANCHORS: &str = "vmtherm_monitor_recovery_reanchors_total";
+/// Pending forecasts expired unscored because their target fell inside a
+/// telemetry gap (counter).
+pub const METRIC_MONITOR_FORECASTS_EXPIRED: &str = "vmtherm_monitor_forecasts_expired_total";
 
 /// Top-level span around a scripted experiment run.
 pub const SPAN_EXPERIMENT_RUN: &str = "experiment_run";

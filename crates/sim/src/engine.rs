@@ -8,6 +8,7 @@ use crate::datacenter::Datacenter;
 use crate::environment::AmbientModel;
 use crate::error::SimError;
 use crate::fan::FanSpeed;
+use crate::fault::{FaultInjector, FaultPlan, FaultStats};
 use crate::migration::{ActiveMigration, MigrationConfig};
 use crate::server::ServerId;
 use crate::telemetry::ServerTrace;
@@ -145,8 +146,18 @@ pub struct Simulation {
     migrations: Vec<ActiveMigration>,
     traces: Vec<ServerTrace>,
     log: Vec<(SimTime, SimEvent)>,
+    /// Parallel to `log`: `true` when the fault injector decided the
+    /// monitoring plane never heard about that entry.
+    log_lost: Vec<bool>,
     seed: u64,
     room_heat_kw: f64,
+    /// Telemetry path faults, if a non-noop plan was installed.
+    fault: Option<FaultInjector>,
+    /// Per-server `(time_secs, reading_c)` samples as the monitoring plane
+    /// receives them — possibly dropped, corrupted or re-timestamped.
+    /// Only populated while an injector is installed; clean runs read the
+    /// physics traces directly and pay nothing.
+    delivered: Vec<Vec<(f64, f64)>>,
     /// Steps not yet flushed to the obs step counter; bounds per-step
     /// instrumentation cost to one branch plus an integer increment.
     obs_backlog: u32,
@@ -175,10 +186,70 @@ impl Simulation {
             migrations: Vec::new(),
             traces,
             log: Vec::new(),
+            log_lost: Vec::new(),
             seed,
             room_heat_kw: 0.0,
+            fault: None,
+            delivered: Vec::new(),
             obs_backlog: 0,
         }
+    }
+
+    /// Installs a telemetry fault plan. A no-op plan removes the injector
+    /// entirely, so disabled faults are bit-identical to a clean run.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] for an out-of-domain plan.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) -> Result<(), SimError> {
+        if plan.is_noop() {
+            self.fault = None;
+            return Ok(());
+        }
+        self.fault = Some(FaultInjector::new(plan)?);
+        Ok(())
+    }
+
+    /// The faulted delivery stream for a server: `(time_secs, reading_c)`
+    /// pairs as monitoring received them. `None` when no fault plan is
+    /// installed — consumers then read the clean traces.
+    #[must_use]
+    pub fn delivered(&self, server: ServerId) -> Option<&[(f64, f64)]> {
+        self.fault.as_ref()?;
+        self.delivered.get(server.raw()).map(Vec::as_slice)
+    }
+
+    /// Whether the log entry at `index` was lost to the monitoring plane.
+    #[must_use]
+    pub fn log_entry_lost(&self, index: usize) -> bool {
+        self.log_lost.get(index).copied().unwrap_or(false)
+    }
+
+    /// Total fault-injection counts so far (zeros without a plan).
+    #[must_use]
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault
+            .as_ref()
+            .map(FaultInjector::total_stats)
+            .unwrap_or_default()
+    }
+
+    /// Appends a log entry, asking the injector (when installed) whether
+    /// reconfiguration notifications reach the monitoring plane.
+    fn push_log(&mut self, at: SimTime, event: SimEvent) {
+        let can_be_lost = matches!(
+            event,
+            SimEvent::VmBooted { .. }
+                | SimEvent::VmStopped { .. }
+                | SimEvent::MigrationStarted { .. }
+                | SimEvent::MigrationCompleted { .. }
+        );
+        let lost = match (&mut self.fault, can_be_lost) {
+            (Some(injector), true) => injector.event_lost(),
+            _ => false,
+        };
+        self.log.push((at, event));
+        self.log_lost.push(lost);
     }
 
     /// Overrides the migration tunables.
@@ -242,8 +313,7 @@ impl Simulation {
             self.seed ^ id.raw().wrapping_mul(0x9e37),
         );
         self.datacenter.server_mut(server)?.boot_vm(vm)?;
-        self.log
-            .push((self.clock, SimEvent::VmBooted { vm: id, server }));
+        self.push_log(self.clock, SimEvent::VmBooted { vm: id, server });
         Ok(id)
     }
 
@@ -290,6 +360,11 @@ impl Simulation {
         // Telemetry arrays may lag behind a datacenter the caller extended.
         while self.traces.len() < self.datacenter.len() {
             self.traces.push(ServerTrace::new());
+        }
+        if self.fault.is_some() {
+            while self.delivered.len() < self.datacenter.len() {
+                self.delivered.push(Vec::new());
+            }
         }
 
         // 1. Apply due events.
@@ -345,6 +420,15 @@ impl Simulation {
                 .and(trace.ambient_c.push(now, local_ambient));
             // The engine clock is monotone, so recording cannot go backwards.
             debug_assert!(recorded.is_ok(), "engine clock regressed: {recorded:?}");
+            // The trace above is ground truth; the monitoring plane sees
+            // the reading only after the fault channels have had their say.
+            if let Some(injector) = &mut self.fault {
+                if let Some((t, v)) =
+                    injector.deliver(idx, Seconds::new(now.as_secs_f64()), Celsius::new(reading))
+                {
+                    self.delivered[idx].push((t.get(), v.get()));
+                }
+            }
         }
         self.room_heat_kw = self.datacenter.room_heat_kw();
 
@@ -374,7 +458,7 @@ impl Simulation {
         OBS_EVENTS.inc();
         let outcome = self.try_apply(event);
         if let Err(error) = outcome {
-            self.log.push((self.clock, SimEvent::EventFailed { error }));
+            self.push_log(self.clock, SimEvent::EventFailed { error });
         }
     }
 
@@ -394,8 +478,7 @@ impl Simulation {
                     .take_vm(vm)
                     .ok_or(SimError::UnknownVm(vm))?;
                 taken.set_state(VmState::Stopped);
-                self.log
-                    .push((self.clock, SimEvent::VmStopped { vm, server: host }));
+                self.push_log(self.clock, SimEvent::VmStopped { vm, server: host });
             }
             Event::MigrateVm { vm, dest } => {
                 let source = self
@@ -446,8 +529,7 @@ impl Simulation {
                 self.datacenter
                     .server_mut(dest)?
                     .add_migration_overhead(self.migration_config.dest_overhead_vcpus);
-                self.log
-                    .push((self.clock, SimEvent::MigrationStarted { vm, source, dest }));
+                self.push_log(self.clock, SimEvent::MigrationStarted { vm, source, dest });
             }
             Event::SetFanSpeed { server, speed } => {
                 self.datacenter.server_mut(server)?.set_fan_speed(speed);
@@ -482,17 +564,17 @@ impl Simulation {
                 .and_then(|d| d.boot_vm(vm))
             {
                 Ok(()) => {
-                    self.log.push((
+                    self.push_log(
                         self.clock,
                         SimEvent::MigrationCompleted {
                             vm: m.vm,
                             source: m.source,
                             dest: m.dest,
                         },
-                    ));
+                    );
                 }
                 Err(error) => {
-                    self.log.push((self.clock, SimEvent::EventFailed { error }));
+                    self.push_log(self.clock, SimEvent::EventFailed { error });
                 }
             }
         }
@@ -820,5 +902,68 @@ mod tests {
             .copied()
             .unwrap();
         assert!(during > before, "dest load {during} not above {before}");
+    }
+
+    #[test]
+    fn noop_fault_plan_is_bit_identical_to_no_injector() {
+        let run = |install_noop: bool| {
+            let mut sim = two_server_sim();
+            if install_noop {
+                sim.set_fault_plan(crate::fault::FaultPlan::none()).unwrap();
+            }
+            sim.boot_vm_now(ServerId::new(0), spec(4, 8.0)).unwrap();
+            sim.run_until(SimTime::from_secs(120));
+            sim.trace(ServerId::new(0))
+                .unwrap()
+                .sensor_c
+                .values()
+                .to_vec()
+        };
+        let clean = run(false);
+        let noop = run(true);
+        assert_eq!(
+            clean.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            noop.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        );
+        // And a noop plan exposes no delivery stream at all.
+        let mut sim = two_server_sim();
+        sim.set_fault_plan(crate::fault::FaultPlan::none()).unwrap();
+        sim.run_until(SimTime::from_secs(5));
+        assert!(sim.delivered(ServerId::new(0)).is_none());
+        assert_eq!(sim.fault_stats(), crate::fault::FaultStats::default());
+    }
+
+    #[test]
+    fn installed_plan_feeds_the_delivery_stream_and_keeps_traces_clean() {
+        let plan = crate::fault::FaultPlan::new(3)
+            .with_dropout(crate::fault::DropoutFault::scheduled(vec![(10.0, 20.0)]).unwrap());
+        let mut sim = two_server_sim();
+        sim.set_fault_plan(plan).unwrap();
+        sim.boot_vm_now(ServerId::new(0), spec(4, 8.0)).unwrap();
+        sim.run_until(SimTime::from_secs(30));
+        let trace = sim.trace(ServerId::new(0)).unwrap();
+        assert_eq!(trace.sensor_c.len(), 30, "physics trace stays complete");
+        let delivered = sim.delivered(ServerId::new(0)).unwrap();
+        assert_eq!(delivered.len(), 20, "the 10 s window was dropped");
+        assert!(delivered.iter().all(|(t, _)| !(10.0..20.0).contains(t)));
+        assert_eq!(sim.fault_stats().dropped, 20, "10 s x 2 servers");
+    }
+
+    #[test]
+    fn lost_events_are_flagged_in_the_log() {
+        let plan = crate::fault::FaultPlan::new(1)
+            .with_lost_events(crate::fault::LostEventFault::random(1.0).unwrap());
+        let mut sim = two_server_sim();
+        sim.set_fault_plan(plan).unwrap();
+        let id = sim.boot_vm_now(ServerId::new(0), spec(2, 4.0)).unwrap();
+        sim.schedule(SimTime::from_secs(2), Event::StopVm(id));
+        sim.run_until(SimTime::from_secs(4));
+        assert_eq!(sim.log().len(), 2);
+        assert!(sim.log_entry_lost(0) && sim.log_entry_lost(1));
+        assert_eq!(sim.fault_stats().events_lost, 2);
+        // Without a plan nothing is ever lost.
+        let mut clean = two_server_sim();
+        clean.boot_vm_now(ServerId::new(0), spec(2, 4.0)).unwrap();
+        assert!(!clean.log_entry_lost(0));
     }
 }

@@ -26,6 +26,23 @@ pub enum SimError {
     AlreadyMigrating(VmId),
     /// Migration source and destination are the same server.
     SameServer(ServerId),
+    /// A configuration parameter (sensor or fault plan) was out of domain.
+    InvalidConfig {
+        /// Which parameter was rejected.
+        field: &'static str,
+        /// Why it was rejected.
+        reason: String,
+    },
+}
+
+impl SimError {
+    /// Shorthand for an [`SimError::InvalidConfig`].
+    pub(crate) fn invalid(field: &'static str, reason: impl Into<String>) -> Self {
+        SimError::InvalidConfig {
+            field,
+            reason: reason.into(),
+        }
+    }
 }
 
 impl fmt::Display for SimError {
@@ -40,6 +57,9 @@ impl fmt::Display for SimError {
             SimError::AlreadyMigrating(id) => write!(f, "{id} is already migrating"),
             SimError::SameServer(id) => {
                 write!(f, "migration source and destination are both {id}")
+            }
+            SimError::InvalidConfig { field, reason } => {
+                write!(f, "invalid {field}: {reason}")
             }
         }
     }

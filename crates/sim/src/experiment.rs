@@ -267,12 +267,18 @@ impl CaseGenerator {
 
     /// Samples one random VM spec.
     pub fn random_vm(&mut self, index: usize) -> VmSpec {
-        let vcpus = *[1u32, 1, 2, 2, 4]
-            .get(self.rng.gen_range(0..5))
-            .expect("index");
-        let memory = *[2.0f64, 4.0, 4.0, 8.0]
-            .get(self.rng.gen_range(0..4))
-            .expect("index");
+        // Weighted draws written as exhaustive matches over the sampled
+        // index (same distribution as the former lookup tables).
+        let vcpus = match self.rng.gen_range(0..5) {
+            0 | 1 => 1u32,
+            2 | 3 => 2,
+            _ => 4,
+        };
+        let memory = match self.rng.gen_range(0..4) {
+            0 => 2.0f64,
+            1 | 2 => 4.0,
+            _ => 8.0,
+        };
         let task = ALL_TASK_PROFILES[self.rng.gen_range(0..ALL_TASK_PROFILES.len())];
         VmSpec::new(format!("vm-{index}"), vcpus, memory, task)
     }

@@ -69,6 +69,7 @@ pub mod environment;
 pub mod error;
 pub mod experiment;
 pub mod fan;
+pub mod fault;
 pub mod migration;
 pub mod power;
 pub mod sensor;
@@ -85,6 +86,10 @@ pub use engine::{Event, SimEvent, Simulation};
 pub use environment::AmbientModel;
 pub use error::SimError;
 pub use experiment::{CaseGenerator, ConfigSnapshot, ExperimentConfig, ExperimentOutcome};
+pub use fault::{
+    DropoutFault, FaultInjector, FaultPlan, FaultStats, JitterFault, LostEventFault, SpikeFault,
+    StuckFault,
+};
 pub use server::{Server, ServerId, ServerSpec};
 pub use telemetry::{ServerTrace, TelemetryError, TimeSeries};
 pub use time::{SimDuration, SimTime};

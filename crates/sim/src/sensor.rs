@@ -7,6 +7,7 @@
 //! sensor error. [`TemperatureSensor`] reproduces both effects with a
 //! seeded RNG for deterministic experiments.
 
+use crate::error::SimError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -25,17 +26,27 @@ pub struct SensorConfig {
 impl SensorConfig {
     /// Validates and constructs a config.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on negative noise or quantization.
-    #[must_use]
-    pub fn new(noise_sigma: f64, quantization: f64) -> Self {
-        assert!(noise_sigma >= 0.0, "negative noise sigma");
-        assert!(quantization >= 0.0, "negative quantization");
-        SensorConfig {
+    /// [`SimError::InvalidConfig`] on negative (or NaN) noise or
+    /// quantization.
+    pub fn new(noise_sigma: f64, quantization: f64) -> Result<Self, SimError> {
+        if !(noise_sigma >= 0.0) {
+            return Err(SimError::invalid(
+                "sensor.noise_sigma",
+                format!("negative noise sigma: {noise_sigma}"),
+            ));
+        }
+        if !(quantization >= 0.0) {
+            return Err(SimError::invalid(
+                "sensor.quantization",
+                format!("negative quantization: {quantization}"),
+            ));
+        }
+        Ok(SensorConfig {
             noise_sigma,
             quantization,
-        }
+        })
     }
 
     /// An idealised noiseless, continuous sensor (useful in tests).
@@ -116,16 +127,16 @@ mod tests {
 
     #[test]
     fn quantization_rounds_to_grid() {
-        let mut s = TemperatureSensor::new(SensorConfig::new(0.0, 1.0), 1);
+        let mut s = TemperatureSensor::new(SensorConfig::new(0.0, 1.0).expect("config"), 1);
         assert_eq!(s.read(c(53.4)), 53.0);
         assert_eq!(s.read(c(53.6)), 54.0);
-        let mut half = TemperatureSensor::new(SensorConfig::new(0.0, 0.5), 1);
+        let mut half = TemperatureSensor::new(SensorConfig::new(0.0, 0.5).expect("config"), 1);
         assert_eq!(half.read(c(53.3)), 53.5);
     }
 
     #[test]
     fn noise_is_zero_mean_and_has_requested_sigma() {
-        let mut s = TemperatureSensor::new(SensorConfig::new(0.5, 0.0), 42);
+        let mut s = TemperatureSensor::new(SensorConfig::new(0.5, 0.0).expect("config"), 42);
         let n = 20_000;
         let readings: Vec<f64> = (0..n).map(|_| s.read(c(50.0))).collect();
         let mean = readings.iter().sum::<f64>() / n as f64;
@@ -160,8 +171,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "negative noise")]
-    fn negative_sigma_panics() {
-        let _ = SensorConfig::new(-0.1, 0.0);
+    fn negative_sigma_rejected() {
+        assert!(matches!(
+            SensorConfig::new(-0.1, 0.0),
+            Err(SimError::InvalidConfig { field, .. }) if field == "sensor.noise_sigma"
+        ));
+        assert!(SensorConfig::new(0.1, -1.0).is_err());
+        assert!(SensorConfig::new(f64::NAN, 0.0).is_err());
     }
 }

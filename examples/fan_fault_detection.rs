@@ -89,7 +89,10 @@ fn main() {
         let (snapshot, windows) = run_server(failed, 77);
         let predicted = model.predict(&snapshot);
         println!("model prediction for this configuration: {predicted:.1} C");
-        let mut watchdog = ThermalWatchdog::new(model.clone(), ResidualDetector::new(8.0, 0.8));
+        let mut watchdog = ThermalWatchdog::new(
+            model.clone(),
+            ResidualDetector::new(8.0, 0.8).expect("detector"),
+        );
         let mut alarmed_at: Option<f64> = None;
         println!("   t | window mean | residual | cusum | novelty");
         for (t, mean) in &windows {

@@ -1,0 +1,282 @@
+//! End-to-end chaos tests: a [`FleetMonitor`] driven over a faulted
+//! [`Simulation`] must absorb out-of-order and stale telemetry without
+//! panicking, keep spikes away from the γ calibrator, quarantine stuck
+//! sensors, survive lost reconfiguration events, and force exactly one
+//! re-anchor per outage on stream recovery.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use vmtherm::core::anomaly::ResidualDetector;
+use vmtherm::core::dynamic::DynamicConfig;
+use vmtherm::core::monitor::FleetMonitor;
+use vmtherm::core::stable::{run_experiments, StablePredictor, TrainingOptions};
+use vmtherm::sim::{
+    AmbientModel, CaseGenerator, Datacenter, DropoutFault, FaultPlan, JitterFault, LostEventFault,
+    ServerId, ServerSpec, SimDuration, SimTime, Simulation, SpikeFault, StuckFault, TaskProfile,
+    VmSpec,
+};
+use vmtherm::svm::kernel::Kernel;
+use vmtherm::svm::svr::SvrParams;
+use vmtherm::units::{Celsius, Seconds};
+
+/// One stable model shared by every test in this file (training is the
+/// expensive part; the chaos scenarios themselves are cheap).
+fn model() -> &'static StablePredictor {
+    static MODEL: OnceLock<StablePredictor> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let mut generator = CaseGenerator::new(42);
+        let configs: Vec<_> = generator
+            .random_cases(60, 42 * 13)
+            .into_iter()
+            .map(|c| c.with_duration(SimDuration::from_secs(900)))
+            .collect();
+        let options = TrainingOptions::new().with_params(
+            SvrParams::new()
+                .with_c(128.0)
+                .with_epsilon(0.05)
+                .with_kernel(Kernel::rbf(0.02)),
+        );
+        StablePredictor::fit(&run_experiments(&configs), &options).expect("training")
+    })
+}
+
+/// One monitored server with a handful of VMs, optionally under a fault
+/// plan, stepped for `secs` seconds. Returns the monitor and simulation
+/// for the caller's assertions.
+fn run_chaos(
+    plan: Option<FaultPlan>,
+    secs: u64,
+    burst_at: Option<u64>,
+) -> (FleetMonitor, Simulation) {
+    let mut dc = Datacenter::new();
+    let sid = dc.add_server(
+        ServerSpec::commodity("chaos", 16, 2.4, 64.0, 4),
+        Celsius::new(24.0),
+        7,
+    );
+    let mut sim = Simulation::new(dc, AmbientModel::Fixed(24.0), 7);
+    let tasks = [
+        TaskProfile::CpuBound,
+        TaskProfile::Mixed,
+        TaskProfile::WebServer,
+    ];
+    for (i, task) in tasks.iter().enumerate() {
+        sim.boot_vm_now(sid, VmSpec::new(format!("vm-{i}"), 2, 4.0, *task))
+            .expect("boot");
+    }
+    if let Some(at) = burst_at {
+        sim.schedule(
+            SimTime::from_secs(at),
+            vmtherm::sim::Event::BootVm {
+                server: sid,
+                spec: VmSpec::new("burst", 2, 4.0, TaskProfile::CpuBound),
+            },
+        );
+    }
+    if let Some(plan) = plan {
+        sim.set_fault_plan(plan).expect("plan");
+    }
+    let mut monitor =
+        FleetMonitor::new(model().clone(), DynamicConfig::new(), 1, Seconds::new(60.0))
+            .expect("monitor");
+    for _ in 0..secs {
+        sim.step();
+        monitor.observe(&sim, Celsius::new(24.0));
+    }
+    (monitor, sim)
+}
+
+#[test]
+fn out_of_order_telemetry_is_absorbed_without_panic() {
+    let plan = FaultPlan::new(11)
+        .with_jitter(JitterFault::random(0.3, Seconds::new(1.5)).expect("jitter"));
+    let (monitor, sim) = run_chaos(Some(plan), 900, None);
+    let sid = ServerId::new(0);
+    let deg = monitor.degradation(sid);
+    assert!(sim.fault_stats().jittered > 0, "no jitter injected");
+    assert!(
+        deg.ooo_absorbed > 0,
+        "backwards-skewed samples never absorbed: {deg:?}"
+    );
+    // The monitor keeps scoring and its error stays finite and sane.
+    let stats = monitor.stats(sid);
+    assert!(stats.scored > 400, "scored only {}", stats.scored);
+    assert!(
+        stats.mse().is_finite() && stats.mse() < 5.0,
+        "mse {}",
+        stats.mse()
+    );
+}
+
+#[test]
+fn spikes_are_rejected_before_the_calibrator() {
+    let plan = FaultPlan::new(5).with_spike(
+        SpikeFault::random(0.05, Celsius::new(15.0), Celsius::new(25.0)).expect("spike"),
+    );
+    let (faulted, sim) = run_chaos(Some(plan), 900, None);
+    let (clean, _) = run_chaos(None, 900, None);
+    let sid = ServerId::new(0);
+
+    let deg = faulted.degradation(sid);
+    let spiked = sim.fault_stats().spiked;
+    assert!(spiked > 10, "only {spiked} spikes injected");
+    assert_eq!(
+        deg.spikes_rejected, spiked,
+        "rejection must catch every +15..25 °C outlier"
+    );
+    // γ stayed unpoisoned: spiked-run error within a small band of clean.
+    let (fm, cm) = (faulted.fleet_mse(), clean.fleet_mse());
+    assert!(
+        fm < cm * 1.5 + 0.5,
+        "spikes poisoned the calibrator: faulted {fm} vs clean {cm}"
+    );
+}
+
+#[test]
+fn stuck_sensor_readings_are_quarantined() {
+    // Freeze the sensor during the warm-up climb, where reality drifts
+    // away from the frozen value quickly.
+    let plan =
+        FaultPlan::new(3).with_stuck(StuckFault::scheduled(vec![(60.0, 360.0)]).expect("stuck"));
+    let (monitor, sim) = run_chaos(Some(plan), 900, None);
+    let sid = ServerId::new(0);
+    let deg = monitor.degradation(sid);
+    assert!(sim.fault_stats().stuck > 100, "window never applied");
+    assert!(
+        deg.stuck_suspected > 200,
+        "frozen readings were ingested wholesale: {deg:?}"
+    );
+    assert!(
+        monitor.stats(sid).mse() < 5.0,
+        "stuck window wrecked accuracy: {}",
+        monitor.stats(sid).mse()
+    );
+}
+
+#[test]
+fn lost_reconfiguration_events_skip_the_event_reanchor() {
+    let plan = FaultPlan::new(9).with_lost_events(LostEventFault::random(1.0).expect("lost"));
+    let (faulted, sim) = run_chaos(Some(plan), 900, Some(300));
+    let (clean, clean_sim) = run_chaos(None, 900, Some(300));
+    let sid = ServerId::new(0);
+
+    assert!(sim.fault_stats().events_lost > 0, "no events lost");
+    assert!((0..sim.log().len()).any(|i| sim.log_entry_lost(i)));
+    assert!((0..clean_sim.log().len()).all(|i| !clean_sim.log_entry_lost(i)));
+    // The clean monitor re-anchors on the burst notification; the faulted
+    // one never hears about it.
+    assert!(
+        faulted.reanchor_count(sid) < clean.reanchor_count(sid),
+        "lost event still anchored: faulted {} vs clean {}",
+        faulted.reanchor_count(sid),
+        clean.reanchor_count(sid)
+    );
+    // It still tracks the fleet afterwards — γ absorbs the drift.
+    let stats = faulted.stats(sid);
+    assert!(stats.scored > 400 && stats.mse().is_finite());
+}
+
+#[test]
+fn long_outage_enters_holdover_and_reanchors_once() {
+    let plan = FaultPlan::new(1)
+        .with_dropout(DropoutFault::scheduled(vec![(300.0, 400.0)]).expect("dropout"));
+    let (monitor, sim) = run_chaos(Some(plan), 700, None);
+    let sid = ServerId::new(0);
+    let deg = monitor.degradation(sid);
+    assert_eq!(sim.fault_stats().dropped, 100);
+    assert_eq!(deg.holdover_entries, 1, "{deg:?}");
+    assert_eq!(deg.recovery_reanchors, 1, "{deg:?}");
+    assert!(!monitor.in_holdover(sid), "never exited holdover");
+    assert!(
+        deg.forecasts_expired > 0,
+        "forecasts maturing inside the gap must expire unscored: {deg:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A single outage longer than the staleness threshold forces exactly
+    /// one holdover entry and exactly one recovery re-anchor, wherever it
+    /// falls in the run.
+    #[test]
+    fn recovery_reanchors_exactly_once(
+        start in 100u64..400,
+        len in 40u64..180,
+    ) {
+        let window = (start as f64, (start + len) as f64);
+        let plan = FaultPlan::new(start ^ len)
+            .with_dropout(DropoutFault::scheduled(vec![window]).expect("dropout"));
+        let (monitor, _) = run_chaos(Some(plan), start + len + 120, None);
+        let deg = monitor.degradation(ServerId::new(0));
+        prop_assert_eq!(deg.holdover_entries, 1, "{:?}", deg);
+        prop_assert_eq!(deg.recovery_reanchors, 1, "{:?}", deg);
+    }
+
+    /// An outage shorter than the staleness threshold is ridden out on
+    /// the anchored curve: no holdover, no forced re-anchor.
+    #[test]
+    fn short_gaps_never_trigger_recovery(
+        start in 100u64..400,
+        len in 1u64..20,
+    ) {
+        let window = (start as f64, (start + len) as f64);
+        let plan = FaultPlan::new(start ^ len)
+            .with_dropout(DropoutFault::scheduled(vec![window]).expect("dropout"));
+        let (monitor, _) = run_chaos(Some(plan), start + len + 120, None);
+        let deg = monitor.degradation(ServerId::new(0));
+        prop_assert_eq!(deg.holdover_entries, 0, "{:?}", deg);
+        prop_assert_eq!(deg.recovery_reanchors, 0, "{:?}", deg);
+    }
+}
+
+#[test]
+fn residual_watchdog_covers_chaos_streams() {
+    // Satellite: the residual anomaly detector sees the *delivered*
+    // faulted stream versus the monitor's forecast. A stuck window during
+    // warm-up accumulates one-sided residuals and must raise an alarm; a
+    // clean stream must not.
+    let stuck_plan =
+        FaultPlan::new(21).with_stuck(StuckFault::scheduled(vec![(60.0, 400.0)]).expect("stuck"));
+    let spike_plan = FaultPlan::new(22).with_spike(
+        SpikeFault::random(0.05, Celsius::new(15.0), Celsius::new(25.0)).expect("spike"),
+    );
+    for (plan, expect_alarm) in [
+        (Some(stuck_plan), true),
+        (Some(spike_plan), true),
+        (None, false),
+    ] {
+        let (monitor, sim) = run_chaos(plan, 700, None);
+        let sid = ServerId::new(0);
+        let trace = sim.trace(sid).expect("trace");
+        let stream: Vec<(f64, f64)> = match sim.delivered(sid) {
+            Some(d) => d.to_vec(),
+            None => trace.sensor_c.iter().collect(),
+        };
+        let mut detector = ResidualDetector::new(8.0, 0.8).expect("detector");
+        let mut alarmed = false;
+        for (t, v) in stream {
+            // Residual against the clean physics trace at the same time:
+            // what the reading *should* have been.
+            let at = SimTime::from_millis((t * 1000.0).round().max(0.0) as u64);
+            if let Some(actual) = trace.sensor_c.value_at(at) {
+                alarmed |= detector.observe(v - actual).is_some();
+            }
+        }
+        assert_eq!(
+            alarmed,
+            expect_alarm,
+            "detector alarmed={alarmed} with plan={}",
+            if expect_alarm { "faulted" } else { "none" }
+        );
+        // The monitor itself stayed live either way, and its rolling-MSE
+        // drift gauge tracks real scored error.
+        assert!(monitor.stats(sid).scored > 300);
+        let rolling = monitor.rolling_mse(sid);
+        assert!(
+            rolling.is_finite() && rolling > 0.0,
+            "rolling mse {rolling}"
+        );
+    }
+}

@@ -61,7 +61,7 @@ proptest! {
         lambda in 0.05..1.0f64,
         interval in 1.0..60.0f64,
     ) {
-        let mut cal = Calibrator::new(lambda, Seconds::new(interval));
+        let mut cal = Calibrator::new(lambda, Seconds::new(interval)).expect("in-domain calibrator");
         // Enough updates for (1-λ)^n to vanish.
         for step in 0..200 {
             let t = step as f64 * interval;
