@@ -19,7 +19,7 @@
 use crate::error::PredictError;
 use crate::features::FeatureEncoding;
 use crate::predictor::OnlinePredictor;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use vmtherm_sim::experiment::{ConfigSnapshot, ExperimentOutcome};
 use vmtherm_sim::workload::TaskProfile;
 use vmtherm_units::{Celsius, Seconds, Watts};
@@ -195,7 +195,10 @@ impl OnlinePredictor for RcModelPredictor {
 #[derive(Debug, Clone, Default)]
 pub struct TaskProfilePredictor {
     /// `(task, vm_count) → stable temperature` from profiling runs.
-    table: HashMap<(TaskProfile, usize), f64>,
+    /// Ordered so the nearest-count fallback (and anything else derived
+    /// from iteration) is deterministic: among equidistant profiled
+    /// counts the smaller `(task, count)` key wins, every run.
+    table: BTreeMap<(TaskProfile, usize), f64>,
     current_prediction: Option<f64>,
 }
 
@@ -267,10 +270,12 @@ impl TaskProfilePredictor {
     }
 }
 
-/// The task with the largest vCPU share in a snapshot.
+/// The task with the largest vCPU share in a snapshot. Accumulation is
+/// keyed through an ordered map so the fold order — and the winner under
+/// any comparator — never depends on hash seeding.
 #[must_use]
 pub fn dominant_task(snapshot: &ConfigSnapshot) -> Option<TaskProfile> {
-    let mut share: HashMap<TaskProfile, u32> = HashMap::new();
+    let mut share: BTreeMap<TaskProfile, u32> = BTreeMap::new();
     for vm in &snapshot.vms {
         *share.entry(vm.task).or_insert(0) += vm.vcpus;
     }

@@ -16,7 +16,7 @@
 //! guards, all of which check one relaxed atomic load first — when disabled,
 //! instrumentation costs a branch and nothing else, and nothing allocates.
 
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod event;

@@ -50,7 +50,7 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 // `!(x > 0.0)` rejects NaN as well as non-positive values — the validation
 // idiom used throughout; and numeric solver loops index several parallel
 // arrays at once, where iterator zips would obscure the maths.

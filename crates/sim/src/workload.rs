@@ -14,7 +14,7 @@ use serde::{Deserialize, Serialize};
 
 /// The kind of task a VM runs. Determines the shape of its CPU utilization
 /// trace and its memory activity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[non_exhaustive]
 pub enum TaskProfile {
     /// Sustained high CPU (scientific computing, encoding): ~90% flat.

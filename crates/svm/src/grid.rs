@@ -141,12 +141,17 @@ impl GridSearch {
     ///
     /// Cells are scored with the same fold split (same seed) so scores are
     /// comparable, exactly as `grid.py` reuses its folds. Work is spread
-    /// over up to `threads` OS threads.
+    /// over up to `threads` OS threads; each worker keeps `(index, score)`
+    /// pairs for the cells it claimed and the merge re-orders them by cell
+    /// index, so the result is bit-identical for any thread count and
+    /// completion order (the index-addressed pattern rule L9 requires of
+    /// this module).
     ///
     /// # Errors
     ///
     /// Propagates cross-validation errors (e.g. too few samples for the
-    /// fold count, invalid base parameters).
+    /// fold count, invalid base parameters), and rejects an empty grid
+    /// (some candidate range was set to no values).
     pub fn run(&self, data: &Dataset) -> Result<GridSearchResult, SvmError> {
         let mut cells: Vec<SvrParams> = Vec::with_capacity(self.cells());
         let gamma_values: Vec<Option<f64>> = if self.base.kernel().gamma().is_some() {
@@ -165,43 +170,65 @@ impl GridSearch {
                 }
             }
         }
+        if cells.is_empty() {
+            return Err(SvmError::invalid(
+                "grid",
+                "empty parameter grid: no (C, gamma, epsilon) candidates",
+            ));
+        }
 
         let folds = self.folds;
         let seed = self.seed;
         let next = std::sync::atomic::AtomicUsize::new(0);
-        let results: Vec<std::sync::Mutex<Option<Result<f64, SvmError>>>> =
-            cells.iter().map(|_| std::sync::Mutex::new(None)).collect();
-
-        std::thread::scope(|scope| {
-            for _ in 0..self.threads.min(cells.len()) {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= cells.len() {
-                        break;
-                    }
-                    let mut rng = StdRng::seed_from_u64(seed);
-                    let outcome =
-                        cross_validate_svr(data, cells[i], folds, &mut rng).map(|cv| cv.mean_mse);
-                    *results[i].lock().expect("grid cell mutex") = Some(outcome);
-                });
+        // Work-stealing over an atomic cursor; every claimed index yields
+        // exactly one (index, outcome) pair in some worker's local vector.
+        let mut pairs: Vec<(usize, Result<f64, SvmError>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.threads.min(cells.len()))
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if i >= cells.len() {
+                                break;
+                            }
+                            let mut rng = StdRng::seed_from_u64(seed);
+                            let outcome = cross_validate_svr(data, cells[i], folds, &mut rng)
+                                .map(|cv| cv.mean_mse);
+                            local.push((i, outcome));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            let mut all = Vec::with_capacity(cells.len());
+            for handle in handles {
+                match handle.join() {
+                    Ok(local) => all.extend(local),
+                    // A worker panicked (it should not: CV returns errors
+                    // by value); re-raise on the caller's thread.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
             }
+            all
         });
-
+        // Index-addressed merge: the atomic cursor hands out each index
+        // exactly once, so sorting the claimed pairs restores grid order
+        // and pairs/cells zip one-to-one.
+        pairs.sort_unstable_by_key(|(i, _)| *i);
         let mut scored = Vec::with_capacity(cells.len());
-        for (params, slot) in cells.into_iter().zip(results) {
-            let outcome = slot
-                .into_inner()
-                .expect("grid cell mutex")
-                .expect("every cell evaluated");
-            let cv_mse = outcome?;
-            scored.push(GridCell { params, cv_mse });
+        for (params, (_, outcome)) in cells.into_iter().zip(pairs) {
+            scored.push(GridCell {
+                params,
+                cv_mse: outcome?,
+            });
         }
 
         let best = scored
             .iter()
             .min_by(|a, b| a.cv_mse.total_cmp(&b.cv_mse))
             .copied()
-            .expect("at least one grid cell");
+            .ok_or_else(|| SvmError::invalid("grid", "empty parameter grid"))?;
         Ok(GridSearchResult {
             cells: scored,
             best,
@@ -492,6 +519,13 @@ mod tests {
     #[should_panic(expected = "at least one kernel")]
     fn empty_kernel_list_panics() {
         let _ = KernelSearch::new(vec![], GridSearch::new());
+    }
+
+    #[test]
+    fn empty_grid_is_rejected_not_panicked() {
+        let ds = wave_dataset();
+        let g = GridSearch::new().with_c_values(vec![]);
+        assert!(matches!(g.run(&ds), Err(SvmError::InvalidParameter { .. })));
     }
 
     #[test]

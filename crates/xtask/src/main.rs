@@ -1,12 +1,15 @@
 //! Workspace task runner. Currently one task:
 //!
 //! ```text
-//! cargo run -p xtask -- lint [--root DIR] [--allowlist FILE]
+//! cargo run -p xtask -- lint [--json] [--root DIR] [--allowlist FILE]
 //! ```
 //!
-//! Runs the project lint rules L1–L5 (see the library docs) and exits
-//! non-zero when any violation is found. The allowlist defaults to
-//! `xtask-lint-allow.txt` in the workspace root.
+//! Runs the project lint rules L1–L10 (see the library docs) and exits
+//! non-zero when any violation is found. With `--json`, findings are
+//! emitted as one JSON object per line (for CI annotation) instead of the
+//! human-readable report. The allowlist defaults to
+//! `xtask-lint-allow.txt` in the workspace root; the companion ratchet
+//! file `xtask-lint-ratchet.txt` (rule L10) pins its entry count.
 
 #![deny(unsafe_code)]
 
@@ -18,7 +21,7 @@ use xtask::{lint_workspace, Allowlist};
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(task) = args.next() else {
-        eprintln!("usage: cargo run -p xtask -- lint [--root DIR] [--allowlist FILE]");
+        eprintln!("usage: cargo run -p xtask -- lint [--json] [--root DIR] [--allowlist FILE]");
         return ExitCode::FAILURE;
     };
     if task != "lint" {
@@ -28,10 +31,12 @@ fn main() -> ExitCode {
 
     let mut root: Option<PathBuf> = None;
     let mut allowlist_path: Option<PathBuf> = None;
+    let mut json = false;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--root" => root = args.next().map(PathBuf::from),
             "--allowlist" => allowlist_path = args.next().map(PathBuf::from),
+            "--json" => json = true,
             other => {
                 eprintln!("unknown flag {other:?}");
                 return ExitCode::FAILURE;
@@ -58,18 +63,26 @@ fn main() -> ExitCode {
     };
     match lint_workspace(&root, &allow) {
         Ok(violations) if violations.is_empty() => {
-            println!(
-                "xtask lint: OK ({} allowlisted site{})",
-                allow.len(),
-                if allow.len() == 1 { "" } else { "s" }
-            );
+            if !json {
+                println!(
+                    "xtask lint: OK ({} allowlisted site{})",
+                    allow.len(),
+                    if allow.len() == 1 { "" } else { "s" }
+                );
+            }
             ExitCode::SUCCESS
         }
         Ok(violations) => {
             for v in &violations {
-                println!("{v}");
+                if json {
+                    println!("{}", v.to_json());
+                } else {
+                    println!("{v}");
+                }
             }
-            println!("xtask lint: {} violation(s)", violations.len());
+            if !json {
+                println!("xtask lint: {} violation(s)", violations.len());
+            }
             ExitCode::FAILURE
         }
         Err(e) => {

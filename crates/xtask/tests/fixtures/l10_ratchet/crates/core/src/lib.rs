@@ -1,0 +1,6 @@
+//! One vetted panic site, covered by the fixture allowlist.
+#![forbid(unsafe_code)]
+
+pub fn first(xs: &[f64]) -> f64 {
+    xs.first().copied().expect("caller checks nonempty")
+}

@@ -1,4 +1,4 @@
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub fn risky(xs: &[f64]) -> f64 {
     let first = xs.first().unwrap();

@@ -1,4 +1,4 @@
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub fn same_temperature(a_c: f64, b_c: f64) -> bool {
     a_c == b_c

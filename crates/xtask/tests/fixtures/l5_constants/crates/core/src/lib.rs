@@ -1,4 +1,4 @@
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub const PAPER_LAMBDA: f64 = 0.8;
 

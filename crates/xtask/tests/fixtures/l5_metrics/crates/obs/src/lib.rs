@@ -1,3 +1,3 @@
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod names;

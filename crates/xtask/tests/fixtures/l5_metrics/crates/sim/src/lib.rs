@@ -1,4 +1,4 @@
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub const METRIC_LOCAL_STEPS: &str = "vmtherm_local_steps_total";
 

@@ -1,0 +1,8 @@
+//! Dirty fixture: the crate root stops at `deny`, L8 wants `forbid`.
+#![deny(unsafe_code)]
+
+pub fn bump(xs: &mut [f64]) {
+    for x in xs.iter_mut() {
+        *x += 1.0;
+    }
+}

@@ -1,0 +1,9 @@
+//! Dirty fixture: carries forbid but smuggles an unsafe block (the
+//! token scan catches it even though rustc would too — fixtures are
+//! scanned as text, never compiled).
+#![forbid(unsafe_code)]
+
+pub fn read_first(xs: &[f64]) -> f64 {
+    let p = xs.as_ptr();
+    unsafe { *p }
+}

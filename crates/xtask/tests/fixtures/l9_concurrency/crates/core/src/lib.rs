@@ -1,0 +1,13 @@
+//! Dirty fixture: ad-hoc threading outside the allowlisted modules.
+#![forbid(unsafe_code)]
+
+pub fn detached() {
+    std::thread::spawn(|| {});
+}
+
+pub fn scoped_sum(xs: &[f64]) -> f64 {
+    std::thread::scope(|scope| {
+        let h = scope.spawn(|| xs.iter().sum::<f64>());
+        h.join().unwrap_or(0.0)
+    })
+}

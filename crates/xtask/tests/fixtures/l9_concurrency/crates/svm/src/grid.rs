@@ -1,0 +1,18 @@
+//! The allowlisted concurrency module: workers write results into
+//! index-addressed slots, so the merge is completion-order independent
+//! and rule L9 stays quiet here.
+
+pub fn scoped_merge(xs: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0; xs.len()];
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..xs.len())
+            .map(|i| scope.spawn(move || (i, xs[i] * 2.0)))
+            .collect();
+        for h in handles {
+            if let Ok((i, v)) = h.join() {
+                out[i] = v;
+            }
+        }
+    });
+    out
+}

@@ -1,0 +1,4 @@
+//! Fixture svm crate root.
+#![forbid(unsafe_code)]
+
+pub mod grid;

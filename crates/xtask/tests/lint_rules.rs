@@ -145,6 +145,93 @@ fn l6_allowlist_covers_the_boundary_constructor() {
 }
 
 #[test]
+fn l7_nondeterministic_idioms_fire() {
+    let violations = lint_fixture("l7_determinism");
+    let import = find(&violations, Rule::L7, "crates/core/src/lib.rs", 4);
+    assert!(import.message.contains("BTreeMap"), "{import:#?}");
+    find(&violations, Rule::L7, "crates/core/src/lib.rs", 7); // HashMap::new
+    let clock = find(&violations, Rule::L7, "crates/core/src/lib.rs", 15);
+    assert!(clock.message.contains("wall-clock"), "{clock:#?}");
+    find(&violations, Rule::L7, "crates/core/src/lib.rs", 20); // SystemTime
+    let rng = find(&violations, Rule::L7, "crates/core/src/lib.rs", 27);
+    assert!(rng.message.contains("seed_from_u64"), "{rng:#?}");
+    // The #[cfg(test)] HashMap must not fire.
+    let l7: Vec<_> = violations.iter().filter(|v| v.rule == Rule::L7).collect();
+    assert_eq!(l7.len(), 5, "{l7:#?}");
+    assert!(!binary_passes("l7_determinism"));
+}
+
+#[test]
+fn l8_unsafe_hygiene_fires() {
+    let violations = lint_fixture("l8_unsafe");
+    // deny-only crate root: attribute finding at line 0.
+    let attr = find(&violations, Rule::L8, "crates/core/src/lib.rs", 0);
+    assert!(attr.message.contains("forbid(unsafe_code)"), "{attr:#?}");
+    // forbid present but an unsafe block smuggled in: token finding.
+    let token = find(&violations, Rule::L8, "crates/sim/src/lib.rs", 8);
+    assert!(token.message.contains("unsafe {"), "{token:#?}");
+    assert_eq!(violations.len(), 2, "{violations:#?}");
+    assert!(!binary_passes("l8_unsafe"));
+}
+
+#[test]
+fn l9_threads_outside_allowlisted_modules_fire() {
+    let violations = lint_fixture("l9_concurrency");
+    find(&violations, Rule::L9, "crates/core/src/lib.rs", 5); // thread::spawn
+    find(&violations, Rule::L9, "crates/core/src/lib.rs", 9); // thread::scope
+    find(&violations, Rule::L9, "crates/core/src/lib.rs", 10); // scope.spawn
+                                                               // crates/svm/src/grid.rs is the allowlisted index-addressed module:
+                                                               // its thread::scope/scope.spawn must not fire.
+    assert_eq!(violations.len(), 3, "{violations:#?}");
+    assert!(!binary_passes("l9_concurrency"));
+}
+
+#[test]
+fn l10_stale_entries_and_ratchet_growth_fire() {
+    let root = fixture("l10_ratchet");
+    let allow = Allowlist::load(&root.join("xtask-lint-allow.txt")).expect("allowlist");
+    let violations = lint_workspace(&root, &allow).expect("lint run");
+    // The live entry suppresses the L2 finding it covers...
+    assert!(
+        !violations.iter().any(|v| v.rule == Rule::L2),
+        "{violations:#?}"
+    );
+    // ...the stale needle and the missing file each fire L10...
+    let stale = find(&violations, Rule::L10, "crates/core/src/lib.rs", 0);
+    assert!(stale.message.contains("retired long ago"), "{stale:#?}");
+    find(&violations, Rule::L10, "crates/sim/src/lib.rs", 0);
+    // ...and three entries against a ratchet of two is growth.
+    let ratchet = find(&violations, Rule::L10, "xtask-lint-ratchet.txt", 0);
+    assert!(ratchet.message.contains("never grow"), "{ratchet:#?}");
+    assert_eq!(violations.len(), 3, "{violations:#?}");
+}
+
+#[test]
+fn json_output_emits_one_record_per_finding() {
+    let root = fixture("l10_ratchet");
+    let output = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["lint", "--json", "--root"])
+        .arg(&root)
+        .arg("--allowlist")
+        .arg(root.join("xtask-lint-allow.txt"))
+        .output()
+        .expect("spawn xtask");
+    assert!(!output.status.success());
+    let stdout = String::from_utf8(output.stdout).expect("utf8");
+    let records: Vec<&str> = stdout.lines().collect();
+    assert_eq!(records.len(), 3, "{stdout}");
+    for record in &records {
+        assert!(record.starts_with('{') && record.ends_with('}'), "{record}");
+        assert!(record.contains("\"rule\":\"L10\""), "{record}");
+        assert!(record.contains("\"path\":\""), "{record}");
+        assert!(record.contains("\"line\":0"), "{record}");
+        assert!(record.contains("\"message\":\""), "{record}");
+    }
+    // Needles with quotes must be escaped, never break the record format.
+    assert!(stdout.contains("\\\"retired long ago\\\""), "{stdout}");
+}
+
+#[test]
 fn allowlist_suppresses_a_vetted_site() {
     let allow = Allowlist::parse(
         "L2 | crates/core/src/lib.rs | .unwrap() | fixture: first element checked by caller\n\
@@ -153,7 +240,16 @@ fn allowlist_suppresses_a_vetted_site() {
     )
     .expect("parse");
     let violations = lint_workspace(&fixture("l2_panics"), &allow).expect("lint run");
-    assert!(violations.is_empty(), "{violations:#?}");
+    // All three panic sites are vetted; the only finding left is L10
+    // complaining that a non-empty allowlist has no ratchet file pinning
+    // its count — exactly the "allowlist cannot grow silently" contract.
+    assert!(
+        !violations.iter().any(|v| v.rule == Rule::L2),
+        "{violations:#?}"
+    );
+    assert_eq!(violations.len(), 1, "{violations:#?}");
+    assert_eq!(violations[0].rule, Rule::L10);
+    assert!(violations[0].message.contains("ratchet file is missing"));
 }
 
 #[test]

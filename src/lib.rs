@@ -31,7 +31,7 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub use vmtherm_core as core;
 pub use vmtherm_obs as obs;
