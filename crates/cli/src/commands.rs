@@ -33,6 +33,16 @@ GLOBAL FLAGS (any command except obs-report):
                   JSON, anything else Prometheus text format)
   --trace FILE    append schema-versioned JSONL events (spans, forecasts,
                   calibration updates, re-anchors, SMO solves) to FILE
+  --serve-metrics ADDR
+                  serve /metrics, /metrics.json, /alerts and /healthz over
+                  HTTP while the command runs (e.g. 127.0.0.1:9464)
+  --alerts SPEC   evaluate alert rules on every simulated tick; SPEC is
+                  `default` or semicolon-separated rules of the form
+                  `[name:] metric[.pNN] <|> THRESH [for N] [clear V]`
+  --flight-dir DIR
+                  keep a ring of recent trace events and dump them to
+                  DIR/alert-*.jsonl whenever an alert fires
+                  [--flight-ring N=512 ring capacity when --trace is absent]
 
 COMMANDS:
   collect   run randomized thermal experiments, write Eq. (2) records (libsvm format)
@@ -69,6 +79,12 @@ COMMANDS:
   obs-report  summarize a JSONL trace: per-span timing tree and top-line
             counters (validates every line against the event schema)
             --trace FILE
+  obs-serve  run a built-in demo fleet and serve its live metrics over HTTP
+            (default alert rules are installed unless --alerts is given;
+            --secs 0 binds the port and exits, for smoke tests)
+            [--addr A=127.0.0.1:9464] [--secs T=30] [--hz H=50]
+            [--model MODEL] [--vms N=5] [--fans F=4] [--ambient C=24]
+            [--seed S=7]
 ";
 
 /// Runs one subcommand.
@@ -81,7 +97,7 @@ pub fn run(command: &str, flags: &Flags) -> Result<String, String> {
     if command == "obs-report" {
         return obs_report(flags);
     }
-    let sinks = ObsSinks::init(command, flags);
+    let sinks = ObsSinks::init(command, flags)?;
     let result = match command {
         "collect" => collect(flags),
         "train" => train(flags),
@@ -91,6 +107,7 @@ pub fn run(command: &str, flags: &Flags) -> Result<String, String> {
         "chaos" => chaos(flags),
         "watchdog" => watchdog(flags),
         "setpoint" => setpoint(flags),
+        "obs-serve" => obs_serve(flags),
         other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     };
     let flushed = sinks.flush();
@@ -101,34 +118,103 @@ pub fn run(command: &str, flags: &Flags) -> Result<String, String> {
     }
 }
 
-/// Where the `--metrics` / `--trace` global flags direct observability
-/// output. Created before a command runs (enabling the global registry and
-/// event log as needed) and flushed after it finishes.
+/// Where the observability global flags (`--metrics`, `--trace`,
+/// `--serve-metrics`, `--alerts`, `--flight-dir`) direct their output.
+/// Created before a command runs (enabling the global registry, event log,
+/// alert engine and scrape server as needed) and flushed after it finishes.
 struct ObsSinks {
     metrics: Option<String>,
     trace: Option<String>,
+    server: Option<obs::ScrapeServer>,
+    /// Ring tracing was enabled for the flight recorder (no `--trace`), so
+    /// the buffered events are discarded on flush rather than written out.
+    ring_trace: bool,
+    enabled: bool,
 }
 
 impl ObsSinks {
-    fn init(command: &str, flags: &Flags) -> ObsSinks {
+    fn init(command: &str, flags: &Flags) -> Result<ObsSinks, String> {
         let metrics = flags.get("metrics").map(str::to_string);
         let trace = flags.get("trace").map(str::to_string);
-        if metrics.is_some() || trace.is_some() {
+        let serve = flags.get("serve-metrics").map(str::to_string);
+        let flight = flags.get("flight-dir").map(str::to_string);
+        // Parse everything fallible before touching any global state, so a
+        // bad spec leaves the process exactly as it was.
+        let rules = match flags.get("alerts") {
+            Some(spec) => {
+                Some(obs::alert::parse_rules(spec).map_err(|e| format!("--alerts: {e}"))?)
+            }
+            None => None,
+        };
+        let ring: usize = flags.num("flight-ring", 512)?;
+        if ring == 0 {
+            return Err("--flight-ring must be positive".to_string());
+        }
+
+        let enabled = metrics.is_some()
+            || trace.is_some()
+            || serve.is_some()
+            || flight.is_some()
+            || rules.is_some();
+        if enabled {
             obs::set_enabled(true);
         }
-        if trace.is_some() {
-            obs::enable_trace(TraceMode::Unbounded);
+        let ring_trace = flight.is_some() && trace.is_none();
+        if trace.is_some() || ring_trace {
+            obs::enable_trace(if ring_trace {
+                TraceMode::Ring(ring)
+            } else {
+                TraceMode::Unbounded
+            });
             obs::emit(ObsEvent::Meta {
                 cmd: command.to_string(),
             });
         }
-        ObsSinks { metrics, trace }
+        if let Some(dir) = &flight {
+            obs::set_flight_dir(std::path::PathBuf::from(dir));
+        }
+        if let Some(rules) = rules {
+            obs::install_alerts(obs::AlertEngine::new(rules));
+        }
+        let server = match &serve {
+            Some(addr) => match obs::ScrapeServer::start(addr) {
+                Ok(server) => Some(server),
+                Err(e) => {
+                    // Undo the partial setup above before surfacing the error.
+                    obs::clear_alerts();
+                    obs::clear_flight_dir();
+                    if trace.is_some() || ring_trace {
+                        let _ = obs::disable_trace();
+                    }
+                    obs::set_enabled(false);
+                    return Err(format!("--serve-metrics {addr}: {e}"));
+                }
+            },
+            None => None,
+        };
+        Ok(ObsSinks {
+            metrics,
+            trace,
+            server,
+            ring_trace,
+            enabled,
+        })
     }
 
     fn flush(self) -> Result<(), String> {
-        let enabled = self.metrics.is_some() || self.trace.is_some();
+        let ObsSinks {
+            metrics,
+            trace,
+            server,
+            ring_trace,
+            enabled,
+        } = self;
+        // Stop answering scrapes before tearing the rest down.
+        drop(server);
+        obs::clear_alerts();
+        obs::clear_flight_dir();
         let mut result = Ok(());
-        if let Some(path) = self.trace {
+        if let Some(path) = trace {
             let mut text = String::new();
             for event in obs::disable_trace() {
                 text.push_str(&event.to_json().render());
@@ -142,8 +228,10 @@ impl ObsSinks {
                 .open(&path)
                 .and_then(|mut f| std::io::Write::write_all(&mut f, text.as_bytes()))
                 .map_err(|e| format!("writing trace {path}: {e}"));
+        } else if ring_trace {
+            let _ = obs::disable_trace();
         }
-        if let Some(path) = self.metrics {
+        if let Some(path) = metrics {
             let registry = obs::global();
             let text = if path.ends_with(".json") {
                 registry.to_json().render_pretty()
@@ -443,14 +531,23 @@ fn chaos(flags: &Flags) -> Result<String, String> {
 
     let mut monitor = FleetMonitor::new(model, DynamicConfig::new(), 1, Seconds::new(gap))
         .map_err(|e| e.to_string())?;
+    let mut alert_lines = Vec::new();
     for _ in 0..secs {
         sim.step();
         monitor.observe(&sim, Celsius::new(ambient));
+        for event in obs::eval_alerts(sim.now().as_secs_f64()) {
+            alert_lines.push(render_alert_line(&event));
+        }
     }
 
     let stats = monitor.stats(sid);
     let deg = monitor.degradation(sid);
     let faults = sim.fault_stats();
+    let alerts = if alert_lines.is_empty() {
+        String::new()
+    } else {
+        format!("\n{}", alert_lines.join("\n"))
+    };
     Ok(format!(
         "chaos run: {secs} s ({vms} VMs + burst at {burst_at} s), fault seed {fault_seed}\n\
          injected:  dropped {}, stuck {}, spiked {}, jittered {}, events lost {}\n\
@@ -475,7 +572,28 @@ fn chaos(flags: &Flags) -> Result<String, String> {
         deg.holdover_entries,
         deg.recovery_reanchors,
         deg.forecasts_expired,
-    ))
+    ) + &alerts)
+}
+
+/// One human-readable line per alert transition, appended to the reports of
+/// commands that evaluate rules on the simulated clock.
+fn render_alert_line(event: &obs::AlertEvent) -> String {
+    if event.fired {
+        let dump = event
+            .dump
+            .as_deref()
+            .map(|path| format!(" (flight dump: {path})"))
+            .unwrap_or_default();
+        format!(
+            "ALERT {} at t={:.0} s: {} = {:.3} breaches {:.3}{}",
+            event.rule, event.t_secs, event.instance, event.value, event.threshold, dump
+        )
+    } else {
+        format!(
+            "CLEAR {} at t={:.0} s: {} = {:.3}",
+            event.rule, event.t_secs, event.instance, event.value
+        )
+    }
 }
 
 fn watchdog(flags: &Flags) -> Result<String, String> {
@@ -642,6 +760,124 @@ fn setpoint(flags: &Flags) -> Result<String, String> {
     }
 }
 
+/// Runs a small always-on fleet and serves its live metrics over HTTP.
+///
+/// This is a demo/smoke harness rather than a simulation experiment: the
+/// loop is paced on the wall clock (`--hz` sim steps per second) so a human
+/// or CI step can scrape `/metrics` and `/alerts` while it runs. With
+/// `--secs 0` it binds the port, proves the server answers, and exits.
+fn obs_serve(flags: &Flags) -> Result<String, String> {
+    let addr = flags
+        .get("addr")
+        .map_or_else(|| "127.0.0.1:9464".to_string(), str::to_string);
+    let secs: u64 = flags.num("secs", 30)?;
+    let hz: f64 = flags.num("hz", 50.0)?;
+    let vms: usize = flags.num("vms", 5)?;
+    let fans: u32 = flags.num("fans", 4)?;
+    let ambient: f64 = flags.num("ambient", 24.0)?;
+    let seed: u64 = flags.num("seed", 7)?;
+    if !hz.is_finite() || hz <= 0.0 {
+        return Err("--hz must be a positive rate".to_string());
+    }
+
+    obs::set_enabled(true);
+    // The global --alerts flag installs a custom rule set before dispatch;
+    // otherwise the built-in fleet-health rules apply.
+    if flags.get("alerts").is_none() {
+        obs::install_alerts(obs::AlertEngine::new(obs::alert::default_rules()));
+    }
+    let server = obs::ScrapeServer::start(&addr).map_err(|e| format!("binding {addr}: {e}"))?;
+    let bound = server.local_addr();
+    if secs == 0 {
+        obs::set_enabled(false);
+        return Ok(format!(
+            "bound http://{bound}/metrics and exited (--secs 0)"
+        ));
+    }
+
+    // A model is needed to drive the fleet monitor; train a small one
+    // inline when none is supplied, so the command works standalone.
+    let model = match flags.get("model") {
+        Some(path) => load_model(path)?,
+        None => demo_model(seed)?,
+    };
+
+    let mut dc = Datacenter::new();
+    let sid = dc.add_server(
+        ServerSpec::commodity("live", 16, 2.4, 64.0, fans),
+        Celsius::new(ambient),
+        seed,
+    );
+    let mut sim = Simulation::new(dc, AmbientModel::Fixed(ambient), seed);
+    let tasks = [
+        TaskProfile::CpuBound,
+        TaskProfile::Mixed,
+        TaskProfile::WebServer,
+        TaskProfile::MemoryBound,
+        TaskProfile::Bursty,
+    ];
+    for i in 0..vms {
+        sim.boot_vm_now(
+            sid,
+            VmSpec::new(format!("vm-{i}"), 2, 4.0, tasks[i % tasks.len()]),
+        )
+        .map_err(|e| format!("placement: {e}"))?;
+    }
+    // A mild spike channel keeps the fault and quarantine metrics moving so
+    // the scraped families are representative of a noisy fleet.
+    let plan = FaultPlan::new(seed.wrapping_mul(31).wrapping_add(7)).with_spike(
+        SpikeFault::random(0.01, Celsius::new(15.0), Celsius::new(25.0))
+            .map_err(|e| format!("spike: {e}"))?,
+    );
+    sim.set_fault_plan(plan)
+        .map_err(|e| format!("fault plan: {e}"))?;
+    let mut monitor = FleetMonitor::new(model, DynamicConfig::new(), 1, Seconds::new(60.0))
+        .map_err(|e| e.to_string())?;
+
+    let period = std::time::Duration::from_secs_f64(1.0 / hz);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(secs);
+    let mut steps: u64 = 0;
+    let mut fired: u64 = 0;
+    while std::time::Instant::now() < deadline {
+        sim.step();
+        monitor.observe(&sim, Celsius::new(ambient));
+        fired += obs::eval_alerts(sim.now().as_secs_f64())
+            .iter()
+            .filter(|e| e.fired)
+            .count() as u64;
+        steps += 1;
+        std::thread::sleep(period);
+    }
+
+    drop(server);
+    obs::clear_alerts();
+    obs::set_enabled(false);
+    Ok(format!(
+        "served http://{bound}/metrics for {secs} s: {steps} sim steps at {hz} Hz, {fired} alert(s) fired"
+    ))
+}
+
+/// Trains a small stable-temperature model for `obs-serve` when no
+/// `--model` is given: enough cases for a usable fit, few enough to keep
+/// startup in the low seconds.
+fn demo_model(seed: u64) -> Result<StablePredictor, String> {
+    let mut generator = CaseGenerator::new(seed);
+    let configs: Vec<_> = generator
+        .random_cases(16, seed.wrapping_mul(31).wrapping_add(1_000))
+        .into_iter()
+        .map(|c| c.with_duration(SimDuration::from_secs(900)))
+        .collect();
+    let outcomes = run_experiments(&configs);
+    let ds = dataset_from_outcomes(&outcomes, FeatureEncoding::Full);
+    let options = TrainingOptions::new().with_params(
+        vmtherm_svm::svr::SvrParams::new()
+            .with_c(128.0)
+            .with_epsilon(0.05)
+            .with_kernel(vmtherm_svm::kernel::Kernel::rbf(0.02)),
+    );
+    StablePredictor::fit_dataset(ds, &options).map_err(|e| format!("demo model: {e}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -654,6 +890,16 @@ mod tests {
         let dir = std::env::temp_dir().join("vmtherm-cli-tests");
         fs::create_dir_all(&dir).expect("temp dir");
         dir.join(name).to_string_lossy().into_owned()
+    }
+
+    /// Serializes tests that toggle the process-wide obs registry, event
+    /// log, alert engine or scrape server.
+    static OBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn obs_lock() -> std::sync::MutexGuard<'static, ()> {
+        OBS_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     #[test]
@@ -844,12 +1090,7 @@ mod tests {
 
     #[test]
     fn obs_trace_and_metrics_round_trip() {
-        // Serialize against other tests: --trace/--metrics toggle the
-        // process-wide obs registry and event log.
-        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
-        let _guard = LOCK
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let _guard = obs_lock();
 
         let records = temp_path("obs_records.libsvm");
         let model = temp_path("obs_model.txt");
@@ -913,6 +1154,96 @@ mod tests {
             report.contains("commands: collect, train"),
             "no meta line in:\n{report}"
         );
+    }
+
+    #[test]
+    fn chaos_alerts_fire_and_flight_dump_replays() {
+        let _guard = obs_lock();
+
+        let records = temp_path("alert_records.libsvm");
+        let model = temp_path("alert_model.txt");
+        let flight_dir = std::env::temp_dir().join("vmtherm-cli-tests-flight");
+        let _ = fs::remove_dir_all(&flight_dir);
+        let flight = flight_dir.to_string_lossy().into_owned();
+
+        run(
+            "collect",
+            &flags(&[
+                "--out",
+                &records,
+                "--cases",
+                "20",
+                "--seed",
+                "5",
+                "--duration",
+                "900",
+            ]),
+        )
+        .expect("collect");
+        run("train", &flags(&["--records", &records, "--out", &model])).expect("train");
+
+        // A rule on the ingest counter is guaranteed to fire on the first
+        // tick: every observed sample increments it.
+        let msg = run(
+            "chaos",
+            &flags(&[
+                "--model",
+                &model,
+                "--secs",
+                "650",
+                "--burst-at",
+                "600",
+                "--alerts",
+                "ingest: vmtherm_samples_ingested_total > 0 for 1",
+                "--flight-dir",
+                &flight,
+                "--flight-ring",
+                "64",
+            ]),
+        )
+        .expect("chaos");
+        assert!(msg.contains("ALERT ingest"), "no alert line in:\n{msg}");
+        assert!(msg.contains("flight dump:"), "no dump path in:\n{msg}");
+
+        // The dump replays through the strict JSONL parser and ends with
+        // the alert record that triggered it.
+        let dump = fs::read_dir(&flight_dir)
+            .expect("flight dir")
+            .filter_map(Result::ok)
+            .find(|e| e.file_name().to_string_lossy().starts_with("alert-ingest"))
+            .expect("dump file");
+        let text = fs::read_to_string(dump.path()).expect("dump text");
+        let events = report::parse_jsonl(&text).expect("dump parses");
+        assert!(
+            matches!(events.last(), Some(ObsEvent::Alert { fired: true, .. })),
+            "last dump event is not the firing alert"
+        );
+        assert!(events.len() > 1, "dump holds no pre-incident events");
+        let _ = fs::remove_dir_all(&flight_dir);
+    }
+
+    #[test]
+    fn obs_serve_binds_an_ephemeral_port_and_exits() {
+        let _guard = obs_lock();
+        let msg = run(
+            "obs-serve",
+            &flags(&["--addr", "127.0.0.1:0", "--secs", "0"]),
+        )
+        .expect("obs-serve");
+        assert!(msg.contains("bound http://127.0.0.1:"), "unexpected: {msg}");
+        assert!(msg.contains("--secs 0"), "unexpected: {msg}");
+    }
+
+    #[test]
+    fn bad_alert_spec_is_rejected_before_dispatch() {
+        let err = run("train", &flags(&["--alerts", "nonsense"])).unwrap_err();
+        assert!(err.contains("--alerts"), "unexpected: {err}");
+        let err = run(
+            "chaos",
+            &flags(&["--flight-ring", "0", "--flight-dir", "x"]),
+        )
+        .unwrap_err();
+        assert!(err.contains("--flight-ring"), "unexpected: {err}");
     }
 
     #[test]

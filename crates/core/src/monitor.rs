@@ -37,9 +37,14 @@ static OBS_RECOVERY_REANCHORS: obs::LazyCounter =
     obs::LazyCounter::new(names::METRIC_MONITOR_RECOVERY_REANCHORS);
 static OBS_EXPIRED: obs::LazyCounter =
     obs::LazyCounter::new(names::METRIC_MONITOR_FORECASTS_EXPIRED);
+static OBS_OBSERVE_NS: obs::LazySummary = obs::LazySummary::new(names::METRIC_MONITOR_OBSERVE_NS);
 
 /// Forecast errors kept per server for the rolling-MSE drift gauge.
 const ROLLING_WINDOW: usize = 128;
+
+/// Default die-temperature limit (°C) the headroom gauge measures against;
+/// a common throttle point for commodity server CPUs.
+pub const DEFAULT_TEMP_LIMIT_C: f64 = 85.0;
 
 /// Per-server drift gauges, registered against the global registry with a
 /// `{server="N"}` label when the observability layer is enabled.
@@ -50,6 +55,10 @@ struct ServerGauges {
     since_reanchor: obs::Gauge,
     pending: obs::Gauge,
     holdover: obs::Gauge,
+    /// °C below the configured die-temperature limit at the latest sample.
+    headroom: obs::Gauge,
+    /// Absolute forecast-error summary (p50/p95/p99 via the P² sketch).
+    pred_err: obs::Summary,
 }
 
 impl ServerGauges {
@@ -70,6 +79,14 @@ impl ServerGauges {
             )),
             pending: reg.gauge(&names::server_gauge(names::METRIC_MONITOR_PENDING, server)),
             holdover: reg.gauge(&names::server_gauge(names::METRIC_MONITOR_HOLDOVER, server)),
+            headroom: reg.gauge(&names::server_gauge(
+                names::METRIC_MONITOR_TEMP_HEADROOM,
+                server,
+            )),
+            pred_err: reg.summary(&names::server_gauge(
+                names::METRIC_MONITOR_PRED_ABS_ERR,
+                server,
+            )),
         }
     }
 }
@@ -229,6 +246,8 @@ pub struct FleetMonitor {
     /// Per-server holdover flag: the stream is stale and forecasts ride
     /// the anchored curve alone.
     holdover: Vec<bool>,
+    /// Die-temperature limit (°C) the headroom gauge measures against.
+    temp_limit_c: f64,
 }
 
 impl FleetMonitor {
@@ -273,7 +292,33 @@ impl FleetMonitor {
             stuck_run: vec![(0, 0); servers],
             last_delivery: vec![f64::NAN; servers],
             holdover: vec![false; servers],
+            temp_limit_c: DEFAULT_TEMP_LIMIT_C,
         })
+    }
+
+    /// Replaces the die-temperature limit the per-server headroom gauge
+    /// measures against (default [`DEFAULT_TEMP_LIMIT_C`]).
+    ///
+    /// # Errors
+    ///
+    /// [`PredictError::InvalidConfig`] for a non-finite or non-positive
+    /// limit.
+    pub fn with_temp_limit(mut self, limit: Celsius) -> Result<Self, PredictError> {
+        let limit = limit.get();
+        if !(limit.is_finite() && limit > 0.0) {
+            return Err(PredictError::invalid(
+                "temp_limit_c",
+                format!("must be finite and > 0, got {limit}"),
+            ));
+        }
+        self.temp_limit_c = limit;
+        Ok(self)
+    }
+
+    /// The die-temperature limit (°C) behind the headroom gauge.
+    #[must_use]
+    pub fn temp_limit_c(&self) -> f64 {
+        self.temp_limit_c
     }
 
     /// Replaces the degradation policy (validating it).
@@ -378,6 +423,7 @@ impl FleetMonitor {
     /// Panics if the simulation has more servers than the monitor.
     pub fn observe(&mut self, sim: &Simulation, ambient_c: Celsius) {
         let _span = obs::span(names::SPAN_MONITOR_OBSERVE);
+        let _sweep_timer = OBS_OBSERVE_NS.start_timer();
         let n = self.servers();
         assert!(
             sim.datacenter().len() <= n,
@@ -473,6 +519,9 @@ impl FleetMonitor {
                 self.recent_sq_err[idx].push_back(err * err);
                 OBS_SCORED.inc();
                 OBS_ABS_ERR.observe(err.abs());
+                if let Some(gauges) = self.gauges.get(idx) {
+                    gauges.pred_err.observe(err.abs());
+                }
                 obs::emit_with(|| ObsEvent::ForecastScored {
                     t_secs: now,
                     server: idx,
@@ -496,6 +545,7 @@ impl FleetMonitor {
                 gauges.gamma_abs.set(self.predictors[idx].gamma().abs());
                 gauges.since_reanchor.set(now - self.last_anchor[idx]);
                 gauges.pending.set(self.pending[idx].len() as f64);
+                gauges.headroom.set(self.temp_limit_c - measured);
             }
         }
     }
@@ -614,6 +664,9 @@ impl FleetMonitor {
                     self.recent_sq_err[idx].push_back(err * err);
                     OBS_SCORED.inc();
                     OBS_ABS_ERR.observe(err.abs());
+                    if let Some(gauges) = self.gauges.get(idx) {
+                        gauges.pred_err.observe(err.abs());
+                    }
                     obs::emit_with(|| ObsEvent::ForecastScored {
                         t_secs: now,
                         server: idx,
@@ -649,6 +702,9 @@ impl FleetMonitor {
             gauges
                 .holdover
                 .set(if self.holdover[idx] { 1.0 } else { 0.0 });
+            if let Some((_, v)) = self.ingested[idx].last() {
+                gauges.headroom.set(self.temp_limit_c - v);
+            }
         }
     }
 
@@ -952,8 +1008,42 @@ mod tests {
                 .gauge(&names::server_gauge(names::METRIC_MONITOR_PENDING, i))
                 .get();
             assert_eq!(pending as usize, monitor.pending_forecasts(sid));
+            let headroom = registry
+                .gauge(&names::server_gauge(names::METRIC_MONITOR_TEMP_HEADROOM, i))
+                .get();
+            let (_, measured) = sim.trace(sid).unwrap().sensor_c.last().unwrap();
+            assert!(
+                (headroom - (DEFAULT_TEMP_LIMIT_C - measured)).abs() < 1e-9,
+                "server {i} headroom gauge {headroom} vs measured {measured}"
+            );
+            let pred_err =
+                registry.summary(&names::server_gauge(names::METRIC_MONITOR_PRED_ABS_ERR, i));
+            assert_eq!(
+                pred_err.count(),
+                stats.scored as u64,
+                "server {i} pred-err summary count"
+            );
+            assert!(pred_err.quantile(0.95) >= pred_err.quantile(0.5));
         }
+        // The observe-sweep latency summary saw every observe call.
+        assert!(registry.summary(names::METRIC_MONITOR_OBSERVE_NS).count() > 0);
         vmtherm_obs::set_enabled(false);
+    }
+
+    #[test]
+    fn temp_limit_is_validated_and_applied() {
+        let monitor =
+            FleetMonitor::new(stable_model(), DynamicConfig::new(), 1, Seconds::new(60.0))
+                .unwrap()
+                .with_temp_limit(Celsius::new(95.0))
+                .unwrap();
+        assert_eq!(monitor.temp_limit_c(), 95.0);
+        assert!(matches!(
+            FleetMonitor::new(stable_model(), DynamicConfig::new(), 1, Seconds::new(60.0))
+                .unwrap()
+                .with_temp_limit(Celsius::new(-1.0)),
+            Err(PredictError::InvalidConfig { .. })
+        ));
     }
 
     #[test]

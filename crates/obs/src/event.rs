@@ -78,6 +78,31 @@ pub enum ObsEvent {
         /// or `migration_complete`.
         reason: String,
     },
+    /// One fault-injector mutation of a delivered sensor sample.
+    Fault {
+        /// Simulation time of the delivery, seconds.
+        t_secs: f64,
+        /// Server index.
+        server: usize,
+        /// Channel that touched the sample: `stuck`, `spike`, `dropout`,
+        /// or `jitter`.
+        channel: String,
+    },
+    /// An alert-rule transition (fired or cleared).
+    Alert {
+        /// Simulation time of the transition, seconds.
+        t_secs: f64,
+        /// Rule name.
+        name: String,
+        /// Metric instance the rule matched (full labelled key).
+        instance: String,
+        /// Metric value at the transition.
+        value: f64,
+        /// Rule threshold.
+        threshold: f64,
+        /// True on firing, false on clearing.
+        fired: bool,
+    },
     /// One SMO solve, with iteration count and kernel-cache stats.
     SmoSolve {
         /// Number of training points.
@@ -106,6 +131,8 @@ impl ObsEvent {
             ObsEvent::ForecastScored { .. } => "forecast_scored",
             ObsEvent::GammaUpdate { .. } => "gamma_update",
             ObsEvent::Reanchor { .. } => "reanchor",
+            ObsEvent::Fault { .. } => "fault",
+            ObsEvent::Alert { .. } => "alert",
             ObsEvent::SmoSolve { .. } => "smo_solve",
         }
     }
@@ -167,6 +194,30 @@ impl ObsEvent {
                 pairs.push(("phi0_c", Json::Num(*phi0_c)));
                 pairs.push(("psi_stable_c", Json::Num(*psi_stable_c)));
                 pairs.push(("reason", Json::str(reason)));
+            }
+            ObsEvent::Fault {
+                t_secs,
+                server,
+                channel,
+            } => {
+                pairs.push(("t_secs", Json::Num(*t_secs)));
+                pairs.push(("server", Json::Num(*server as f64)));
+                pairs.push(("channel", Json::str(channel)));
+            }
+            ObsEvent::Alert {
+                t_secs,
+                name,
+                instance,
+                value,
+                threshold,
+                fired,
+            } => {
+                pairs.push(("t_secs", Json::Num(*t_secs)));
+                pairs.push(("name", Json::str(name)));
+                pairs.push(("instance", Json::str(instance)));
+                pairs.push(("value", Json::Num(*value)));
+                pairs.push(("threshold", Json::Num(*threshold)));
+                pairs.push(("fired", Json::Bool(*fired)));
             }
             ObsEvent::SmoSolve {
                 n,
@@ -254,6 +305,22 @@ impl ObsEvent {
                 psi_stable_c: num("psi_stable_c")?,
                 reason: string("reason")?,
             }),
+            "fault" => Ok(ObsEvent::Fault {
+                t_secs: num("t_secs")?,
+                server: uint("server")? as usize,
+                channel: string("channel")?,
+            }),
+            "alert" => Ok(ObsEvent::Alert {
+                t_secs: num("t_secs")?,
+                name: string("name")?,
+                instance: string("instance")?,
+                value: num("value")?,
+                threshold: num("threshold")?,
+                fired: json
+                    .get("fired")
+                    .and_then(Json::as_bool)
+                    .ok_or_else(|| "alert: missing bool 'fired'".to_string())?,
+            }),
             "smo_solve" => Ok(ObsEvent::SmoSolve {
                 n: uint("n")? as usize,
                 iterations: uint("iterations")? as usize,
@@ -332,6 +399,14 @@ impl EventLog {
         self.events.drain(..).collect()
     }
 
+    /// Clones the buffered events, oldest first, without draining them —
+    /// the flight recorder snapshots the ring on alert firings while the
+    /// run keeps tracing.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<ObsEvent> {
+        self.events.iter().cloned().collect()
+    }
+
     /// Renders the buffered events as JSONL without draining them.
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
@@ -383,6 +458,19 @@ mod tests {
                 phi0_c: 48.0,
                 psi_stable_c: 61.0,
                 reason: "migration_start".to_string(),
+            },
+            ObsEvent::Fault {
+                t_secs: 120.0,
+                server: 0,
+                channel: "spike".to_string(),
+            },
+            ObsEvent::Alert {
+                t_secs: 500.0,
+                name: "headroom".to_string(),
+                instance: "vmtherm_monitor_temp_headroom_c{server=\"0\"}".to_string(),
+                value: 2.1,
+                threshold: 3.0,
+                fired: true,
             },
             ObsEvent::SmoSolve {
                 n: 240,

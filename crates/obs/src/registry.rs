@@ -1,15 +1,20 @@
-//! Metrics registry: counters, gauges, and fixed-bucket histograms.
+//! Metrics registry: counters, gauges, fixed-bucket histograms, and
+//! quantile-sketch summaries.
 //!
-//! Handles (`Counter`, `Gauge`, `Histogram`) are cheap `Arc`-backed clones
-//! that write with relaxed atomics; the registry itself is a name → metric
-//! map behind a mutex that is only locked on registration and on export.
-//! Snapshots render as Prometheus text exposition format or as JSON.
+//! Handles (`Counter`, `Gauge`, `Histogram`, `Summary`) are cheap
+//! `Arc`-backed clones that write with relaxed atomics (summaries take a
+//! short uncontended lock around their sketch); the registry itself is a
+//! name → metric map behind a mutex that is only locked on registration and
+//! on export. Snapshots render as Prometheus text exposition format or as
+//! JSON.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
 use crate::json::Json;
+use crate::names;
+use crate::sketch::QuantileSketch;
 
 /// A monotonically increasing counter.
 #[derive(Clone, Default)]
@@ -197,10 +202,63 @@ impl Histogram {
     }
 }
 
+/// A streaming quantile summary backed by a deterministic P² sketch
+/// ([`QuantileSketch`]); exported as Prometheus `summary` lines with
+/// p50/p95/p99 `quantile` labels.
+#[derive(Clone, Default)]
+pub struct Summary(Arc<Mutex<QuantileSketch>>);
+
+impl std::fmt::Debug for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Summary")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .finish()
+    }
+}
+
+impl Summary {
+    fn lock(&self) -> std::sync::MutexGuard<'_, QuantileSketch> {
+        // A poisoned sketch only means a panic elsewhere mid-observe; the
+        // marker state is always structurally valid.
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Records one observation (non-finite values are ignored).
+    pub fn observe(&self, value: f64) {
+        self.lock().observe(value);
+    }
+
+    /// Total number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.lock().count()
+    }
+
+    /// Sum of all observations.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.lock().sum()
+    }
+
+    /// Estimate for the tracked quantile nearest to `q`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.lock().quantile(q)
+    }
+
+    /// All tracked `(q, estimate)` pairs, ascending by q.
+    #[must_use]
+    pub fn quantiles(&self) -> [(f64, f64); 3] {
+        self.lock().quantiles()
+    }
+}
+
 enum Metric {
     Counter(Counter),
     Gauge(Gauge),
     Histogram(Histogram),
+    Summary(Summary),
 }
 
 /// A named collection of metrics.
@@ -260,6 +318,20 @@ impl Registry {
         }
     }
 
+    /// Returns the summary registered under `name`, creating it on first
+    /// use. Summaries estimate p50/p95/p99 with a deterministic fixed-size
+    /// P² sketch (see [`crate::sketch`]).
+    pub fn summary(&self, name: &str) -> Summary {
+        let mut map = self.lock();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Summary(Summary::default()))
+        {
+            Metric::Summary(s) => s.clone(),
+            _ => Summary::default(),
+        }
+    }
+
     /// Zeroes every registered metric in place. Existing handles stay
     /// attached, so cached `Lazy*` instrumentation sites keep reporting into
     /// the registry after a reset (used between benchmark rounds).
@@ -276,6 +348,7 @@ impl Registry {
                     h.0.sum_bits.store(0.0_f64.to_bits(), Ordering::Relaxed);
                     h.0.count.store(0, Ordering::Relaxed);
                 }
+                Metric::Summary(s) => s.lock().reset(),
             }
         }
     }
@@ -286,37 +359,97 @@ impl Registry {
     }
 
     /// Renders every metric in Prometheus text exposition format.
+    ///
+    /// Families (metrics sharing a base name, e.g. per-server labelled
+    /// gauges) are grouped under a single `# HELP`/`# TYPE` header pair;
+    /// histograms and summaries emit their full triplet (`_bucket`s with a
+    /// closing `+Inf` / `quantile` series, then `_sum` and `_count`) with
+    /// any embedded labels preserved on every line.
     pub fn to_prometheus(&self) -> String {
         let map = self.lock();
-        let mut out = String::new();
+        // Group by family so `# TYPE` appears exactly once per base name
+        // even when labelled instances interleave with other families in
+        // the sorted key order.
+        let mut families: BTreeMap<&str, Vec<(&String, &Metric)>> = BTreeMap::new();
         for (name, metric) in map.iter() {
-            match metric {
-                Metric::Counter(c) => {
-                    out.push_str(&format!("# TYPE {} counter\n", base_name(name)));
-                    out.push_str(&format!("{name} {}\n", c.get()));
-                }
-                Metric::Gauge(g) => {
-                    out.push_str(&format!("# TYPE {} gauge\n", base_name(name)));
-                    out.push_str(&format!("{name} {}\n", g.get()));
-                }
-                Metric::Histogram(h) => {
-                    let (buckets, count, sum) = h.snapshot();
-                    let base = base_name(name);
-                    out.push_str(&format!("# TYPE {base} histogram\n"));
-                    for (bound, cumulative) in &buckets {
-                        let le = if bound.is_finite() {
-                            format!("{bound}")
-                        } else {
-                            "+Inf".to_string()
-                        };
-                        out.push_str(&format!("{base}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+            families
+                .entry(base_name(name))
+                .or_default()
+                .push((name, metric));
+        }
+        let mut out = String::new();
+        for (base, members) in families {
+            if let Some(help) = names::help(base) {
+                out.push_str(&format!("# HELP {base} {}\n", escape_help(help)));
+            }
+            let kind = match members[0].1 {
+                Metric::Counter(_) => "counter",
+                Metric::Gauge(_) => "gauge",
+                Metric::Histogram(_) => "histogram",
+                Metric::Summary(_) => "summary",
+            };
+            out.push_str(&format!("# TYPE {base} {kind}\n"));
+            for (name, metric) in members {
+                let labels = label_body(name);
+                match metric {
+                    Metric::Counter(c) => {
+                        out.push_str(&format!("{name} {}\n", c.get()));
                     }
-                    out.push_str(&format!("{base}_sum {sum}\n"));
-                    out.push_str(&format!("{base}_count {count}\n"));
+                    Metric::Gauge(g) => {
+                        out.push_str(&format!("{name} {}\n", g.get()));
+                    }
+                    Metric::Histogram(h) => {
+                        let (buckets, count, sum) = h.snapshot();
+                        for (bound, cumulative) in &buckets {
+                            let le = if bound.is_finite() {
+                                format!("{bound}")
+                            } else {
+                                "+Inf".to_string()
+                            };
+                            let series = with_label(base, "_bucket", labels, "le", &le);
+                            out.push_str(&format!("{series} {cumulative}\n"));
+                        }
+                        out.push_str(&format!("{} {sum}\n", suffixed(base, "_sum", labels)));
+                        out.push_str(&format!("{} {count}\n", suffixed(base, "_count", labels)));
+                    }
+                    Metric::Summary(s) => {
+                        for (q, est) in s.quantiles() {
+                            let series = with_label(base, "", labels, "quantile", &format!("{q}"));
+                            out.push_str(&format!("{series} {est}\n"));
+                        }
+                        out.push_str(&format!("{} {}\n", suffixed(base, "_sum", labels), s.sum()));
+                        out.push_str(&format!(
+                            "{} {}\n",
+                            suffixed(base, "_count", labels),
+                            s.count()
+                        ));
+                    }
                 }
             }
         }
         out
+    }
+
+    /// Numeric snapshot of every metric whose family base name is `base`,
+    /// as `(full key, value)` pairs in sorted key order. Counters and
+    /// gauges yield their value; histograms and summaries yield the
+    /// `q`-quantile (default p99). This is the read API the alert engine
+    /// evaluates rules against.
+    pub fn family_values(&self, base: &str, q: Option<f64>) -> Vec<(String, f64)> {
+        let q = q.unwrap_or(0.99);
+        let map = self.lock();
+        map.iter()
+            .filter(|(name, _)| base_name(name) == base)
+            .map(|(name, metric)| {
+                let value = match metric {
+                    Metric::Counter(c) => c.get() as f64,
+                    Metric::Gauge(g) => g.get(),
+                    Metric::Histogram(h) => h.quantile(q),
+                    Metric::Summary(s) => s.quantile(q),
+                };
+                (name.clone(), value)
+            })
+            .collect()
     }
 
     /// Renders every metric as a JSON object keyed by metric name.
@@ -353,6 +486,17 @@ impl Registry {
                         ("buckets", Json::Arr(bucket_json)),
                     ])
                 }
+                Metric::Summary(s) => {
+                    let [(_, p50), (_, p95), (_, p99)] = s.quantiles();
+                    Json::obj(vec![
+                        ("type", Json::str("summary")),
+                        ("count", Json::Num(s.count() as f64)),
+                        ("sum", Json::Num(s.sum())),
+                        ("p50", Json::Num(p50)),
+                        ("p95", Json::Num(p95)),
+                        ("p99", Json::Num(p99)),
+                    ])
+                }
             };
             pairs.push((name.clone(), value));
         }
@@ -363,6 +507,64 @@ impl Registry {
 /// Strips an embedded `{label="..."}` suffix so TYPE lines use the family name.
 fn base_name(name: &str) -> &str {
     name.split('{').next().unwrap_or(name)
+}
+
+/// The label body of a full metric key: `a{x="1"}` → `x="1"`, else `""`.
+fn label_body(name: &str) -> &str {
+    match (name.find('{'), name.rfind('}')) {
+        (Some(open), Some(close)) if close > open => &name[open + 1..close],
+        _ => "",
+    }
+}
+
+/// `base` + `suffix`, re-attaching any label body: `a_sum{x="1"}`.
+fn suffixed(base: &str, suffix: &str, labels: &str) -> String {
+    if labels.is_empty() {
+        format!("{base}{suffix}")
+    } else {
+        format!("{base}{suffix}{{{labels}}}")
+    }
+}
+
+/// `base` + `suffix` with `extra="value"` merged into the label body.
+fn with_label(base: &str, suffix: &str, labels: &str, extra: &str, value: &str) -> String {
+    let value = escape_label_value(value);
+    if labels.is_empty() {
+        format!("{base}{suffix}{{{extra}=\"{value}\"}}")
+    } else {
+        format!("{base}{suffix}{{{labels},{extra}=\"{value}\"}}")
+    }
+}
+
+/// Escapes a label value per the Prometheus text exposition format:
+/// backslash, double quote, and newline become `\\`, `\"`, and `\n`.
+#[must_use]
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Escapes `# HELP` text per the Prometheus text exposition format:
+/// backslash and newline become `\\` and `\n` (quotes stay literal).
+#[must_use]
+pub fn escape_help(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -437,5 +639,115 @@ mod tests {
         // Asking for the same name as a gauge must not panic.
         reg.gauge("x").set(1.0);
         assert_eq!(reg.counter("x").get(), 1);
+        reg.summary("x").observe(1.0);
+        assert_eq!(reg.counter("x").get(), 1);
+    }
+
+    #[test]
+    fn summary_exposes_quantile_series_and_triplet() {
+        let reg = Registry::new();
+        let s = reg.summary("lat_ns");
+        for i in 1..=100 {
+            s.observe(i as f64);
+        }
+        let text = reg.to_prometheus();
+        assert!(text.contains("# TYPE lat_ns summary"), "{text}");
+        assert!(text.contains("lat_ns{quantile=\"0.5\"}"), "{text}");
+        assert!(text.contains("lat_ns{quantile=\"0.95\"}"), "{text}");
+        assert!(text.contains("lat_ns{quantile=\"0.99\"}"), "{text}");
+        assert!(text.contains("lat_ns_sum 5050"), "{text}");
+        assert!(text.contains("lat_ns_count 100"), "{text}");
+        let json = reg.to_json();
+        let entry = json.get("lat_ns").expect("lat_ns present");
+        assert_eq!(entry.get("type").and_then(Json::as_str), Some("summary"));
+        let p50 = entry.get("p50").and_then(Json::as_num).expect("p50");
+        assert!((p50 - 50.0).abs() < 3.0, "p50 = {p50}");
+    }
+
+    #[test]
+    fn labelled_histograms_and_summaries_keep_labels_on_every_line() {
+        let reg = Registry::new();
+        reg.histogram("h_ns{server=\"2\"}", || vec![1.0])
+            .observe(5.0);
+        reg.summary("s_c{server=\"3\"}").observe(1.0);
+        let text = reg.to_prometheus();
+        assert!(text.contains("# TYPE h_ns histogram"), "{text}");
+        assert!(
+            text.contains("h_ns_bucket{server=\"2\",le=\"+Inf\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("h_ns_sum{server=\"2\"} 5"), "{text}");
+        assert!(text.contains("h_ns_count{server=\"2\"} 1"), "{text}");
+        assert!(
+            text.contains("s_c{server=\"3\",quantile=\"0.5\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("s_c_count{server=\"3\"} 1"), "{text}");
+    }
+
+    #[test]
+    fn type_header_appears_once_per_family() {
+        let reg = Registry::new();
+        reg.gauge("fleet{server=\"0\"}").set(1.0);
+        reg.gauge("fleet{server=\"1\"}").set(2.0);
+        reg.counter("fleet2_total").inc();
+        let text = reg.to_prometheus();
+        assert_eq!(text.matches("# TYPE fleet gauge").count(), 1, "{text}");
+        assert_eq!(text.matches("# TYPE fleet2_total counter").count(), 1);
+    }
+
+    #[test]
+    fn pathological_label_values_are_escaped() {
+        let reg = Registry::new();
+        let key = format!(
+            "weird{{name=\"{}\"}}",
+            escape_label_value("a\\b \"quoted\"\nnewline")
+        );
+        reg.gauge(&key).set(1.0);
+        let text = reg.to_prometheus();
+        // One line per metric: the raw newline must have been escaped away.
+        assert!(
+            text.contains("weird{name=\"a\\\\b \\\"quoted\\\"\\nnewline\"} 1"),
+            "{text}"
+        );
+        for line in text.lines() {
+            assert!(!line.is_empty(), "blank line in exposition:\n{text}");
+        }
+    }
+
+    #[test]
+    fn help_lines_are_emitted_and_escaped() {
+        assert_eq!(escape_help("plain"), "plain");
+        assert_eq!(escape_help("a\\b\nc"), "a\\\\b\\nc");
+        let reg = Registry::new();
+        reg.counter(crate::names::METRIC_ENGINE_STEPS).inc();
+        let text = reg.to_prometheus();
+        assert!(
+            text.contains(&format!("# HELP {} ", crate::names::METRIC_ENGINE_STEPS)),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn family_values_reads_every_kind() {
+        let reg = Registry::new();
+        reg.counter("fv_total").add(3);
+        reg.gauge("fv_g{server=\"0\"}").set(1.5);
+        reg.gauge("fv_g{server=\"1\"}").set(2.5);
+        let s = reg.summary("fv_s");
+        for i in 1..=100 {
+            s.observe(i as f64);
+        }
+        assert_eq!(
+            reg.family_values("fv_total", None),
+            vec![("fv_total".to_string(), 3.0)]
+        );
+        let gauges = reg.family_values("fv_g", None);
+        assert_eq!(gauges.len(), 2);
+        assert_eq!(gauges[0].1, 1.5);
+        assert_eq!(gauges[1].1, 2.5);
+        let p50 = reg.family_values("fv_s", Some(0.5))[0].1;
+        assert!((p50 - 50.0).abs() < 3.0, "p50 = {p50}");
+        assert!(reg.family_values("missing", None).is_empty());
     }
 }

@@ -9,6 +9,7 @@ use std::fmt::Write as _;
 
 use crate::event::ObsEvent;
 use crate::json;
+use crate::registry::Histogram;
 use crate::span::SpanStat;
 
 /// One rejected JSONL line.
@@ -60,6 +61,15 @@ pub struct TraceReport {
     pub cmds: Vec<String>,
     /// Aggregated span timings keyed by slash-joined path.
     pub spans: BTreeMap<String, SpanStat>,
+    /// Per-path duration histograms (ns buckets) backing the interpolated
+    /// p50/p95/p99 columns in [`render`].
+    pub span_hists: BTreeMap<String, Histogram>,
+    /// Fault-injection events per channel (`stuck`, `spike`, …).
+    pub faults: BTreeMap<String, u64>,
+    /// Alert firings per rule name.
+    pub alerts_fired: BTreeMap<String, u64>,
+    /// Alert clears per rule name.
+    pub alerts_cleared: BTreeMap<String, u64>,
     /// Record count per event kind.
     pub kind_counts: BTreeMap<String, u64>,
     /// SMO solves seen.
@@ -122,6 +132,11 @@ pub fn summarize(events: &[ObsEvent]) -> TraceReport {
                 stat.count += 1;
                 stat.total_ns += dur_ns;
                 stat.max_ns = stat.max_ns.max(*dur_ns);
+                report
+                    .span_hists
+                    .entry(path.clone())
+                    .or_insert_with(|| Histogram::with_bounds(Histogram::ns_buckets()))
+                    .observe(*dur_ns as f64);
             }
             ObsEvent::SmoSolve {
                 iterations,
@@ -147,6 +162,17 @@ pub fn summarize(events: &[ObsEvent]) -> TraceReport {
                 report.forecasts_scored += 1;
                 report.sum_abs_err_c += err_c.abs();
             }
+            ObsEvent::Fault { channel, .. } => {
+                *report.faults.entry(channel.clone()).or_insert(0) += 1;
+            }
+            ObsEvent::Alert { name, fired, .. } => {
+                let per_rule = if *fired {
+                    &mut report.alerts_fired
+                } else {
+                    &mut report.alerts_cleared
+                };
+                *per_rule.entry(name.clone()).or_insert(0) += 1;
+            }
             ObsEvent::Sample { .. } | ObsEvent::Forecast { .. } => {}
         }
     }
@@ -165,6 +191,64 @@ fn fmt_ns(ns: f64) -> String {
     }
 }
 
+/// A span-tree node: children keyed (and therefore rendered) by name, so
+/// sibling ordering is explicitly deterministic regardless of how paths
+/// interleave lexicographically (a `-` sorts before `/`, so flat path
+/// iteration can split a parent from its children).
+#[derive(Default)]
+struct SpanNode<'a> {
+    path: Option<&'a str>,
+    children: BTreeMap<&'a str, SpanNode<'a>>,
+}
+
+fn build_span_tree(report: &TraceReport) -> SpanNode<'_> {
+    let mut root = SpanNode::default();
+    for path in report.spans.keys() {
+        let mut node = &mut root;
+        for segment in path.split('/') {
+            node = node.children.entry(segment).or_default();
+        }
+        node.path = Some(path);
+    }
+    root
+}
+
+fn render_span_tree(out: &mut String, node: &SpanNode<'_>, depth: usize, report: &TraceReport) {
+    for (name, child) in &node.children {
+        let indent = 2 + depth * 2;
+        match child.path.and_then(|p| report.spans.get(p).map(|s| (p, s))) {
+            Some((path, stat)) => {
+                let quantiles = report
+                    .span_hists
+                    .get(path)
+                    .map(|h| {
+                        format!(
+                            "  p50 {:>9}  p95 {:>9}  p99 {:>9}",
+                            fmt_ns(h.quantile(0.5)),
+                            fmt_ns(h.quantile(0.95)),
+                            fmt_ns(h.quantile(0.99)),
+                        )
+                    })
+                    .unwrap_or_default();
+                let _ = writeln!(
+                    out,
+                    "{:indent$}{name:<24} calls {:>6}  total {:>10}  mean {:>10}  max {:>10}{quantiles}",
+                    "",
+                    stat.count,
+                    fmt_ns(stat.total_ns as f64),
+                    fmt_ns(stat.mean_ns()),
+                    fmt_ns(stat.max_ns as f64),
+                );
+            }
+            // An interior segment that never closed as a span itself.
+            None => {
+                let _ = writeln!(out, "{:indent$}{name}", "");
+            }
+        }
+        render_span_tree(out, child, depth + 1, report);
+    }
+}
+
 /// Renders the timing tree and top-line metrics as human-readable text.
 pub fn render(report: &TraceReport) -> String {
     let mut out = String::new();
@@ -176,20 +260,7 @@ pub fn render(report: &TraceReport) -> String {
     if report.spans.is_empty() {
         let _ = writeln!(out, "  (no spans recorded — was the run traced?)");
     }
-    for (path, stat) in &report.spans {
-        let depth = path.matches('/').count();
-        let name = path.rsplit('/').next().unwrap_or(path);
-        let _ = writeln!(
-            out,
-            "{:indent$}{name:<24} calls {:>6}  total {:>10}  mean {:>10}  max {:>10}",
-            "",
-            stat.count,
-            fmt_ns(stat.total_ns as f64),
-            fmt_ns(stat.mean_ns()),
-            fmt_ns(stat.max_ns as f64),
-            indent = 2 + depth * 2,
-        );
-    }
+    render_span_tree(&mut out, &build_span_tree(report), 0, report);
 
     let _ = writeln!(out, "\ntop-line metrics:");
     let mut kinds: Vec<String> = report
@@ -235,6 +306,34 @@ pub fn render(report: &TraceReport) -> String {
             report.forecasts_scored,
             report.mean_abs_err_c(),
         );
+    }
+    if !report.faults.is_empty() {
+        let channels: Vec<String> = report
+            .faults
+            .iter()
+            .map(|(c, n)| format!("{c}={n}"))
+            .collect();
+        let _ = writeln!(out, "  faults injected: {}", channels.join(" "));
+    }
+    if !report.alerts_fired.is_empty() || !report.alerts_cleared.is_empty() {
+        let mut rules: Vec<&String> = report
+            .alerts_fired
+            .keys()
+            .chain(report.alerts_cleared.keys())
+            .collect();
+        rules.sort();
+        rules.dedup();
+        let cells: Vec<String> = rules
+            .iter()
+            .map(|rule| {
+                format!(
+                    "{rule} fired={} cleared={}",
+                    report.alerts_fired.get(*rule).copied().unwrap_or(0),
+                    report.alerts_cleared.get(*rule).copied().unwrap_or(0),
+                )
+            })
+            .collect();
+        let _ = writeln!(out, "  alerts: {}", cells.join(", "));
     }
     out
 }
@@ -348,5 +447,99 @@ mod tests {
     fn blank_lines_are_tolerated() {
         let events = parse_jsonl("\n\n{\"v\":1,\"kind\":\"meta\",\"cmd\":\"x\"}\n\n").unwrap();
         assert_eq!(events.len(), 1);
+    }
+
+    #[test]
+    fn span_quantile_columns_render_from_bucket_counts() {
+        let events: Vec<ObsEvent> = (0..100)
+            .map(|i| ObsEvent::Span {
+                path: "engine_run".to_string(),
+                dur_ns: 1_000 + i * 10,
+            })
+            .collect();
+        let report = summarize(&events);
+        let h = report.span_hists.get("engine_run").expect("hist built");
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile(0.5);
+        assert!((1_000.0..=2_500.0).contains(&p50), "p50 = {p50}");
+        let text = render(&report);
+        assert!(text.contains("p50"), "{text}");
+        assert!(text.contains("p95"), "{text}");
+        assert!(text.contains("p99"), "{text}");
+    }
+
+    #[test]
+    fn span_tree_children_stay_under_their_parent() {
+        // Lexicographically, "engine-run" < "engine/child" (`-` < `/`), so
+        // flat path iteration would split `engine` from its child. The
+        // explicit tree must keep the child indented under its parent.
+        let events = [
+            ObsEvent::Span {
+                path: "engine".to_string(),
+                dur_ns: 10,
+            },
+            ObsEvent::Span {
+                path: "engine-run".to_string(),
+                dur_ns: 10,
+            },
+            ObsEvent::Span {
+                path: "engine/child".to_string(),
+                dur_ns: 5,
+            },
+        ];
+        let text = render(&summarize(&events));
+        let lines: Vec<&str> = text.lines().filter(|l| l.contains("calls")).collect();
+        assert_eq!(lines.len(), 3, "{text}");
+        assert!(lines[0].starts_with("  engine "), "{text}");
+        assert!(lines[1].starts_with("    child "), "{text}");
+        assert!(lines[2].starts_with("  engine-run "), "{text}");
+    }
+
+    #[test]
+    fn faults_and_alerts_summarize_and_render() {
+        let events = [
+            ObsEvent::Fault {
+                t_secs: 10.0,
+                server: 0,
+                channel: "stuck".to_string(),
+            },
+            ObsEvent::Fault {
+                t_secs: 11.0,
+                server: 1,
+                channel: "stuck".to_string(),
+            },
+            ObsEvent::Fault {
+                t_secs: 12.0,
+                server: 0,
+                channel: "spike".to_string(),
+            },
+            ObsEvent::Alert {
+                t_secs: 20.0,
+                name: "headroom".to_string(),
+                instance: "x".to_string(),
+                value: 2.0,
+                threshold: 3.0,
+                fired: true,
+            },
+            ObsEvent::Alert {
+                t_secs: 30.0,
+                name: "headroom".to_string(),
+                instance: "x".to_string(),
+                value: 6.0,
+                threshold: 3.0,
+                fired: false,
+            },
+        ];
+        let report = summarize(&events);
+        assert_eq!(report.faults["stuck"], 2);
+        assert_eq!(report.faults["spike"], 1);
+        assert_eq!(report.alerts_fired["headroom"], 1);
+        assert_eq!(report.alerts_cleared["headroom"], 1);
+        let text = render(&report);
+        assert!(text.contains("faults injected: spike=1 stuck=2"), "{text}");
+        assert!(
+            text.contains("alerts: headroom fired=1 cleared=1"),
+            "{text}"
+        );
     }
 }

@@ -1,0 +1,203 @@
+//! Dependency-free std-TCP scrape server.
+//!
+//! Serves the global registry over plain HTTP/1.1 so a Prometheus scraper
+//! (or `curl`) can watch a live run:
+//!
+//! | path            | payload                                      |
+//! |-----------------|----------------------------------------------|
+//! | `/metrics`      | Prometheus text exposition (version 0.0.4)   |
+//! | `/metrics.json` | JSON snapshot of the registry                |
+//! | `/alerts`       | alert-rule list + currently-firing instances |
+//! | `/healthz`      | `ok` (liveness probe)                        |
+//!
+//! The accept loop runs on one background thread with a non-blocking
+//! listener polled every ~10 ms against a stop flag, and each connection is
+//! handled on its own short-lived thread with a hard read timeout and
+//! request-size cap. Dropping the [`ScrapeServer`] handle signals the loop
+//! and joins it, so servers started for a subcommand shut down with it.
+//!
+//! Serving reads registry *snapshots*; it never blocks the simulation and
+//! never mutates sim state, so enabling `--serve-metrics` cannot change
+//! results.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use crate::names;
+use crate::LazyCounter;
+
+static SCRAPE_REQUESTS: LazyCounter = LazyCounter::new(names::METRIC_SCRAPE_REQUESTS);
+
+/// Longest request we are willing to buffer before answering 400.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+/// Per-connection read timeout.
+const READ_TIMEOUT: Duration = Duration::from_secs(2);
+/// Accept-loop poll interval while idle. Kept short so connection setup
+/// adds ~1 ms to scrape latency, not a visible stall; the idle wakeups are
+/// a few microseconds each.
+const POLL_INTERVAL: Duration = Duration::from_millis(1);
+
+/// A running scrape server; dropping it stops the accept loop.
+pub struct ScrapeServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ScrapeServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScrapeServer")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl ScrapeServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9464`, port `0` for ephemeral) and
+    /// starts serving the global registry in a background thread.
+    pub fn start(addr: &str) -> std::io::Result<ScrapeServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = thread::Builder::new()
+            .name("vmtherm-scrape".to_string())
+            .spawn(move || accept_loop(&listener, &stop_flag))?;
+        Ok(ScrapeServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port `0`).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for ScrapeServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, stop: &Arc<AtomicBool>) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Short-lived per-connection thread: scrapes are rare
+                // (seconds apart) and tiny, so the spawn cost is noise and
+                // a slow client can never stall the accept loop.
+                let _ = thread::Builder::new()
+                    .name("vmtherm-scrape-conn".to_string())
+                    .spawn(move || handle_connection(stream));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    SCRAPE_REQUESTS.inc();
+    let request = match read_request(&mut stream) {
+        Some(r) => r,
+        None => {
+            respond(
+                &mut stream,
+                400,
+                "text/plain; charset=utf-8",
+                "bad request\n",
+            );
+            return;
+        }
+    };
+    match route(&request) {
+        Some((content_type, body)) => respond(&mut stream, 200, content_type, &body),
+        None => respond(&mut stream, 404, "text/plain; charset=utf-8", "not found\n"),
+    }
+}
+
+/// Reads up to the end of the request head and returns the request path of
+/// a well-formed `GET`; `None` on anything malformed, oversized, or timed
+/// out.
+fn read_request(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.len() > MAX_REQUEST_BYTES {
+                    return None;
+                }
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n")
+                {
+                    break;
+                }
+            }
+            Err(_) => return None,
+        }
+    }
+    let text = String::from_utf8_lossy(&buf);
+    let request_line = text.lines().next()?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next()?;
+    let path = parts.next()?;
+    let version = parts.next()?;
+    if method != "GET" || !version.starts_with("HTTP/1.") {
+        return None;
+    }
+    Some(path.to_string())
+}
+
+/// Maps a request path to `(content type, body)`; `None` → 404.
+fn route(path: &str) -> Option<(&'static str, String)> {
+    let path = path.split('?').next().unwrap_or(path);
+    match path {
+        "/metrics" => Some((
+            "text/plain; version=0.0.4; charset=utf-8",
+            crate::global().to_prometheus(),
+        )),
+        "/metrics.json" => Some((
+            "application/json; charset=utf-8",
+            crate::global().to_json().render(),
+        )),
+        "/alerts" => Some((
+            "application/json; charset=utf-8",
+            crate::alerts_json().render(),
+        )),
+        "/healthz" => Some(("text/plain; charset=utf-8", "ok\n".to_string())),
+        _ => None,
+    }
+}
+
+fn respond(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        _ => "Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}

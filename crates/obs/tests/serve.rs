@@ -1,0 +1,218 @@
+//! Integration tests for the scrape server: a real TCP client against an
+//! ephemeral-port [`vmtherm_obs::ScrapeServer`].
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use vmtherm_obs::{self as obs, ScrapeServer};
+
+/// The scrape server reads the process-global registry, so tests that
+/// populate it (or toggle the enabled flag) must not interleave.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Sends raw bytes and returns the full response as a string.
+fn raw_request(addr: SocketAddr, payload: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    stream.write_all(payload).expect("write");
+    let mut out = String::new();
+    stream.read_to_string(&mut out).expect("read");
+    out
+}
+
+/// Issues a GET and splits the response into (status code, body).
+fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let response = raw_request(
+        addr,
+        format!("GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n").as_bytes(),
+    );
+    let status = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// Asserts `text` is well-formed Prometheus text exposition: every line is
+/// a comment in `# HELP|TYPE <name> ...` form or a sample in
+/// `<name>[{labels}] <float>` form.
+fn check_prometheus_format(text: &str) {
+    fn valid_name(name: &str) -> bool {
+        !name.is_empty()
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+    for line in text.lines() {
+        assert!(!line.trim().is_empty(), "blank line in exposition:\n{text}");
+        if let Some(comment) = line.strip_prefix("# ") {
+            let mut words = comment.split_whitespace();
+            let keyword = words.next().unwrap_or("");
+            assert!(
+                keyword == "HELP" || keyword == "TYPE",
+                "bad comment line: {line}"
+            );
+            assert!(valid_name(words.next().unwrap_or("")), "bad name: {line}");
+        } else {
+            let (series, value) = line.rsplit_once(' ').expect("sample line has a value");
+            assert!(
+                value.parse::<f64>().is_ok() || value == "+Inf" || value == "-Inf",
+                "unparseable value in: {line}"
+            );
+            let name = series.split('{').next().unwrap_or(series);
+            assert!(valid_name(name), "bad series name: {line}");
+            if series.contains('{') {
+                assert!(series.ends_with('}'), "unbalanced labels: {line}");
+            }
+        }
+    }
+}
+
+#[test]
+fn metrics_endpoint_serves_parseable_exposition() {
+    let _guard = lock();
+    obs::set_enabled(true);
+    obs::global().counter("serve_test_total").add(3);
+    obs::global().gauge("serve_test_g{server=\"0\"}").set(1.25);
+    obs::global().summary("serve_test_ns").observe(42.0);
+    let server = ScrapeServer::start("127.0.0.1:0").expect("bind ephemeral");
+    let (status, body) = http_get(server.local_addr(), "/metrics");
+    obs::set_enabled(false);
+    assert_eq!(status, 200);
+    assert!(body.contains("serve_test_total 3"), "{body}");
+    assert!(body.contains("serve_test_g{server=\"0\"} 1.25"), "{body}");
+    assert!(body.contains("serve_test_ns{quantile=\"0.5\"}"), "{body}");
+    check_prometheus_format(&body);
+}
+
+#[test]
+fn json_health_and_alert_endpoints_respond() {
+    let _guard = lock();
+    obs::global().counter("serve_json_total").add(1);
+    let server = ScrapeServer::start("127.0.0.1:0").expect("bind ephemeral");
+    let addr = server.local_addr();
+
+    let (status, body) = http_get(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(body, "ok\n");
+
+    let (status, body) = http_get(addr, "/metrics.json");
+    assert_eq!(status, 200);
+    let json = vmtherm_obs::json::parse(&body).expect("valid JSON");
+    assert!(json.get("serve_json_total").is_some(), "{body}");
+
+    let (status, body) = http_get(addr, "/alerts");
+    assert_eq!(status, 200);
+    let json = vmtherm_obs::json::parse(&body).expect("valid alerts JSON");
+    assert!(json.get("rules").is_some(), "{body}");
+    assert!(json.get("active").is_some(), "{body}");
+
+    let (status, _) = http_get(addr, "/nope");
+    assert_eq!(status, 404);
+}
+
+#[test]
+fn malformed_requests_get_400_without_killing_the_server() {
+    let _guard = lock();
+    let server = ScrapeServer::start("127.0.0.1:0").expect("bind ephemeral");
+    let addr = server.local_addr();
+
+    for payload in [
+        &b"garbage\r\n\r\n"[..],
+        &b"POST /metrics HTTP/1.1\r\n\r\n"[..],
+        &b"GET /metrics\r\n\r\n"[..],
+        &b"GET /metrics SMTP/9\r\n\r\n"[..],
+        &b"\r\n\r\n"[..],
+    ] {
+        let response = raw_request(addr, payload);
+        assert!(
+            response.starts_with("HTTP/1.1 400"),
+            "expected 400 for {payload:?}, got: {response}"
+        );
+    }
+
+    // The server survives all of the above and still answers real scrapes.
+    let (status, body) = http_get(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(body, "ok\n");
+}
+
+#[test]
+fn concurrent_scrapes_parse_under_concurrent_writes() {
+    let _guard = lock();
+    obs::set_enabled(true);
+    for server_id in 0..4 {
+        obs::global()
+            .gauge(&format!("serve_race_g{{server=\"{server_id}\"}}"))
+            .set(0.0);
+    }
+    let server = ScrapeServer::start("127.0.0.1:0").expect("bind ephemeral");
+    let addr = server.local_addr();
+
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let writer_stop = std::sync::Arc::clone(&stop);
+    let writer = std::thread::spawn(move || {
+        let mut v = 0.0f64;
+        while !writer_stop.load(std::sync::atomic::Ordering::Relaxed) {
+            for server_id in 0..4 {
+                obs::global()
+                    .gauge(&format!("serve_race_g{{server=\"{server_id}\"}}"))
+                    .set(v);
+            }
+            v += 1.0;
+        }
+    });
+
+    let scrapers: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                for _ in 0..25 {
+                    let (status, body) = http_get(addr, "/metrics");
+                    assert_eq!(status, 200);
+                    check_prometheus_format(&body);
+                    // The whole gauge family is present in every scrape —
+                    // no torn families.
+                    for server_id in 0..4 {
+                        assert!(
+                            body.contains(&format!("serve_race_g{{server=\"{server_id}\"}}")),
+                            "family member {server_id} missing"
+                        );
+                    }
+                    assert_eq!(body.matches("# TYPE serve_race_g gauge").count(), 1);
+                }
+            })
+        })
+        .collect();
+    for s in scrapers {
+        s.join().expect("scraper thread");
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    writer.join().expect("writer thread");
+    obs::set_enabled(false);
+}
+
+#[test]
+fn server_shuts_down_on_drop_and_frees_the_port() {
+    let _guard = lock();
+    let server = ScrapeServer::start("127.0.0.1:0").expect("bind ephemeral");
+    let addr = server.local_addr();
+    drop(server);
+    // The accept loop is gone: a fresh bind on the same port succeeds.
+    let rebound = std::net::TcpListener::bind(addr);
+    assert!(rebound.is_ok(), "port still held after drop");
+}

@@ -508,6 +508,11 @@ impl FaultInjector {
                 value_c = state.stuck_value_c;
                 state.stats.stuck += 1;
                 OBS_STUCK.inc();
+                obs::emit_with(|| obs::ObsEvent::Fault {
+                    t_secs,
+                    server,
+                    channel: "stuck".to_string(),
+                });
             }
         }
 
@@ -533,6 +538,11 @@ impl FaultInjector {
                 value_c += offset;
                 state.stats.spiked += 1;
                 OBS_SPIKES.inc();
+                obs::emit_with(|| obs::ObsEvent::Fault {
+                    t_secs,
+                    server,
+                    channel: "spike".to_string(),
+                });
             }
         }
 
@@ -550,6 +560,11 @@ impl FaultInjector {
             if dropped {
                 state.stats.dropped += 1;
                 OBS_DROPPED.inc();
+                obs::emit_with(|| obs::ObsEvent::Fault {
+                    t_secs,
+                    server,
+                    channel: "dropout".to_string(),
+                });
                 return None;
             }
         }
@@ -561,6 +576,11 @@ impl FaultInjector {
                 out_t = (t_secs - skew).max(0.0);
                 state.stats.jittered += 1;
                 OBS_JITTERED.inc();
+                obs::emit_with(|| obs::ObsEvent::Fault {
+                    t_secs,
+                    server,
+                    channel: "jitter".to_string(),
+                });
             }
         }
 

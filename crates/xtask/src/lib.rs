@@ -25,9 +25,10 @@
 //!   `vmtherm-sim` library code; use `total_cmp` or epsilon helpers.
 //! - **L5** — the paper constants (λ = 0.8, t_break = 600 s, Δ_update,
 //!   Δ_gap) are defined exactly once, in `vmtherm-units::constants`,
-//!   and imported everywhere else. Likewise metric and span name
-//!   constants (`METRIC_*`, `SPAN_*`) live only in
-//!   `vmtherm-obs` (`crates/obs/src/names.rs`).
+//!   and imported everywhere else. Likewise metric, span and alert name
+//!   constants (`METRIC_*`, `SPAN_*`, `ALERT_*`) live only in
+//!   `crates/obs/src/names.rs` — nowhere else, not even elsewhere in
+//!   `vmtherm-obs`.
 //! - **L6** — no `Vec<Vec<f64>>` in `pub fn` (or public trait)
 //!   signatures of `vmtherm-svm` and `vmtherm-core`: feature matrices
 //!   cross public APIs as [`DenseMatrix`] (flat, row-major), keeping the
@@ -1138,19 +1139,22 @@ fn check_paper_constants(root: &Path, out: &mut Vec<Violation>) -> Result<(), St
             let rel = relative(root, &file);
             let text = read_source(root, &file)?;
             let in_units = file.starts_with(&units_src);
-            let in_obs = file.starts_with(&obs_src);
+            let in_obs_names = file == obs_src.join("names.rs");
             for (line, raw, code) in &SourceLines::non_test(&text).lines {
                 let Some(name) = const_definition_name(code) else {
                     continue;
                 };
-                if !in_obs && (name.starts_with("METRIC_") || name.starts_with("SPAN_")) {
+                let is_name_const = name.starts_with("METRIC_")
+                    || name.starts_with("SPAN_")
+                    || name.starts_with("ALERT_");
+                if !in_obs_names && is_name_const {
                     out.push(Violation {
                         rule: Rule::L5,
                         path: rel.clone(),
                         line: *line,
                         message: format!(
-                            "metric/span name constant `{name}` defined outside vmtherm-obs; \
-                             `crates/obs/src/names.rs` is the single definition point"
+                            "metric/span/alert name constant `{name}` defined outside \
+                             `crates/obs/src/names.rs`, the single definition point"
                         ),
                         source: (*raw).to_string(),
                     });

@@ -1,3 +1,5 @@
 #![forbid(unsafe_code)]
 
 pub mod names;
+
+pub const METRIC_OBS_SIDE: &str = "vmtherm_obs_side_total";

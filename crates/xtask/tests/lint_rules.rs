@@ -108,13 +108,18 @@ fn l5_metric_names_outside_obs_fire() {
     let violations = lint_fixture("l5_metrics");
     let metric = find(&violations, Rule::L5, "crates/sim/src/lib.rs", 3);
     assert!(
-        metric.message.contains("METRIC_LOCAL_STEPS") && metric.message.contains("vmtherm-obs"),
+        metric.message.contains("METRIC_LOCAL_STEPS") && metric.message.contains("names.rs"),
         "{metric:#?}"
     );
     let span = find(&violations, Rule::L5, "crates/sim/src/lib.rs", 5);
     assert!(span.message.contains("SPAN_LOCAL"), "{span:#?}");
+    let alert = find(&violations, Rule::L5, "crates/sim/src/lib.rs", 7);
+    assert!(alert.message.contains("ALERT_LOCAL_FIRED"), "{alert:#?}");
+    // Even inside vmtherm-obs, only names.rs may define name constants.
+    let in_obs = find(&violations, Rule::L5, "crates/obs/src/lib.rs", 5);
+    assert!(in_obs.message.contains("METRIC_OBS_SIDE"), "{in_obs:#?}");
     // The definitions in crates/obs/src/names.rs are the canonical ones.
-    assert_eq!(violations.len(), 2, "{violations:#?}");
+    assert_eq!(violations.len(), 4, "{violations:#?}");
     assert!(!binary_passes("l5_metrics"));
 }
 
