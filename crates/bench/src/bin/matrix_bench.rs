@@ -4,14 +4,18 @@
 //!
 //! - kernel-row evaluation (one query against every stored row) for the
 //!   linear and RBF kernels, nested loop-of-`eval` vs.
-//!   [`Kernel::eval_row_batch`] over contiguous storage,
+//!   [`Kernel::eval_row_batch`] over contiguous storage, plus the
+//!   `rbf_prenorm` cell: [`Kernel::eval_row_batch_prenorm`] riding the
+//!   dot row kernel with precomputed `‖row‖²` (tolerance-checked — the
+//!   norm expansion reassociates the arithmetic),
 //! - `predict_dataset` throughput of a trained SVR, nested scalar replica
 //!   vs. the batched flat path,
 //! - `smo_solve_ns` before (the committed pre-refactor `BENCH_obs.json`
-//!   numbers) and after (re-measured with the same 3-model protocol).
+//!   numbers) and after: a real solve-latency distribution from 30 SMO
+//!   solves (3 experiment campaigns x a 10-point hyper-parameter sweep).
 //!
-//! Both arms compute identical math in identical order, so outputs are
-//! asserted bit-identical before anything is timed.
+//! Exact-path arms compute identical math in identical order, so their
+//! outputs are asserted bit-identical before anything is timed.
 //!
 //! Run with: `cargo run --release -p vmtherm-bench --bin matrix_bench`
 //! (optionally `--out PATH`, default `BENCH_matrix.json`). Pass `--check`
@@ -21,7 +25,8 @@
 
 use std::hint::black_box;
 use std::time::Instant;
-use vmtherm_bench::{train_stable_model, training_campaign};
+use vmtherm_bench::training_campaign;
+use vmtherm_core::stable::{StablePredictor, TrainingOptions};
 use vmtherm_obs::{self as obs, json, names, Histogram, Json};
 use vmtherm_svm::data::Dataset;
 use vmtherm_svm::kernel::Kernel;
@@ -177,6 +182,40 @@ fn kernel_row_cell(
     cell(label, nested_rate, flat_rate)
 }
 
+/// Times the RBF row pass three ways: nested scalar `eval`, the exact
+/// flat distance pass, and the prenorm dot-ride — and checks the prenorm
+/// values against the scalar kernel to tolerance first (the `‖x‖² +
+/// ‖r‖² − 2·x·r` expansion reassociates the arithmetic, so bitwise
+/// equality is not the contract here).
+fn rbf_prenorm_cell(m: &DenseMatrix, nested: &[Vec<f64>], opts: &Opts) -> (String, Json, f64) {
+    let kernel = Kernel::rbf(0.02);
+    let query: Vec<f64> = (0..COLS).map(|i| (i as f64 * 0.37).sin()).collect();
+    let norms = m.row_squared_norms();
+    let mut out = vec![0.0; m.rows()];
+    let reps = if opts.check { 20 } else { 400 };
+
+    kernel.eval_row_batch_prenorm(&query, m, &norms, &mut out);
+    for (i, (o, row)) in out.iter().zip(nested).enumerate() {
+        let exact = kernel.eval(&query, row);
+        assert!(
+            (o - exact).abs() <= 1e-12 * exact.max(1.0),
+            "row {i}: prenorm {o} vs scalar {exact}"
+        );
+    }
+
+    let nested_rate = best_rate(opts.rounds, reps, m.rows(), || {
+        for (o, row) in out.iter_mut().zip(nested) {
+            *o = kernel.eval(black_box(&query), row);
+        }
+        black_box(&out);
+    });
+    let prenorm_rate = best_rate(opts.rounds, reps, m.rows(), || {
+        kernel.eval_row_batch_prenorm(black_box(&query), m, &norms, &mut out);
+        black_box(&out);
+    });
+    cell("rbf_prenorm", nested_rate, prenorm_rate)
+}
+
 /// Replicates the pre-refactor scalar `predict` over nested support
 /// vectors: same kernel, same accumulation order, same bias placement —
 /// bit-identical to `SvrModel::predict`, minus the flat layout.
@@ -203,6 +242,7 @@ fn main() {
     for (label, kernel) in [("linear", Kernel::Linear), ("rbf", Kernel::rbf(0.02))] {
         kernel_cells.push(kernel_row_cell(label, &kernel, &m, &nested, &opts));
     }
+    kernel_cells.push(rbf_prenorm_cell(&m, &nested, &opts));
 
     // An SVR trained on a slice of the data, then asked for every row.
     let train_rows = opts.rows / 4;
@@ -274,13 +314,32 @@ fn main() {
     } else {
         obs::global().reset();
         obs::set_enabled(true);
-        println!("\nre-measuring smo_solve_ns (3 stable models, 30 experiments each)...");
+        println!("\nre-measuring smo_solve_ns (3 campaigns x 10 hyper-parameter fits)...");
+        // 30 distinct SMO solves — three experiment campaigns, each fit
+        // across a C x epsilon sweep around the tuned point — so the
+        // "after" quantiles describe a real solve-latency distribution
+        // instead of three repeats of one configuration.
         for seed in 1..=3u64 {
             let outcomes = training_campaign(30, seed);
-            let _ = train_stable_model(&outcomes, false);
+            for c in [16.0, 32.0, 64.0, 128.0, 256.0] {
+                for epsilon in [0.05, 0.1] {
+                    let options = TrainingOptions::new().with_params(
+                        SvrParams::new()
+                            .with_c(c)
+                            .with_epsilon(epsilon)
+                            .with_kernel(Kernel::rbf(0.02)),
+                    );
+                    let _ = StablePredictor::fit(&outcomes, &options).expect("stable fit");
+                }
+            }
         }
         obs::set_enabled(false);
         let h = obs::global().histogram(names::METRIC_SMO_SOLVE_NS, Histogram::ns_buckets);
+        assert!(
+            h.count() >= 30,
+            "expected >= 30 SMO solves, recorded {}",
+            h.count()
+        );
         println!(
             "smo solves: {} (p50 {:.0} ns vs baseline {BASELINE_SMO_P50_NS:.0} ns)",
             h.count(),
@@ -362,5 +421,7 @@ fn main() {
             "below the 1.5x target"
         }
     );
-    println!("(the rbf kernel-row cell is bound by libm exp, identical in both arms)");
+    println!(
+        "(the exact rbf cell is bound by libm exp; the rbf_prenorm cell rides the dot kernel)"
+    );
 }

@@ -7,9 +7,10 @@ use std::fs;
 use vmtherm_core::dynamic::{DynamicConfig, DynamicPredictor};
 use vmtherm_core::eval::{evaluate_dynamic, AnchorPoint};
 use vmtherm_core::features::FeatureEncoding;
-use vmtherm_core::monitor::FleetMonitor;
+use vmtherm_core::fleet::ShardedMonitor;
 use vmtherm_core::stable::{
-    dataset_from_outcomes, run_experiments, StablePredictor, TrainingOptions,
+    dataset_from_outcomes, run_experiments, run_experiments_threaded, StablePredictor,
+    TrainingOptions,
 };
 use vmtherm_obs::{self as obs, report, ObsEvent, TraceMode};
 use vmtherm_sim::experiment::ConfigSnapshot;
@@ -47,6 +48,8 @@ GLOBAL FLAGS (any command except obs-report):
 COMMANDS:
   collect   run randomized thermal experiments, write Eq. (2) records (libsvm format)
             --out FILE [--cases N=200] [--seed S=42] [--duration SECS=1200]
+            [--threads T=1 run experiments on T worker threads; results are
+            bit-identical for every T]
   train     train the stable-temperature SVR from records
             --records FILE --out MODEL [--grid] [--folds K=10] [--seed S]
   eval      score a model against labeled records (prints MSE/MAE);
@@ -64,10 +67,11 @@ COMMANDS:
             --model MODEL [--dropout F=0] [--stuck F=0] [--spike P=0]
             [--jitter P=0] [--lost P=0] [--fault-seed S=64023]
             [--vms N=5] [--fans F=4] [--ambient C=24] [--secs T=1800]
-            [--burst-at SECS=900] [--gap G=60] [--seed S=7]
+            [--burst-at SECS=900] [--gap G=60] [--seed S=7] [--threads T=1]
             (--dropout/--stuck are target sample fractions lost to 45 s
             outage windows; --spike/--jitter/--lost are per-sample/event
-            probabilities)
+            probabilities; --threads shards the engine and monitor onto T
+            worker threads — results are bit-identical for every T)
   watchdog  simulate a silent fan failure and report when the residual
             watchdog raises the alarm
             --model MODEL [--fail N=2] [--fail-at SECS=900] [--secs T=3000]
@@ -84,7 +88,8 @@ COMMANDS:
             --secs 0 binds the port and exits, for smoke tests)
             [--addr A=127.0.0.1:9464] [--secs T=30] [--hz H=50]
             [--model MODEL] [--vms N=5] [--fans F=4] [--ambient C=24]
-            [--seed S=7]
+            [--seed S=7] [--threads T=1 shard the demo fleet onto T worker
+            threads; metrics are bit-identical for every T]
 ";
 
 /// Runs one subcommand.
@@ -273,6 +278,7 @@ fn collect(flags: &Flags) -> Result<String, String> {
     let cases: usize = flags.num("cases", 200)?;
     let seed: u64 = flags.num("seed", 42)?;
     let duration: u64 = flags.num("duration", 1200)?;
+    let threads: usize = flags.num("threads", 1)?;
     if duration <= 600 {
         return Err("--duration must exceed t_break = 600 s".to_string());
     }
@@ -282,7 +288,7 @@ fn collect(flags: &Flags) -> Result<String, String> {
         .into_iter()
         .map(|c| c.with_duration(SimDuration::from_secs(duration)))
         .collect();
-    let outcomes = run_experiments(&configs);
+    let outcomes = run_experiments_threaded(&configs, threads);
     let ds = dataset_from_outcomes(&outcomes, FeatureEncoding::Full);
     fs::write(out, ds.to_libsvm()).map_err(|e| format!("writing {out}: {e}"))?;
     Ok(format!(
@@ -458,6 +464,7 @@ fn chaos(flags: &Flags) -> Result<String, String> {
     let lost: f64 = flags.num("lost", 0.0)?;
     let seed: u64 = flags.num("seed", 7)?;
     let fault_seed: u64 = flags.num("fault-seed", 0xFA17)?;
+    let threads: usize = flags.num("threads", 1)?;
     if burst_at >= secs {
         return Err("--burst-at must precede --secs".to_string());
     }
@@ -528,9 +535,17 @@ fn chaos(flags: &Flags) -> Result<String, String> {
     );
     sim.set_fault_plan(plan)
         .map_err(|e| format!("fault plan: {e}"))?;
+    sim.set_threads(threads);
 
-    let mut monitor = FleetMonitor::new(model, DynamicConfig::new(), 1, Seconds::new(gap))
-        .map_err(|e| e.to_string())?;
+    let mut monitor = ShardedMonitor::new(
+        &model,
+        DynamicConfig::new(),
+        1,
+        Seconds::new(gap),
+        threads,
+        threads,
+    )
+    .map_err(|e| e.to_string())?;
     let mut alert_lines = Vec::new();
     for _ in 0..secs {
         sim.step();
@@ -776,6 +791,7 @@ fn obs_serve(flags: &Flags) -> Result<String, String> {
     let fans: u32 = flags.num("fans", 4)?;
     let ambient: f64 = flags.num("ambient", 24.0)?;
     let seed: u64 = flags.num("seed", 7)?;
+    let threads: usize = flags.num("threads", 1)?;
     if !hz.is_finite() || hz <= 0.0 {
         return Err("--hz must be a positive rate".to_string());
     }
@@ -831,8 +847,16 @@ fn obs_serve(flags: &Flags) -> Result<String, String> {
     );
     sim.set_fault_plan(plan)
         .map_err(|e| format!("fault plan: {e}"))?;
-    let mut monitor = FleetMonitor::new(model, DynamicConfig::new(), 1, Seconds::new(60.0))
-        .map_err(|e| e.to_string())?;
+    sim.set_threads(threads);
+    let mut monitor = ShardedMonitor::new(
+        &model,
+        DynamicConfig::new(),
+        1,
+        Seconds::new(60.0),
+        threads,
+        threads,
+    )
+    .map_err(|e| e.to_string())?;
 
     let period = std::time::Duration::from_secs_f64(1.0 / hz);
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(secs);
@@ -1049,6 +1073,43 @@ mod tests {
         // A fraction outside [0, 1) is rejected up front.
         let err = run("chaos", &flags(&["--model", &model, "--dropout", "1.5"])).unwrap_err();
         assert!(err.contains("fractions in [0, 1)"), "unexpected: {err}");
+    }
+
+    #[test]
+    fn threads_flag_never_changes_results() {
+        // `collect --threads T` writes byte-identical records for every T,
+        // and a threaded `chaos` run reports the exact same text as the
+        // serial one — the sharded-execution contract, end to end.
+        let serial = temp_path("thr_records_1.libsvm");
+        let threaded = temp_path("thr_records_3.libsvm");
+        let base = ["--cases", "10", "--seed", "6", "--duration", "700"];
+        let mut args: Vec<&str> = vec!["--out", &serial];
+        args.extend_from_slice(&base);
+        run("collect", &flags(&args)).expect("serial collect");
+        let mut args: Vec<&str> = vec!["--out", &threaded, "--threads", "3"];
+        args.extend_from_slice(&base);
+        run("collect", &flags(&args)).expect("threaded collect");
+        let a = fs::read(&serial).expect("serial records");
+        let b = fs::read(&threaded).expect("threaded records");
+        assert_eq!(a, b, "collect --threads changed the records");
+
+        let model = temp_path("thr_model.txt");
+        run("train", &flags(&["--records", &serial, "--out", &model])).expect("train");
+        let chaos_base = [
+            "--model",
+            &model,
+            "--dropout",
+            "0.05",
+            "--secs",
+            "600",
+            "--burst-at",
+            "300",
+        ];
+        let one = run("chaos", &flags(&chaos_base)).expect("serial chaos");
+        let mut args: Vec<&str> = vec!["--threads", "4"];
+        args.extend_from_slice(&chaos_base);
+        let four = run("chaos", &flags(&args)).expect("threaded chaos");
+        assert_eq!(one, four, "chaos --threads changed the report");
     }
 
     #[test]

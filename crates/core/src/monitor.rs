@@ -209,10 +209,24 @@ impl ServerStats {
 }
 
 /// One predictor per server plus pending-forecast bookkeeping.
+///
+/// A monitor covers a contiguous **range** of global server indices
+/// (`first_server .. first_server + servers()`); the common whole-fleet
+/// case is simply the range starting at zero. Ranged monitors are the
+/// building block of [`crate::fleet::ShardedMonitor`]: every internal
+/// vector is local to the range while gauges, events and public
+/// accessors speak global server ids, so a sharded fleet produces
+/// bit-identical per-server state to one monitor covering everything.
 #[derive(Debug)]
 pub struct FleetMonitor {
     stable: StablePredictor,
     gap_secs: f64,
+    /// First global server index this monitor covers.
+    lo: usize,
+    /// Whether [`FleetMonitor::observe`] must cover the whole simulation
+    /// (true for [`FleetMonitor::new`] monitors, false for range shards
+    /// that intentionally own a slice of a larger fleet).
+    strict: bool,
     predictors: Vec<DynamicPredictor>,
     /// Per-server queue of `(target_time, forecast)`.
     pending: Vec<VecDeque<(f64, f64)>>,
@@ -246,6 +260,10 @@ pub struct FleetMonitor {
     /// Per-server holdover flag: the stream is stale and forecasts ride
     /// the anchored curve alone.
     holdover: Vec<bool>,
+    /// Per-server absolute forecast-error P² sketches, maintained
+    /// unconditionally (unlike the lazily registered gauges) so fleet
+    /// roll-ups don't depend on the obs layer being enabled.
+    pred_err: Vec<obs::QuantileSketch>,
     /// Die-temperature limit (°C) the headroom gauge measures against.
     temp_limit_c: f64,
 }
@@ -263,6 +281,28 @@ impl FleetMonitor {
         servers: usize,
         gap_secs: Seconds,
     ) -> Result<Self, PredictError> {
+        let mut monitor = Self::with_range(stable, config, 0, servers, gap_secs)?;
+        monitor.strict = true;
+        Ok(monitor)
+    }
+
+    /// Creates a monitor covering the global server range
+    /// `first_server .. first_server + servers`, with forecast horizon
+    /// `gap_secs`. Gauge names, observability events and public
+    /// accessors all use global server indices, so ranged monitors over
+    /// a partition of the fleet are indistinguishable from one monitor
+    /// over the whole fleet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid [`DynamicConfig`]s.
+    pub fn with_range(
+        stable: StablePredictor,
+        config: DynamicConfig,
+        first_server: usize,
+        servers: usize,
+        gap_secs: Seconds,
+    ) -> Result<Self, PredictError> {
         let gap_secs = gap_secs.get();
         if !(gap_secs > 0.0) {
             return Err(PredictError::invalid(
@@ -276,6 +316,8 @@ impl FleetMonitor {
         Ok(FleetMonitor {
             stable,
             gap_secs,
+            lo: first_server,
+            strict: false,
             predictors: predictors?,
             pending: vec![VecDeque::new(); servers],
             stats: vec![ServerStats::default(); servers],
@@ -292,8 +334,23 @@ impl FleetMonitor {
             stuck_run: vec![(0, 0); servers],
             last_delivery: vec![f64::NAN; servers],
             holdover: vec![false; servers],
+            pred_err: vec![obs::QuantileSketch::new(); servers],
             temp_limit_c: DEFAULT_TEMP_LIMIT_C,
         })
+    }
+
+    /// First global server index this monitor covers (0 for a
+    /// whole-fleet monitor).
+    #[must_use]
+    pub fn first_server(&self) -> usize {
+        self.lo
+    }
+
+    /// Maps a global server id to this monitor's local index, `None`
+    /// when the server is outside the covered range.
+    fn local(&self, server: ServerId) -> Option<usize> {
+        let local = server.raw().checked_sub(self.lo)?;
+        (local < self.predictors.len()).then_some(local)
     }
 
     /// Replaces the die-temperature limit the per-server headroom gauge
@@ -341,8 +398,8 @@ impl FleetMonitor {
     /// Degradation counters for a server.
     #[must_use]
     pub fn degradation(&self, server: ServerId) -> DegradationStats {
-        self.degradation
-            .get(server.raw())
+        self.local(server)
+            .and_then(|i| self.degradation.get(i))
             .copied()
             .unwrap_or_default()
     }
@@ -350,7 +407,10 @@ impl FleetMonitor {
     /// Whether a server's stream is currently stale (holdover active).
     #[must_use]
     pub fn in_holdover(&self, server: ServerId) -> bool {
-        self.holdover.get(server.raw()).copied().unwrap_or(false)
+        self.local(server)
+            .and_then(|i| self.holdover.get(i))
+            .copied()
+            .unwrap_or(false)
     }
 
     /// Re-anchors one server's predictor and does the observability
@@ -363,13 +423,16 @@ impl FleetMonitor {
         ambient_c: Celsius,
         reason: &'static str,
     ) {
+        let Some(local) = self.local(sid) else {
+            return; // another shard's server
+        };
         let Ok(server) = sim.datacenter().server(sid) else {
             return;
         };
         let snap = ConfigSnapshot::capture(sim, sid, ambient_c);
         let phi0 = server.die_temperature();
         let psi_stable = self.stable.predict(&snap);
-        self.apply_anchor(sid.raw(), t_secs, phi0, psi_stable, reason);
+        self.apply_anchor(local, t_secs, phi0, psi_stable, reason);
     }
 
     /// Anchors one predictor to an already-computed ψ_stable and records
@@ -390,9 +453,10 @@ impl FleetMonitor {
         self.reanchors[idx] += 1;
         self.last_anchor[idx] = t_secs;
         OBS_REANCHORS.inc();
+        let global = self.lo + idx;
         obs::emit_with(|| ObsEvent::Reanchor {
             t_secs,
-            server: idx,
+            server: global,
             phi0_c: phi0,
             psi_stable_c: psi_stable,
             reason: reason.to_string(),
@@ -426,26 +490,34 @@ impl FleetMonitor {
         let _sweep_timer = OBS_OBSERVE_NS.start_timer();
         let n = self.servers();
         assert!(
-            sim.datacenter().len() <= n,
-            "monitor sized for {n} servers, simulation has {}",
+            !self.strict || sim.datacenter().len() <= self.lo + n,
+            "monitor covers servers {}..{}, simulation has {}",
+            self.lo,
+            self.lo + n,
             sim.datacenter().len()
         );
+        // Servers of this monitor's range that exist in the simulation,
+        // as local indices.
+        let covered = sim.datacenter().len().saturating_sub(self.lo).min(n);
         if obs::enabled() && self.gauges.is_empty() {
-            self.gauges = (0..n).map(ServerGauges::register).collect();
+            let lo = self.lo;
+            self.gauges = (0..n).map(|i| ServerGauges::register(lo + i)).collect();
         }
 
-        // Initial anchor for every server, once traces exist: one batch
-        // ψ_stable prediction over the whole fleet instead of a scalar
-        // predict per server.
+        // Initial anchor for every covered server, once traces exist:
+        // one batch ψ_stable prediction over the range instead of a
+        // scalar predict per server. `predict_batch` is per-sample
+        // independent (bitwise equal to scalar predicts), so a range
+        // batch anchors exactly as a whole-fleet batch would.
         if !self.anchored {
             self.anchored = true;
             let t = sim.now().as_secs_f64();
-            let snapshots: Vec<ConfigSnapshot> = (0..sim.datacenter().len())
-                .map(|idx| ConfigSnapshot::capture(sim, ServerId::new(idx), ambient_c))
+            let snapshots: Vec<ConfigSnapshot> = (0..covered)
+                .map(|idx| ConfigSnapshot::capture(sim, ServerId::new(self.lo + idx), ambient_c))
                 .collect();
             let psi = self.stable.predict_batch(&snapshots);
             for (idx, psi_stable) in psi.into_iter().enumerate() {
-                let Ok(server) = sim.datacenter().server(ServerId::new(idx)) else {
+                let Ok(server) = sim.datacenter().server(ServerId::new(self.lo + idx)) else {
                     continue;
                 };
                 let phi0 = server.die_temperature();
@@ -485,8 +557,9 @@ impl FleetMonitor {
 
         // Feed samples, score matured forecasts, enqueue fresh ones.
         let now = sim.now().as_secs_f64();
-        for idx in 0..sim.datacenter().len() {
-            let sid = ServerId::new(idx);
+        for idx in 0..covered {
+            let global = self.lo + idx;
+            let sid = ServerId::new(global);
             // A faulted delivery stream goes through the degradation
             // machinery; the clean path below reads the physics trace
             // directly and is untouched by fault handling.
@@ -502,7 +575,7 @@ impl FleetMonitor {
             OBS_SAMPLES.inc();
             obs::emit_with(|| ObsEvent::Sample {
                 t_secs: t,
-                server: idx,
+                server: global,
                 temp_c: measured,
             });
             while let Some(&(target, forecast)) = self.pending[idx].front() {
@@ -519,12 +592,13 @@ impl FleetMonitor {
                 self.recent_sq_err[idx].push_back(err * err);
                 OBS_SCORED.inc();
                 OBS_ABS_ERR.observe(err.abs());
+                self.pred_err[idx].observe(err.abs());
                 if let Some(gauges) = self.gauges.get(idx) {
                     gauges.pred_err.observe(err.abs());
                 }
                 obs::emit_with(|| ObsEvent::ForecastScored {
                     t_secs: now,
-                    server: idx,
+                    server: global,
                     err_c: err,
                 });
             }
@@ -535,7 +609,7 @@ impl FleetMonitor {
                 OBS_ISSUED.inc();
                 obs::emit_with(|| ObsEvent::Forecast {
                     t_secs: t,
-                    server: idx,
+                    server: global,
                     target_t_secs: t + self.gap_secs,
                     temp_c: forecast,
                 });
@@ -556,7 +630,8 @@ impl FleetMonitor {
     /// re-anchor on stream recovery, expires forecasts that matured inside
     /// a gap and keeps forecasting from the anchored curve throughout.
     fn observe_faulted(&mut self, sim: &Simulation, idx: usize, now: f64, ambient_c: Celsius) {
-        let sid = ServerId::new(idx);
+        let global = self.lo + idx;
+        let sid = ServerId::new(global);
         let policy = self.policy;
         let Some(delivered) = sim.delivered(sid) else {
             return;
@@ -627,7 +702,7 @@ impl FleetMonitor {
             OBS_SAMPLES.inc();
             obs::emit_with(|| ObsEvent::Sample {
                 t_secs: t,
-                server: idx,
+                server: global,
                 temp_c: v,
             });
         }
@@ -664,12 +739,13 @@ impl FleetMonitor {
                     self.recent_sq_err[idx].push_back(err * err);
                     OBS_SCORED.inc();
                     OBS_ABS_ERR.observe(err.abs());
+                    self.pred_err[idx].observe(err.abs());
                     if let Some(gauges) = self.gauges.get(idx) {
                         gauges.pred_err.observe(err.abs());
                     }
                     obs::emit_with(|| ObsEvent::ForecastScored {
                         t_secs: now,
-                        server: idx,
+                        server: global,
                         err_c: err,
                     });
                 }
@@ -689,7 +765,7 @@ impl FleetMonitor {
             OBS_ISSUED.inc();
             obs::emit_with(|| ObsEvent::Forecast {
                 t_secs: now,
-                server: idx,
+                server: global,
                 target_t_secs: now + self.gap_secs,
                 temp_c: forecast,
             });
@@ -713,7 +789,7 @@ impl FleetMonitor {
     /// have been scored this equals [`ServerStats::mse`].
     #[must_use]
     pub fn rolling_mse(&self, server: ServerId) -> f64 {
-        match self.recent_sq_err.get(server.raw()) {
+        match self.local(server).and_then(|i| self.recent_sq_err.get(i)) {
             Some(w) if !w.is_empty() => w.iter().sum::<f64>() / w.len() as f64,
             _ => f64::NAN,
         }
@@ -723,32 +799,43 @@ impl FleetMonitor {
     /// initial anchor.
     #[must_use]
     pub fn reanchor_count(&self, server: ServerId) -> u64 {
-        self.reanchors.get(server.raw()).copied().unwrap_or(0)
+        self.local(server)
+            .and_then(|i| self.reanchors.get(i))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Seconds of simulation time of a server's most recent anchor.
     #[must_use]
     pub fn last_anchor_secs(&self, server: ServerId) -> f64 {
-        self.last_anchor.get(server.raw()).copied().unwrap_or(0.0)
+        self.local(server)
+            .and_then(|i| self.last_anchor.get(i))
+            .copied()
+            .unwrap_or(0.0)
     }
 
     /// Depth of a server's forecast-maturity queue.
     #[must_use]
     pub fn pending_forecasts(&self, server: ServerId) -> usize {
-        self.pending.get(server.raw()).map_or(0, VecDeque::len)
+        self.local(server)
+            .and_then(|i| self.pending.get(i))
+            .map_or(0, VecDeque::len)
     }
 
     /// The current forecast (`gap_secs` ahead of the latest sample) for a
     /// server, if one is pending.
     #[must_use]
     pub fn latest_forecast(&self, server: ServerId) -> Option<(f64, f64)> {
-        self.pending.get(server.raw())?.back().copied()
+        self.pending.get(self.local(server)?)?.back().copied()
     }
 
     /// Per-server accuracy stats.
     #[must_use]
     pub fn stats(&self, server: ServerId) -> ServerStats {
-        self.stats.get(server.raw()).copied().unwrap_or_default()
+        self.local(server)
+            .and_then(|i| self.stats.get(i))
+            .copied()
+            .unwrap_or_default()
     }
 
     /// Fleet-wide MSE over all matured forecasts (`NaN` before any).
@@ -759,6 +846,40 @@ impl FleetMonitor {
             return f64::NAN;
         }
         self.stats.iter().map(|s| s.sum_sq_err).sum::<f64>() / scored as f64
+    }
+
+    /// Per-server accuracy stats for the whole covered range, in local
+    /// (range) order. [`crate::fleet::ShardedMonitor`] concatenates
+    /// these slices in shard order to reduce fleet gauges with exactly
+    /// the floating-point association a whole-fleet monitor uses.
+    #[must_use]
+    pub fn server_stats(&self) -> &[ServerStats] {
+        &self.stats
+    }
+
+    /// One server's absolute forecast-error P² sketch (p50/p95/p99),
+    /// maintained whether or not the obs layer is enabled.
+    #[must_use]
+    pub fn pred_err_sketch(&self, server: ServerId) -> Option<&obs::QuantileSketch> {
+        self.pred_err.get(self.local(server)?)
+    }
+
+    /// All per-server forecast-error sketches in local (range) order.
+    #[must_use]
+    pub fn pred_err_sketches(&self) -> &[obs::QuantileSketch] {
+        &self.pred_err
+    }
+
+    /// Fleet-level roll-up of the per-server forecast-error sketches,
+    /// folded in server-index order (see
+    /// [`obs::MergedQuantiles::absorb`] for the merge contract).
+    #[must_use]
+    pub fn fleet_pred_err(&self) -> obs::MergedQuantiles {
+        let mut merged = obs::MergedQuantiles::new();
+        for sketch in &self.pred_err {
+            merged.absorb(sketch);
+        }
+        merged
     }
 
     /// The per-server dynamic predictors (read access for diagnostics).

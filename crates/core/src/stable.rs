@@ -98,6 +98,31 @@ pub fn run_experiments(configs: &[ExperimentConfig]) -> Vec<ExperimentOutcome> {
     configs.iter().map(ExperimentConfig::run).collect()
 }
 
+/// Runs the campaign on up to `threads` worker threads.
+///
+/// Each experiment is a self-contained seeded simulation, and outcomes
+/// land in index-addressed slots ([`vmtherm_sim::shard::for_each_chunk`]),
+/// so the returned vector is bit-identical to [`run_experiments`] for
+/// every thread count.
+#[must_use]
+pub fn run_experiments_threaded(
+    configs: &[ExperimentConfig],
+    threads: usize,
+) -> Vec<ExperimentOutcome> {
+    if threads <= 1 {
+        return run_experiments(configs);
+    }
+    let mut slots: Vec<(&ExperimentConfig, Option<ExperimentOutcome>)> =
+        configs.iter().map(|c| (c, None)).collect();
+    vmtherm_sim::shard::for_each_chunk(&mut slots, threads, threads, |_, chunk| {
+        for (config, slot) in chunk {
+            *slot = Some(config.run());
+        }
+    });
+    // Every slot is filled: the chunks cover the slice exactly once.
+    slots.into_iter().flat_map(|(_, outcome)| outcome).collect()
+}
+
 /// The deployed stable-temperature model: scaler + SVR + encoding.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StablePredictor {

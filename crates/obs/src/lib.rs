@@ -38,7 +38,7 @@ pub use event::{EventLog, ObsEvent, TraceMode, SCHEMA_VERSION};
 pub use json::Json;
 pub use registry::{Counter, Gauge, Histogram, Registry, Summary};
 pub use serve::ScrapeServer;
-pub use sketch::QuantileSketch;
+pub use sketch::{MergedQuantiles, QuantileSketch};
 pub use span::{reset_spans, span, span_stats, SpanGuard, SpanStat};
 
 /// Serializes tests that toggle the process-global flags.

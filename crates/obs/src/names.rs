@@ -60,6 +60,12 @@ pub const METRIC_MONITOR_PRED_ABS_ERR: &str = "vmtherm_monitor_pred_abs_err_c";
 pub const METRIC_MONITOR_TEMP_HEADROOM: &str = "vmtherm_monitor_temp_headroom_c";
 /// Wall-clock nanoseconds per fleet-monitor observation sweep (summary).
 pub const METRIC_MONITOR_OBSERVE_NS: &str = "vmtherm_monitor_observe_ns";
+/// Fleet-wide MSE over all matured forecasts, reduced deterministically
+/// in server-index order by the sharded monitor (gauge, degC squared).
+pub const METRIC_MONITOR_FLEET_MSE: &str = "vmtherm_monitor_fleet_mse";
+/// Fleet-level p95 absolute forecast error merged from the per-server
+/// P squared sketches in server-index order (gauge, degC).
+pub const METRIC_MONITOR_FLEET_PRED_ERR_P95: &str = "vmtherm_monitor_fleet_pred_abs_err_p95_c";
 
 /// Sensor samples dropped by the fault injector (counter).
 pub const METRIC_FAULT_DROPPED_SAMPLES: &str = "vmtherm_fault_dropped_samples_total";
@@ -172,6 +178,12 @@ pub fn help(base: &str) -> Option<&'static str> {
         }
         _ if base == METRIC_MONITOR_OBSERVE_NS => {
             "Wall-clock nanoseconds per fleet-monitor observation sweep."
+        }
+        _ if base == METRIC_MONITOR_FLEET_MSE => {
+            "Fleet-wide MSE over all matured forecasts (deterministic reduce)."
+        }
+        _ if base == METRIC_MONITOR_FLEET_PRED_ERR_P95 => {
+            "Fleet-level p95 absolute forecast error merged from per-server sketches."
         }
         _ if base == METRIC_FAULT_DROPPED_SAMPLES => "Samples dropped by the fault injector.",
         _ if base == METRIC_FAULT_STUCK_SAMPLES => "Samples replaced by a stuck-at value.",

@@ -270,6 +270,126 @@ impl QuantileSketch {
     }
 }
 
+/// A fleet-level roll-up of many [`QuantileSketch`]es, merged
+/// deterministically.
+///
+/// P² marker states cannot be merged exactly (the algorithm is
+/// order-sensitive by design), so this type folds **summaries**: count,
+/// sum, min and max merge exactly, and each tracked quantile becomes
+/// the count-weighted mean of the per-sketch estimates — a standard
+/// roll-up approximation whose error is bounded by the spread between
+/// shards, and which is reproducible bit-for-bit because callers fold
+/// in a fixed order (server-index order in the sharded monitor).
+///
+/// Two `MergedQuantiles` built by absorbing the same sketches in the
+/// same order hold bit-identical state regardless of which threads
+/// owned the sketches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergedQuantiles {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    /// `(q, count-weighted estimate)` per tracked quantile.
+    quantiles: [(f64, f64); 3],
+}
+
+impl Default for MergedQuantiles {
+    fn default() -> Self {
+        MergedQuantiles::new()
+    }
+}
+
+impl MergedQuantiles {
+    /// Creates an empty roll-up over [`TRACKED_QUANTILES`].
+    #[must_use]
+    pub fn new() -> MergedQuantiles {
+        MergedQuantiles {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            quantiles: [
+                (TRACKED_QUANTILES[0], 0.0),
+                (TRACKED_QUANTILES[1], 0.0),
+                (TRACKED_QUANTILES[2], 0.0),
+            ],
+        }
+    }
+
+    /// Folds one sketch into the roll-up. Empty sketches are no-ops, so
+    /// the fold is insensitive to servers that have not scored yet.
+    ///
+    /// Merge order is part of the determinism contract: fold in a fixed
+    /// order (ascending server index) to get reproducible bits.
+    pub fn absorb(&mut self, sketch: &QuantileSketch) {
+        let add = sketch.count();
+        if add == 0 {
+            return;
+        }
+        let prior = self.count as f64;
+        let total = (self.count + add) as f64;
+        for ((q, merged), (sq, est)) in self.quantiles.iter_mut().zip(sketch.quantiles()) {
+            debug_assert_eq!(*q, sq, "tracked quantile sets diverged");
+            *merged = (*merged * prior + est * add as f64) / total;
+        }
+        self.count += add;
+        self.sum += sketch.sum();
+        self.min = self.min.min(sketch.min());
+        self.max = self.max.max(sketch.max());
+    }
+
+    /// Total observations across the absorbed sketches.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (folded in absorb order).
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest observation, 0 before any.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation, 0 before any.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Merged estimate for the tracked quantile nearest to `q`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        let mut best = &self.quantiles[0];
+        for pair in &self.quantiles[1..] {
+            if (pair.0 - q).abs() < (best.0 - q).abs() {
+                best = pair;
+            }
+        }
+        best.1
+    }
+
+    /// All merged `(q, estimate)` pairs, ascending by q.
+    #[must_use]
+    pub fn quantiles(&self) -> [(f64, f64); 3] {
+        self.quantiles
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -378,6 +498,81 @@ mod tests {
         }
         let est = p.estimate();
         assert!((est - 9_500.0).abs() < 200.0, "p95 of 0..10000 was {est}");
+    }
+
+    #[test]
+    fn merged_rollup_is_exact_for_count_sum_min_max() {
+        let mut a = QuantileSketch::new();
+        let mut b = QuantileSketch::new();
+        for v in uniform_stream(3, 500) {
+            a.observe(v + 1.0);
+        }
+        for v in uniform_stream(4, 1_500) {
+            b.observe(v);
+        }
+        let mut merged = MergedQuantiles::new();
+        merged.absorb(&a);
+        merged.absorb(&b);
+        assert_eq!(merged.count(), 2_000);
+        assert_eq!(merged.sum().to_bits(), (a.sum() + b.sum()).to_bits());
+        assert_eq!(merged.min(), b.min());
+        assert_eq!(merged.max(), a.max());
+    }
+
+    #[test]
+    fn merged_quantiles_are_count_weighted() {
+        // One sketch holding only 10s, another only 20s, 1:3 weighting.
+        let mut tens = QuantileSketch::new();
+        let mut twenties = QuantileSketch::new();
+        for _ in 0..100 {
+            tens.observe(10.0);
+        }
+        for _ in 0..300 {
+            twenties.observe(20.0);
+        }
+        let mut merged = MergedQuantiles::new();
+        merged.absorb(&tens);
+        merged.absorb(&twenties);
+        assert!((merged.quantile(0.5) - 17.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_sketches_do_not_perturb_the_rollup() {
+        let mut data = QuantileSketch::new();
+        for v in uniform_stream(8, 200) {
+            data.observe(v);
+        }
+        let mut with_empties = MergedQuantiles::new();
+        with_empties.absorb(&QuantileSketch::new());
+        with_empties.absorb(&data);
+        with_empties.absorb(&QuantileSketch::new());
+        let mut alone = MergedQuantiles::new();
+        alone.absorb(&data);
+        assert_eq!(with_empties, alone);
+    }
+
+    #[test]
+    fn fixed_fold_order_is_bit_reproducible() {
+        let sketches: Vec<QuantileSketch> = (0..6)
+            .map(|i| {
+                let mut s = QuantileSketch::new();
+                for v in uniform_stream(i, 50 + 31 * i as usize) {
+                    s.observe(v * (i + 1) as f64);
+                }
+                s
+            })
+            .collect();
+        let fold = || {
+            let mut m = MergedQuantiles::new();
+            for s in &sketches {
+                m.absorb(s);
+            }
+            m
+        };
+        let a = fold();
+        let b = fold();
+        assert_eq!(a, b);
+        assert_eq!(a.quantile(0.99).to_bits(), b.quantile(0.99).to_bits());
     }
 
     #[test]

@@ -385,8 +385,12 @@ impl FaultStats {
 }
 
 /// Per-server channel state: one RNG stream plus open-window bookkeeping.
+///
+/// The RNG stream is derived from `plan.seed ⊕ f(stable server index)`
+/// — never from shard topology — so a server consumes exactly the same
+/// draws whether the fleet steps on one thread or sixteen.
 #[derive(Debug, Clone)]
-struct ServerFaultState {
+pub(crate) struct ServerFaultState {
     rng: StdRng,
     drop_until_secs: f64,
     stuck_until_secs: f64,
@@ -409,83 +413,26 @@ impl ServerFaultState {
             stats: FaultStats::default(),
         }
     }
-}
 
-/// Applies a [`FaultPlan`] to per-server sensor deliveries.
-#[derive(Debug, Clone)]
-pub struct FaultInjector {
-    plan: FaultPlan,
-    servers: Vec<ServerFaultState>,
-    event_rng: StdRng,
-    events_lost: u64,
-}
-
-impl FaultInjector {
-    /// Builds an injector for the plan. Per-server state is created
-    /// lazily as servers are seen, so fleets may grow mid-run.
+    /// Routes one sensor reading through the active channels of `plan`.
     ///
-    /// # Errors
-    ///
-    /// [`SimError::InvalidConfig`] — channel constructors validate their
-    /// own domains, but a hand-assembled plan is re-checked here.
-    pub fn new(plan: FaultPlan) -> Result<Self, SimError> {
-        if let Some(d) = &plan.dropout {
-            check_prob("dropout.window_prob", d.window_prob)?;
-            check_windows("dropout.windows", &d.windows)?;
-        }
-        if let Some(s) = &plan.stuck {
-            check_prob("stuck.window_prob", s.window_prob)?;
-            check_windows("stuck.windows", &s.windows)?;
-        }
-        if let Some(s) = &plan.spike {
-            check_prob("spike.prob", s.prob)?;
-        }
-        if let Some(j) = &plan.jitter {
-            check_prob("jitter.prob", j.prob)?;
-        }
-        if let Some(l) = &plan.lost_events {
-            check_prob("lost_event.prob", l.prob)?;
-        }
-        let event_rng = StdRng::seed_from_u64(plan.seed ^ 0x00C0_FFEE);
-        Ok(FaultInjector {
-            plan,
-            servers: Vec::new(),
-            event_rng,
-            events_lost: 0,
-        })
-    }
-
-    /// The plan this injector applies.
-    #[must_use]
-    pub fn plan(&self) -> &FaultPlan {
-        &self.plan
-    }
-
-    fn state(&mut self, server: usize) -> &mut ServerFaultState {
-        while self.servers.len() <= server {
-            let idx = self.servers.len();
-            self.servers
-                .push(ServerFaultState::new(self.plan.seed, idx));
-        }
-        &mut self.servers[server]
-    }
-
-    /// Routes one sensor reading through the active channels. Returns the
-    /// (possibly re-timestamped, possibly corrupted) sample to deliver, or
-    /// `None` when it was dropped.
+    /// All randomness comes from this state's own stream and all
+    /// bookkeeping lives in `self`, so disjoint server states can be
+    /// driven from different worker threads without any cross-server
+    /// data flow (the obs counters are order-independent atomics).
     ///
     /// Channel order: stuck → spike → dropout → jitter. A stuck sensor
     /// freezes the raw reading; a spike rides on top of whatever the
-    /// sensor path produced; dropout then decides whether anything leaves
-    /// the box at all; jitter perturbs only the timestamp.
-    pub fn deliver(
+    /// sensor path produced; dropout then decides whether anything
+    /// leaves the box at all; jitter perturbs only the timestamp.
+    pub(crate) fn deliver(
         &mut self,
+        plan: &FaultPlan,
         server: usize,
         t: Seconds,
         reading: Celsius,
     ) -> Option<(Seconds, Celsius)> {
-        let plan = self.plan.clone();
-        let state = self.state(server);
+        let state = self;
         let t_secs = t.get();
         let mut value_c = reading.get();
 
@@ -585,6 +532,92 @@ impl FaultInjector {
         }
 
         Some((Seconds::new(out_t), Celsius::new(value_c)))
+    }
+}
+
+/// Applies a [`FaultPlan`] to per-server sensor deliveries.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    servers: Vec<ServerFaultState>,
+    event_rng: StdRng,
+    events_lost: u64,
+}
+
+impl FaultInjector {
+    /// Builds an injector for the plan. Per-server state is created
+    /// lazily as servers are seen, so fleets may grow mid-run.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] — channel constructors validate their
+    /// own domains, but a hand-assembled plan is re-checked here.
+    pub fn new(plan: FaultPlan) -> Result<Self, SimError> {
+        if let Some(d) = &plan.dropout {
+            check_prob("dropout.window_prob", d.window_prob)?;
+            check_windows("dropout.windows", &d.windows)?;
+        }
+        if let Some(s) = &plan.stuck {
+            check_prob("stuck.window_prob", s.window_prob)?;
+            check_windows("stuck.windows", &s.windows)?;
+        }
+        if let Some(s) = &plan.spike {
+            check_prob("spike.prob", s.prob)?;
+        }
+        if let Some(j) = &plan.jitter {
+            check_prob("jitter.prob", j.prob)?;
+        }
+        if let Some(l) = &plan.lost_events {
+            check_prob("lost_event.prob", l.prob)?;
+        }
+        let event_rng = StdRng::seed_from_u64(plan.seed ^ 0x00C0_FFEE);
+        Ok(FaultInjector {
+            plan,
+            servers: Vec::new(),
+            event_rng,
+            events_lost: 0,
+        })
+    }
+
+    /// The plan this injector applies.
+    #[must_use]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Grows per-server state up to `count` servers so disjoint states
+    /// exist before the fleet is split across worker threads.
+    pub(crate) fn ensure_servers(&mut self, count: usize) {
+        while self.servers.len() < count {
+            let idx = self.servers.len();
+            self.servers
+                .push(ServerFaultState::new(self.plan.seed, idx));
+        }
+    }
+
+    /// Splits the injector into its (shared) plan and the per-server
+    /// state slice, indexed by stable server id. Call
+    /// [`FaultInjector::ensure_servers`] first: the slice only covers
+    /// servers that already have state.
+    pub(crate) fn split_mut(&mut self) -> (&FaultPlan, &mut [ServerFaultState]) {
+        (&self.plan, &mut self.servers)
+    }
+
+    /// Routes one sensor reading through the active channels. Returns the
+    /// (possibly re-timestamped, possibly corrupted) sample to deliver, or
+    /// `None` when it was dropped.
+    ///
+    /// Channel order: stuck → spike → dropout → jitter (see
+    /// [`ServerFaultState::deliver`], which holds the channel logic so
+    /// the sharded engine can drive disjoint server states directly).
+    pub fn deliver(
+        &mut self,
+        server: usize,
+        t: Seconds,
+        reading: Celsius,
+    ) -> Option<(Seconds, Celsius)> {
+        self.ensure_servers(server + 1);
+        self.servers[server].deliver(&self.plan, server, t, reading)
     }
 
     /// Decides whether the next reconfiguration notification is lost.

@@ -74,6 +74,7 @@ pub mod migration;
 pub mod power;
 pub mod sensor;
 pub mod server;
+pub mod shard;
 pub mod telemetry;
 pub mod thermal;
 pub mod time;

@@ -1,0 +1,132 @@
+//! Property-based proof of the sharded-execution contract: a fleet run
+//! is bit-identical across thread counts {1, 2, 4, 8} and *arbitrary*
+//! shard partitionings — including with an active [`FaultPlan`], whose
+//! per-server RNG streams are derived from stable server indices and so
+//! must not care which shard (or thread) delivers a given server.
+
+use proptest::prelude::*;
+use vmtherm_sim::fault::{DropoutFault, FaultPlan, JitterFault, SpikeFault};
+use vmtherm_sim::{
+    AmbientModel, Datacenter, Event, ServerId, ServerSpec, SimTime, Simulation, TaskProfile, VmSpec,
+};
+use vmtherm_units::{Celsius, Seconds};
+
+/// Runs a small fleet scenario and returns every deterministic output
+/// bit: room heat, die temperatures, full sensor traces, the delivered
+/// (faulted) telemetry stream and the fault counters.
+fn run_fingerprint(
+    servers: usize,
+    sim_seed: u64,
+    fault_seed: u64,
+    faulted: bool,
+    threads: usize,
+    shards: usize,
+    steps: u64,
+) -> Vec<u64> {
+    let dc = Datacenter::homogeneous(
+        &ServerSpec::standard("p"),
+        servers,
+        4,
+        Celsius::new(24.0),
+        sim_seed,
+    );
+    let mut sim = Simulation::new(dc, AmbientModel::Fixed(24.0), sim_seed).with_threads(threads);
+    sim.set_shards(shards);
+    if faulted {
+        sim.set_fault_plan(
+            FaultPlan::new(fault_seed)
+                .with_dropout(
+                    DropoutFault::random(0.05, Seconds::new(2.0), Seconds::new(5.0)).unwrap(),
+                )
+                .with_spike(SpikeFault::random(0.08, Celsius::new(3.0), Celsius::new(8.0)).unwrap())
+                .with_jitter(JitterFault::random(0.1, Seconds::new(1.2)).unwrap()),
+        )
+        .unwrap();
+    }
+    for s in 0..servers {
+        sim.boot_vm_now(
+            ServerId::new(s),
+            VmSpec::new(format!("v{s}"), 2, 4.0, TaskProfile::Mixed),
+        )
+        .unwrap();
+        // A mid-run reconfiguration on every other server keeps the
+        // event path (and its re-anchors downstream) in the picture.
+        if s % 2 == 0 {
+            sim.schedule(
+                SimTime::from_secs(steps / 2),
+                Event::BootVm {
+                    server: ServerId::new(s),
+                    spec: VmSpec::new(format!("b{s}"), 2, 4.0, TaskProfile::CpuBound),
+                },
+            );
+        }
+    }
+    for _ in 0..steps {
+        sim.step();
+    }
+
+    let mut fp = vec![sim.datacenter().room_heat_kw().to_bits()];
+    for s in 0..servers {
+        let sid = ServerId::new(s);
+        fp.push(
+            sim.datacenter()
+                .server(sid)
+                .unwrap()
+                .die_temperature()
+                .to_bits(),
+        );
+        for (t, v) in sim.trace(sid).unwrap().sensor_c.iter() {
+            fp.push(t.to_bits());
+            fp.push(v.to_bits());
+        }
+        if let Some(delivered) = sim.delivered(sid) {
+            for &(t, v) in delivered {
+                fp.push(t.to_bits());
+                fp.push(v.to_bits());
+            }
+        }
+    }
+    let faults = sim.fault_stats();
+    fp.extend([
+        faults.dropped,
+        faults.spiked,
+        faults.jittered,
+        faults.stuck,
+        faults.events_lost,
+    ]);
+    fp
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any (threads, shards) pair produces the exact bits of the serial
+    /// single-shard run — for any fleet size, seed and fault plan.
+    #[test]
+    fn sharded_fleet_run_is_bit_identical(
+        servers in 1usize..=11,
+        threads_exp in 1u32..=3,
+        shards in 0usize..=16,
+        steps in 6u64..=36,
+        sim_seed in 0u64..1_000,
+        fault_seed in 0u64..1_000,
+        faulted_bit in 0u8..=1,
+    ) {
+        let threads = 1usize << threads_exp; // {2, 4, 8}
+        let faulted = faulted_bit == 1;
+        let reference =
+            run_fingerprint(servers, sim_seed, fault_seed, faulted, 1, 0, steps);
+        let sharded =
+            run_fingerprint(servers, sim_seed, fault_seed, faulted, threads, shards, steps);
+        prop_assert_eq!(
+            reference,
+            sharded,
+            "diverged at servers={} threads={} shards={} steps={} faulted={}",
+            servers,
+            threads,
+            shards,
+            steps,
+            faulted
+        );
+    }
+}

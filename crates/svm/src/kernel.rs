@@ -145,6 +145,71 @@ impl Kernel {
         }
     }
 
+    /// Like [`Kernel::eval_row_batch`], but the RBF kernel rides the dot
+    /// row kernel using precomputed per-row squared norms
+    /// ([`DenseMatrix::row_squared_norms`]): each squared distance is
+    /// recovered as `‖x‖² + ‖r‖² − 2·x·r` from a single dot pass over
+    /// the matrix.
+    ///
+    /// This trades the scalar-bitwise contract for speed: the norm
+    /// expansion reassociates the arithmetic, so RBF values agree with
+    /// [`Kernel::eval`] only to floating-point tolerance (relative error
+    /// on the order of machine epsilon times the norm magnitudes; worst
+    /// when `x` nearly coincides with a row and the subtraction
+    /// cancels). Negative rounding residue is clamped to zero so the
+    /// result never exceeds `K(x, x) = 1`. Callers that need exact
+    /// agreement with the scalar path stay on `eval_row_batch`.
+    ///
+    /// Non-RBF kernels have no distance pass to save and delegate to
+    /// [`Kernel::eval_row_batch`] unchanged (bitwise identical);
+    /// `row_norms` is ignored there.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the [`Kernel::eval_row_batch`] shape mismatches, and
+    /// (for RBF) if `row_norms` does not have one entry per matrix row.
+    pub fn eval_row_batch_prenorm(
+        &self,
+        x: &[f64],
+        m: &DenseMatrix,
+        row_norms: &[f64],
+        out: &mut [f64],
+    ) {
+        let Kernel::Rbf { gamma } = *self else {
+            self.eval_row_batch(x, m, out);
+            return;
+        };
+        assert_eq!(
+            row_norms.len(),
+            m.rows(),
+            "eval_row_batch_prenorm: {} norms for {} rows",
+            row_norms.len(),
+            m.rows()
+        );
+        assert_eq!(
+            out.len(),
+            m.rows(),
+            "eval_row_batch_prenorm: out length {} != matrix rows {}",
+            out.len(),
+            m.rows()
+        );
+        if m.rows() > 0 {
+            assert_eq!(
+                x.len(),
+                m.cols(),
+                "eval_row_batch_prenorm: query dim {} != matrix width {}",
+                x.len(),
+                m.cols()
+            );
+        }
+        dot_rows(x, m, out);
+        let x_norm = dot(x, x);
+        for (o, &r_norm) in out.iter_mut().zip(row_norms) {
+            let d2 = (x_norm + r_norm - 2.0 * *o).max(0.0);
+            *o = (-gamma * d2).exp();
+        }
+    }
+
     /// The `gamma` hyper-parameter if this kernel has one.
     #[must_use]
     pub fn gamma(&self) -> Option<f64> {
@@ -499,6 +564,83 @@ mod tests {
                 assert_eq!(o.to_bits(), kernel.eval(&x, row).to_bits());
             }
         }
+    }
+
+    #[test]
+    fn prenorm_rbf_matches_scalar_eval_within_tolerance() {
+        // 11 rows exercise both the unrolled quads and the remainder.
+        let m = DenseMatrix::from_nested(
+            (0..11)
+                .map(|i| {
+                    (0..5)
+                        .map(|j| ((i * 5 + j) as f64 * 0.37).sin() * 3.0)
+                        .collect()
+                })
+                .collect(),
+        )
+        .unwrap();
+        let x: Vec<f64> = (0..5).map(|j| (j as f64 * 0.61).cos() * 2.0).collect();
+        let norms = m.row_squared_norms();
+        let kernel = Kernel::rbf(0.7);
+        let mut out = vec![0.0; m.rows()];
+        kernel.eval_row_batch_prenorm(&x, &m, &norms, &mut out);
+        for (o, row) in out.iter().zip(&m) {
+            let exact = kernel.eval(&x, row);
+            assert!(
+                (o - exact).abs() <= 1e-12 * exact.max(1.0),
+                "prenorm {o} vs scalar {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn prenorm_query_equal_to_a_row_clamps_at_one() {
+        // x == row: the expansion cancels to (rounding residue), which
+        // must clamp to d² = 0 and K = 1, never exceed it.
+        let m = DenseMatrix::from_nested(vec![vec![1.0e8, -2.5e7, 3.3e6], vec![0.5, 0.25, -0.125]])
+            .unwrap();
+        let x = [1.0e8, -2.5e7, 3.3e6];
+        let norms = m.row_squared_norms();
+        let mut out = vec![0.0; 2];
+        Kernel::rbf(0.9).eval_row_batch_prenorm(&x, &m, &norms, &mut out);
+        assert!(out[0] <= 1.0, "K(x, x) = {} exceeds 1", out[0]);
+        assert!(out[0] > 0.999_999, "K(x, x) = {} far from 1", out[0]);
+    }
+
+    #[test]
+    fn prenorm_non_rbf_kernels_stay_bitwise() {
+        let m = DenseMatrix::from_nested(vec![
+            vec![0.1, -0.4, 2.0],
+            vec![1.3, 0.0, -5.5],
+            vec![-2.2, 3.1, 0.7],
+        ])
+        .unwrap();
+        let x = [0.9, -1.1, 0.3];
+        let norms = m.row_squared_norms();
+        for kernel in [
+            Kernel::Linear,
+            Kernel::polynomial(0.5),
+            Kernel::Sigmoid {
+                gamma: 0.2,
+                coef0: 0.1,
+            },
+        ] {
+            let mut batch = vec![0.0; m.rows()];
+            let mut prenorm = vec![0.0; m.rows()];
+            kernel.eval_row_batch(&x, &m, &mut batch);
+            kernel.eval_row_batch_prenorm(&x, &m, &norms, &mut prenorm);
+            for (a, b) in batch.iter().zip(&prenorm) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "eval_row_batch_prenorm")]
+    fn prenorm_wrong_norms_len_panics() {
+        let m = DenseMatrix::from_nested(vec![vec![1.0]]).unwrap();
+        let mut out = vec![0.0; 1];
+        Kernel::rbf(1.0).eval_row_batch_prenorm(&[1.0], &m, &[], &mut out);
     }
 
     #[test]

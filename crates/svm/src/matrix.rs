@@ -155,6 +155,19 @@ impl DenseMatrix {
         &self.data
     }
 
+    /// `‖row_i‖²` for every row, in index order.
+    ///
+    /// Precomputing these lets a squared distance against any query be
+    /// recovered from a dot product — `‖x − r‖² = ‖x‖² + ‖r‖² − 2·x·r` —
+    /// so distance-based row passes (the RBF kernel) can ride the dot
+    /// row kernel instead of a dedicated distance pass.
+    #[must_use]
+    pub fn row_squared_norms(&self) -> Vec<f64> {
+        (0..self.rows)
+            .map(|i| self.row(i).iter().map(|&v| v * v).sum())
+            .collect()
+    }
+
     /// Appends a row, copied from `row`.
     ///
     /// # Panics

@@ -326,7 +326,8 @@ const FORBID_UNSAFE_CRATES: [&str; 5] = ["core", "sim", "svm", "units", "obs"];
 /// merge worker results through index-addressed slots — every worker
 /// writes its outcome keyed by the input index it claimed — so the merged
 /// output is identical for any thread count and completion order.
-const CONCURRENCY_ALLOWED_MODULES: [&str; 1] = ["crates/svm/src/grid.rs"];
+const CONCURRENCY_ALLOWED_MODULES: [&str; 2] =
+    ["crates/svm/src/grid.rs", "crates/sim/src/shard.rs"];
 
 /// Workspace-root file pinning the allowlist entry count (rule L10).
 pub const RATCHET_FILE: &str = "xtask-lint-ratchet.txt";

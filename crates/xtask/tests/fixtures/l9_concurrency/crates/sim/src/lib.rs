@@ -1,0 +1,12 @@
+//! Dirty fixture: the sim crate may only thread inside `shard.rs`.
+#![forbid(unsafe_code)]
+
+pub mod shard;
+
+pub fn sneaky_parallel_step(xs: &mut [f64]) {
+    std::thread::scope(|scope| {
+        for x in xs.iter_mut() {
+            scope.spawn(move || *x += 1.0);
+        }
+    });
+}

@@ -1,0 +1,16 @@
+//! The allowlisted sim-side concurrency module: disjoint contiguous
+//! chunks carved up front, mutated in place through exclusive borrows,
+//! so results are independent of thread count and rule L9 stays quiet.
+
+pub fn for_each_chunk(xs: &mut [f64], mid: usize) {
+    let (lo, hi) = xs.split_at_mut(mid);
+    std::thread::scope(|scope| {
+        for chunk in [lo, hi] {
+            scope.spawn(move || {
+                for x in chunk {
+                    *x *= 2.0;
+                }
+            });
+        }
+    });
+}
