@@ -16,9 +16,9 @@ use vmtherm_obs::{self as obs, report, ObsEvent, TraceMode};
 use vmtherm_sim::experiment::ConfigSnapshot;
 use vmtherm_sim::units::{Celsius, Seconds, Watts};
 use vmtherm_sim::{
-    AmbientModel, CaseGenerator, Datacenter, DropoutFault, Event, FaultPlan, JitterFault,
-    LostEventFault, ServerSpec, SimDuration, SimTime, Simulation, SpikeFault, StuckFault,
-    TaskProfile, VmSpec,
+    AmbientModel, CaseGenerator, ClockMode, Datacenter, DropoutFault, Event, FaultPlan,
+    JitterFault, LostEventFault, ServerSpec, SimDuration, SimTime, Simulation, SpikeFault,
+    StuckFault, TaskProfile, VmSpec,
 };
 use vmtherm_svm::data::Dataset;
 use vmtherm_svm::metrics;
@@ -68,10 +68,13 @@ COMMANDS:
             [--jitter P=0] [--lost P=0] [--fault-seed S=64023]
             [--vms N=5] [--fans F=4] [--ambient C=24] [--secs T=1800]
             [--burst-at SECS=900] [--gap G=60] [--seed S=7] [--threads T=1]
+            [--clock fixed|event]
             (--dropout/--stuck are target sample fractions lost to 45 s
             outage windows; --spike/--jitter/--lost are per-sample/event
             probabilities; --threads shards the engine and monitor onto T
-            worker threads — results are bit-identical for every T)
+            worker threads — results are bit-identical for every T;
+            --clock event lets thermally steady servers sleep between
+            sparse wake-ups, physics bit-identical to fixed stepping)
   watchdog  simulate a silent fan failure and report when the residual
             watchdog raises the alarm
             --model MODEL [--fail N=2] [--fail-at SECS=900] [--secs T=3000]
@@ -90,7 +93,19 @@ COMMANDS:
             [--model MODEL] [--vms N=5] [--fans F=4] [--ambient C=24]
             [--seed S=7] [--threads T=1 shard the demo fleet onto T worker
             threads; metrics are bit-identical for every T]
+            [--clock fixed|event event-driven sparse stepping]
 ";
+
+/// Parses the `--clock` flag shared by the simulation-driving commands:
+/// `fixed` (default) steps every server every tick; `event` enables
+/// sparse steady-state wake-ups (physics bit-identical to fixed).
+fn parse_clock(flags: &Flags) -> Result<ClockMode, String> {
+    match flags.get("clock") {
+        None | Some("fixed") => Ok(ClockMode::Fixed),
+        Some("event") => Ok(ClockMode::Event),
+        Some(other) => Err(format!("--clock must be `fixed` or `event`, got `{other}`")),
+    }
+}
 
 /// Runs one subcommand.
 ///
@@ -536,6 +551,7 @@ fn chaos(flags: &Flags) -> Result<String, String> {
     sim.set_fault_plan(plan)
         .map_err(|e| format!("fault plan: {e}"))?;
     sim.set_threads(threads);
+    sim.set_clock_mode(parse_clock(flags)?);
 
     let mut monitor = ShardedMonitor::new(
         &model,
@@ -848,6 +864,7 @@ fn obs_serve(flags: &Flags) -> Result<String, String> {
     sim.set_fault_plan(plan)
         .map_err(|e| format!("fault plan: {e}"))?;
     sim.set_threads(threads);
+    sim.set_clock_mode(parse_clock(flags)?);
     let mut monitor = ShardedMonitor::new(
         &model,
         DynamicConfig::new(),
@@ -1110,6 +1127,21 @@ mod tests {
         args.extend_from_slice(&chaos_base);
         let four = run("chaos", &flags(&args)).expect("threaded chaos");
         assert_eq!(one, four, "chaos --threads changed the report");
+    }
+
+    #[test]
+    fn clock_flag_parses_and_rejects_garbage() {
+        assert_eq!(parse_clock(&flags(&[])).unwrap(), ClockMode::Fixed);
+        assert_eq!(
+            parse_clock(&flags(&["--clock", "fixed"])).unwrap(),
+            ClockMode::Fixed
+        );
+        assert_eq!(
+            parse_clock(&flags(&["--clock", "event"])).unwrap(),
+            ClockMode::Event
+        );
+        let err = parse_clock(&flags(&["--clock", "warp"])).unwrap_err();
+        assert!(err.contains("`fixed` or `event`"), "unexpected: {err}");
     }
 
     #[test]

@@ -252,6 +252,11 @@ pub struct FleetMonitor {
     ingested: Vec<TimeSeries>,
     /// Per-server read position into the simulation's delivery stream.
     delivered_cursor: Vec<usize>,
+    /// Per-server timestamp (s) of the newest clean-path sample already
+    /// consumed, `NaN` before any. Event-driven simulations leave the
+    /// trace untouched while a server sleeps; without this guard the
+    /// unchanged last sample would re-feed the calibrator every tick.
+    last_clean_t: Vec<f64>,
     /// Per-server `(bit pattern, run length)` of the newest delivered
     /// reading, for stuck-sensor detection without float equality.
     stuck_run: Vec<(u64, usize)>,
@@ -331,6 +336,7 @@ impl FleetMonitor {
             degradation: vec![DegradationStats::default(); servers],
             ingested: vec![TimeSeries::new(); servers],
             delivered_cursor: vec![0; servers],
+            last_clean_t: vec![f64::NAN; servers],
             stuck_run: vec![(0, 0); servers],
             last_delivery: vec![f64::NAN; servers],
             holdover: vec![false; servers],
@@ -571,6 +577,13 @@ impl FleetMonitor {
             let Some((t, measured)) = trace.sensor_c.last() else {
                 continue;
             };
+            // Event-driven simulations record nothing while a server
+            // sleeps; consume each sample once (bit-compare: timestamps
+            // are copied verbatim, and NaN-before-any never matches).
+            if self.last_clean_t[idx].to_bits() == t.to_bits() {
+                continue;
+            }
+            self.last_clean_t[idx] = t;
             self.predictors[idx].observe(Seconds::new(t), Celsius::new(measured));
             OBS_SAMPLES.inc();
             obs::emit_with(|| ObsEvent::Sample {
@@ -894,8 +907,8 @@ mod tests {
     use super::*;
     use crate::stable::{run_experiments, TrainingOptions};
     use vmtherm_sim::{
-        AmbientModel, CaseGenerator, Datacenter, Event, ServerSpec, SimDuration, SimTime,
-        TaskProfile, VmSpec,
+        AmbientModel, CaseGenerator, ClockMode, Datacenter, Event, ServerSpec, SimDuration,
+        SimTime, TaskProfile, VmSpec,
     };
     use vmtherm_svm::kernel::Kernel;
     use vmtherm_svm::svr::SvrParams;
@@ -978,6 +991,53 @@ mod tests {
         let (target, value) = monitor.latest_forecast(ServerId::new(0)).unwrap();
         assert!(target > 1400.0);
         assert!((20.0..90.0).contains(&value));
+    }
+
+    #[test]
+    fn event_mode_sparse_traces_flow_through_the_clean_path() {
+        let _guard = obs_test_lock();
+        let mut dc = Datacenter::new();
+        for i in 0..3 {
+            dc.add_server(
+                ServerSpec::standard(format!("n{i}")),
+                Celsius::new(24.0),
+                i as u64,
+            );
+        }
+        let mut sim =
+            Simulation::new(dc, AmbientModel::Fixed(24.0), 7).with_clock(ClockMode::Event);
+        for i in 0..3 {
+            sim.boot_vm_now(
+                ServerId::new(i),
+                VmSpec::new(format!("v{i}"), 1, 2.0, TaskProfile::Idle),
+            )
+            .unwrap();
+        }
+        let mut monitor =
+            FleetMonitor::new(stable_model(), DynamicConfig::new(), 3, Seconds::new(60.0)).unwrap();
+        for _ in 0..1500 {
+            sim.step();
+            monitor.observe(&sim, Celsius::new(24.0));
+        }
+        // The fleet actually slept — traces are irregular, not 1 Hz.
+        assert!(sim.step_stats().skip_factor() > 2.0);
+        for i in 0..3 {
+            let sid = ServerId::new(i);
+            let samples = sim.trace(sid).unwrap().sensor_c.len();
+            assert!(samples < 1200, "server {i} trace not sparse: {samples}");
+            let s = monitor.stats(sid);
+            assert!(s.scored > 10, "server {i} scored only {}", s.scored);
+            // Each sample is consumed once: forecasts (and scores) cannot
+            // outnumber the sparse samples that triggered them.
+            assert!(
+                s.scored <= samples,
+                "server {i} re-consumed sleeping samples: {} scored, {samples} samples",
+                s.scored
+            );
+            assert!(!monitor.in_holdover(sid), "clean stream flagged stale");
+        }
+        let fleet = monitor.fleet_mse();
+        assert!(fleet.is_finite(), "fleet mse {fleet}");
     }
 
     #[test]

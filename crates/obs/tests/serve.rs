@@ -153,6 +153,79 @@ fn malformed_requests_get_400_without_killing_the_server() {
 }
 
 #[test]
+fn oversized_request_is_rejected_with_400() {
+    let _guard = lock();
+    let server = ScrapeServer::start("127.0.0.1:0").expect("bind ephemeral");
+    let addr = server.local_addr();
+
+    // 12 KiB of header bytes with no terminator: the server must cut the
+    // read off at its 8 KiB cap and answer 400 rather than buffering on.
+    // Closing with our unread tail still in its socket buffer may surface
+    // on this side as a connection reset instead of the 400 text; both
+    // prove the request was refused, so accept either.
+    let mut payload = b"GET /metrics HTTP/1.1\r\nX-Pad: ".to_vec();
+    payload.resize(12 * 1024, b'a');
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    stream.write_all(&payload).expect("write oversized head");
+    let mut out = String::new();
+    match stream.read_to_string(&mut out) {
+        Ok(_) => assert!(
+            out.starts_with("HTTP/1.1 400"),
+            "expected 400 for oversized request, got: {out}"
+        ),
+        Err(e) => assert_eq!(
+            e.kind(),
+            std::io::ErrorKind::ConnectionReset,
+            "unexpected read error: {e}"
+        ),
+    }
+
+    // The connection thread died with that request only; the server lives.
+    let (status, body) = http_get(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(body, "ok\n");
+}
+
+#[test]
+fn slow_loris_is_cut_off_by_the_read_timeout() {
+    let _guard = lock();
+    let server = ScrapeServer::start("127.0.0.1:0").expect("bind ephemeral");
+    let addr = server.local_addr();
+
+    // Send an incomplete request head and then stall. The per-connection
+    // 2 s read timeout must fire and answer 400; without it this read
+    // would hang forever.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: loris\r\n")
+        .expect("write partial head");
+    let started = std::time::Instant::now();
+    let mut out = String::new();
+    stream.read_to_string(&mut out).expect("read");
+    let waited = started.elapsed();
+    assert!(
+        out.starts_with("HTTP/1.1 400"),
+        "expected 400 after timeout, got: {out}"
+    );
+    assert!(
+        waited >= Duration::from_millis(1500) && waited < Duration::from_secs(8),
+        "timeout fired after {waited:?}, expected ~2s"
+    );
+
+    // The stalled connection occupied its own thread, not the accept
+    // loop: the server still answers immediately.
+    let (status, body) = http_get(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(body, "ok\n");
+}
+
+#[test]
 fn concurrent_scrapes_parse_under_concurrent_writes() {
     let _guard = lock();
     obs::set_enabled(true);

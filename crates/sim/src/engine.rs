@@ -13,7 +13,7 @@ use crate::migration::{ActiveMigration, MigrationConfig};
 use crate::server::{Server, ServerId};
 use crate::shard;
 use crate::telemetry::ServerTrace;
-use crate::time::{SimDuration, SimTime};
+use crate::time::{EventQueue, SimDuration, SimTime};
 use crate::vm::{Vm, VmId, VmSpec, VmState};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -87,6 +87,97 @@ impl Ord for Scheduled {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.at, self.seq).cmp(&(other.at, other.seq))
     }
+}
+
+/// How the engine advances per-server physics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum ClockMode {
+    /// Every server integrates every tick — the original fixed-step
+    /// behaviour, kept as the bit-identical compatibility mode.
+    #[default]
+    Fixed,
+    /// Multi-rate: servers whose physics inputs are provably constant
+    /// between reconfiguration events and whose thermal state sits
+    /// inside the [`WakePolicy`] steady-state band sleep across ticks,
+    /// integrating the accumulated interval in one step-size-exact call
+    /// at their next wake-up. Physical end states stay bit-identical to
+    /// [`ClockMode::Fixed`]; only telemetry density (and therefore
+    /// sensor/fault RNG consumption) differs.
+    Event,
+}
+
+/// When event-driven stepping may let a server sleep, and for how long.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WakePolicy {
+    /// A server may sleep only while its largest node temperature rate
+    /// |dT/dt| (°C/s) is below this band. Skipping is numerically exact
+    /// regardless (constant inputs are a separate precondition); the
+    /// band's job is to keep telemetry dense through thermal transients
+    /// so downstream consumers still see warm-up curves at full
+    /// resolution.
+    pub band_c_per_s: f64,
+    /// Longest sleep. Wake intervals double from the base step up to
+    /// this cap. Keep it below the monitor's staleness threshold
+    /// (`DegradationPolicy::staleness_secs`, default 30 s) so a
+    /// sparse-but-healthy stream is never mistaken for an outage.
+    pub max_skip: SimDuration,
+}
+
+impl Default for WakePolicy {
+    fn default() -> Self {
+        WakePolicy {
+            band_c_per_s: 0.01,
+            max_skip: SimDuration::from_secs(16),
+        }
+    }
+}
+
+/// Physics work counters: integrations that actually ran vs. what an
+/// equivalent dense fixed-step run would have done.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StepStats {
+    /// [`Server::step`] calls performed (dense steps, wake-ups and
+    /// event-mode catch-up settles).
+    pub server_steps: u64,
+    /// Server-steps a fixed-step run over the same span would perform
+    /// (ticks × fleet size).
+    pub dense_server_steps: u64,
+}
+
+impl StepStats {
+    /// Dense-to-actual ratio: 1.0 when nothing was skipped, ≥ 1
+    /// otherwise.
+    #[must_use]
+    pub fn skip_factor(&self) -> f64 {
+        if self.server_steps == 0 {
+            return 1.0;
+        }
+        self.dense_server_steps as f64 / self.server_steps as f64
+    }
+}
+
+/// Event-mode bookkeeping, allocated lazily on the first event-mode step
+/// so fixed-mode simulations pay nothing.
+#[derive(Debug)]
+struct WakeState {
+    /// Wake-ups ordered by `(time, server index)` — a total order, so
+    /// same-instant wake-ups drain in stable server order.
+    queue: EventQueue,
+    /// Authoritative next wake tick per server; queue entries that no
+    /// longer match are stale and discarded on pop (lazy deletion).
+    next_wake: Vec<SimTime>,
+    /// Time through which each server's physics has been integrated.
+    last_end: Vec<SimTime>,
+    /// Current per-server wake interval (doubles while sleeping is safe,
+    /// resets to the base step on any transient).
+    interval: Vec<SimDuration>,
+    /// Sorted tick instants adjacent to scheduled fault-window edges;
+    /// sleep never crosses one, so sparse delivery still resolves them.
+    fault_wakes: Vec<SimTime>,
+    /// `true` when `fault_wakes` must be recomputed from the installed
+    /// plan before the next use.
+    fault_wakes_stale: bool,
 }
 
 /// A notification the engine emits when something happened, for observers
@@ -167,6 +258,17 @@ pub struct Simulation {
     /// Shard-count override: 0 means one contiguous shard per thread.
     /// Exposed so tests can prove partition invariance directly.
     shards: usize,
+    /// How per-server physics advances (fixed dense steps or event-driven
+    /// sparse wake-ups).
+    clock_mode: ClockMode,
+    /// Steady-state band and sleep cap for event-driven stepping.
+    wake_policy: WakePolicy,
+    /// Event-mode bookkeeping, `None` until the first event-mode step.
+    wake: Option<WakeState>,
+    /// Physics integrations actually performed.
+    server_steps: u64,
+    /// Integrations an all-dense run would have performed.
+    dense_server_steps: u64,
 }
 
 /// Engine steps are counted (and one step latency sampled) once per this
@@ -200,6 +302,59 @@ impl Simulation {
             obs_backlog: 0,
             threads: 1,
             shards: 0,
+            clock_mode: ClockMode::Fixed,
+            wake_policy: WakePolicy::default(),
+            wake: None,
+            server_steps: 0,
+            dense_server_steps: 0,
+        }
+    }
+
+    /// Selects the clock mode (builder form of
+    /// [`Simulation::set_clock_mode`]).
+    #[must_use]
+    pub fn with_clock(mut self, mode: ClockMode) -> Self {
+        self.set_clock_mode(mode);
+        self
+    }
+
+    /// Switches how per-server physics advances. Leaving
+    /// [`ClockMode::Event`] first settles every sleeping server up to
+    /// the current clock, so the hand-over state is exactly what dense
+    /// stepping would hold.
+    pub fn set_clock_mode(&mut self, mode: ClockMode) {
+        if self.clock_mode == ClockMode::Event && mode != ClockMode::Event {
+            self.settle_all();
+            self.wake = None;
+        }
+        self.clock_mode = mode;
+    }
+
+    /// The active clock mode.
+    #[must_use]
+    pub fn clock_mode(&self) -> ClockMode {
+        self.clock_mode
+    }
+
+    /// Replaces the event-mode wake policy.
+    pub fn set_wake_policy(&mut self, policy: WakePolicy) {
+        self.wake_policy = policy;
+    }
+
+    /// The active event-mode wake policy.
+    #[must_use]
+    pub fn wake_policy(&self) -> WakePolicy {
+        self.wake_policy
+    }
+
+    /// Physics work counters so far (both clock modes): integrations
+    /// performed vs. the dense fixed-step equivalent. Event mode's win
+    /// is [`StepStats::skip_factor`].
+    #[must_use]
+    pub fn step_stats(&self) -> StepStats {
+        StepStats {
+            server_steps: self.server_steps,
+            dense_server_steps: self.dense_server_steps,
         }
     }
 
@@ -244,11 +399,18 @@ impl Simulation {
     ///
     /// [`SimError::InvalidConfig`] for an out-of-domain plan.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) -> Result<(), SimError> {
+        // Catch sleepers up under the old injector, then swap. The new
+        // plan's scheduled window edges pin extra wake-ups, so they must
+        // be recomputed before anyone sleeps again.
+        self.settle_all();
         if plan.is_noop() {
             self.fault = None;
-            return Ok(());
+        } else {
+            self.fault = Some(FaultInjector::new(plan)?);
         }
-        self.fault = Some(FaultInjector::new(plan)?);
+        if let Some(wake) = self.wake.as_mut() {
+            wake.fault_wakes_stale = true;
+        }
         Ok(())
     }
 
@@ -346,6 +508,7 @@ impl Simulation {
     ///
     /// Placement errors from [`crate::server::Server::boot_vm`].
     pub fn boot_vm_now(&mut self, server: ServerId, spec: VmSpec) -> Result<VmId, SimError> {
+        self.settle_and_wake(server.raw());
         let id = VmId::new(self.next_vm);
         self.next_vm += 1;
         let vm = Vm::new(
@@ -408,17 +571,23 @@ impl Simulation {
                 self.delivered.push(Vec::new());
             }
         }
-
-        // 1. Apply due events.
-        while let Some(Reverse(head)) = self.events.peek() {
-            if head.at > self.clock {
-                break;
-            }
-            let Reverse(s) = self.events.pop().expect("peeked event");
-            self.apply_event(s.event);
+        if self.clock_mode == ClockMode::Event {
+            self.ensure_wake_state();
         }
 
-        // 2. Complete due migrations.
+        // 1. Apply due events.
+        while self
+            .events
+            .peek()
+            .is_some_and(|Reverse(head)| head.at <= self.clock)
+        {
+            if let Some(Reverse(s)) = self.events.pop() {
+                self.apply_event(s.event);
+            }
+        }
+
+        // 2. Complete due migrations. Both endpoints settle first so the
+        //    overhead removal and cut-over mutate exact dense-mode state.
         let now = self.clock;
         let done: Vec<ActiveMigration> = self
             .migrations
@@ -428,6 +597,8 @@ impl Simulation {
             .collect();
         self.migrations.retain(|m| !m.is_complete(now));
         for m in done {
+            self.settle_and_wake(m.source.raw());
+            self.settle_and_wake(m.dest.raw());
             self.finish_migration(m);
         }
 
@@ -447,7 +618,11 @@ impl Simulation {
                     .unwrap_or(0.0)
             })
             .collect();
-        if self.threads <= 1 && self.shards == 0 {
+        self.dense_server_steps += self.datacenter.len() as u64;
+        if self.clock_mode == ClockMode::Event {
+            self.step_servers_event(now, ambient, &offsets);
+        } else if self.threads <= 1 && self.shards == 0 {
+            self.server_steps += self.datacenter.len() as u64;
             // Serial fast path: identical operations per server, in the
             // same per-server order, as the sharded path below — the two
             // are bit-identical by construction (and tested to be).
@@ -479,6 +654,7 @@ impl Simulation {
                 }
             }
         } else {
+            self.server_steps += self.datacenter.len() as u64;
             self.step_servers_sharded(now, ambient, dt_secs, &offsets);
         }
         self.room_heat_kw = self.datacenter.room_heat_kw();
@@ -574,12 +750,360 @@ impl Simulation {
         });
     }
 
+    /// Creates (or grows) the event-mode bookkeeping so every server has
+    /// a wake slot, and refreshes the pinned fault-edge wake ticks when
+    /// the installed plan changed.
+    fn ensure_wake_state(&mut self) {
+        let count = self.datacenter.len();
+        let clock = self.clock;
+        let dt = self.dt;
+        let wake = self.wake.get_or_insert_with(|| WakeState {
+            queue: EventQueue::new(),
+            next_wake: Vec::new(),
+            last_end: Vec::new(),
+            interval: Vec::new(),
+            fault_wakes: Vec::new(),
+            fault_wakes_stale: true,
+        });
+        while wake.next_wake.len() < count {
+            let idx = wake.next_wake.len();
+            wake.next_wake.push(clock);
+            wake.last_end.push(clock);
+            wake.interval.push(dt);
+            wake.queue.schedule(clock, idx);
+        }
+        if wake.fault_wakes_stale {
+            wake.fault_wakes_stale = false;
+            wake.fault_wakes = match self.fault.as_ref() {
+                Some(injector) => fault_wake_ticks(injector.plan(), dt),
+                None => Vec::new(),
+            };
+        }
+    }
+
+    /// Integrates any sleeping server the event is about to touch up to
+    /// the current clock, so the mutation applies to exact dense-mode
+    /// state. No-op in fixed mode.
+    fn settle_for(&mut self, event: &Event) {
+        if self.clock_mode != ClockMode::Event {
+            return;
+        }
+        match event {
+            Event::BootVm { server, .. }
+            | Event::SetFanSpeed { server, .. }
+            | Event::FailFans { server, .. } => self.settle_and_wake(server.raw()),
+            Event::StopVm(vm) => {
+                if let Some(host) = self.datacenter.locate_vm(*vm) {
+                    self.settle_and_wake(host.raw());
+                }
+            }
+            Event::MigrateVm { vm, dest } => {
+                if let Some(source) = self.datacenter.locate_vm(*vm) {
+                    self.settle_and_wake(source.raw());
+                }
+                self.settle_and_wake(dest.raw());
+            }
+            // The ambient feeds every server's boundary condition.
+            Event::SetAmbient(_) => self.settle_all(),
+        }
+    }
+
+    /// Event-mode catch-up for one server: integrate from the end of its
+    /// last physics interval to the current clock with its (still
+    /// constant) pre-transient inputs, record the catch-up sample, then
+    /// pull its wake-up forward to this tick. A server that is already
+    /// current just re-arms; fixed mode is untouched.
+    ///
+    /// The catch-up sample lands at `clock - dt`: fixed-mode stepping at
+    /// tick `t` records the state reached through `t + dt` under the
+    /// timestamp `t`, so the interval ending at the current tick belongs
+    /// to the previous one — the current tick's own step (the server is
+    /// awake now) records at `clock` as usual, keeping timestamps
+    /// strictly monotone.
+    fn settle_and_wake(&mut self, idx: usize) {
+        if self.clock_mode != ClockMode::Event || idx >= self.datacenter.len() {
+            return;
+        }
+        self.ensure_wake_state();
+        let last_end = match self.wake.as_ref() {
+            Some(wake) => wake.last_end[idx],
+            None => return,
+        };
+        if last_end < self.clock {
+            while self.traces.len() < self.datacenter.len() {
+                self.traces.push(ServerTrace::new());
+            }
+            if self.fault.is_some() {
+                while self.delivered.len() < self.datacenter.len() {
+                    self.delivered.push(Vec::new());
+                }
+            }
+            let elapsed = self.clock.duration_since(last_end).as_secs_f64();
+            let sample_t = self.clock - self.dt;
+            // Sleeping requires a fixed ambient, so the query instant is
+            // immaterial; the rack offset is additive as in the dense loop.
+            let local_ambient = self
+                .ambient
+                .temperature(self.clock, Watts::from_kilowatts(self.room_heat_kw))
+                + self
+                    .datacenter
+                    .ambient_offset(ServerId::new(idx))
+                    .unwrap_or(0.0);
+            if let Ok(server) = self.datacenter.server_mut(ServerId::new(idx)) {
+                server.step(sample_t, Celsius::new(local_ambient), Seconds::new(elapsed));
+                self.server_steps += 1;
+                let reading = server.read_sensor();
+                let trace = &mut self.traces[idx];
+                let recorded = trace
+                    .sensor_c
+                    .push(sample_t, reading)
+                    .and(trace.die_c.push(sample_t, server.die_temperature()))
+                    .and(trace.utilization.push(sample_t, server.last_utilization()))
+                    .and(trace.power_w.push(sample_t, server.last_power()))
+                    .and(trace.ambient_c.push(sample_t, local_ambient));
+                debug_assert!(recorded.is_ok(), "engine clock regressed: {recorded:?}");
+                if let Some(injector) = &mut self.fault {
+                    if let Some((t, v)) = injector.deliver(
+                        idx,
+                        Seconds::new(sample_t.as_secs_f64()),
+                        Celsius::new(reading),
+                    ) {
+                        self.delivered[idx].push((t.get(), v.get()));
+                    }
+                }
+            }
+            if let Some(wake) = self.wake.as_mut() {
+                wake.last_end[idx] = self.clock;
+            }
+        }
+        self.wake_server(idx);
+    }
+
+    /// Catches every sleeping server up to the current clock (event mode
+    /// only).
+    fn settle_all(&mut self) {
+        if self.clock_mode != ClockMode::Event || self.wake.is_none() {
+            return;
+        }
+        for idx in 0..self.datacenter.len() {
+            self.settle_and_wake(idx);
+        }
+    }
+
+    /// Re-densifies one server: resets its wake interval to the base step
+    /// and pulls its next wake-up to the current tick so this step's
+    /// physics phase integrates it.
+    fn wake_server(&mut self, idx: usize) {
+        let now = self.clock;
+        let dt = self.dt;
+        if let Some(wake) = self.wake.as_mut() {
+            if idx < wake.next_wake.len() {
+                wake.interval[idx] = dt;
+                if wake.next_wake[idx] > now {
+                    wake.next_wake[idx] = now;
+                    wake.queue.schedule(now, idx);
+                }
+            }
+        }
+    }
+
+    /// The per-server physics phase in event mode: only servers whose
+    /// wake-up is due integrate this tick, each over the full interval
+    /// since its physics last advanced (one step-size-exact call), then
+    /// re-arm — doubling their sleep while provably steady, snapping back
+    /// to dense on any transient. Wake batches are split at the positions
+    /// where the dense [`shard::shard_bounds`] partition of the full
+    /// server range cuts them, so sharding is exactly the dense path's.
+    fn step_servers_event(&mut self, now: SimTime, ambient: f64, offsets: &[f64]) {
+        /// Exclusive per-server state for one wake-up, addressed by the
+        /// stable server index it carries (the batch is sparse).
+        struct WakeUnit<'a> {
+            idx: usize,
+            elapsed_secs: f64,
+            server: &'a mut Server,
+            trace: &'a mut ServerTrace,
+            delivered: Option<&'a mut Vec<(f64, f64)>>,
+            fault: Option<&'a mut ServerFaultState>,
+        }
+
+        let count = self.datacenter.len();
+        let tick_end = now + self.dt;
+
+        // Drain due wake-ups. An entry is valid only if it matches the
+        // authoritative per-server slot (lazy deletion of superseded
+        // entries); the queue's total order hands them out ascending.
+        let mut due: Vec<usize> = Vec::new();
+        if let Some(wake) = self.wake.as_mut() {
+            while let Some((at, idx)) = wake.queue.pop_due(now) {
+                if idx < count && wake.next_wake[idx] == at {
+                    due.push(idx);
+                }
+            }
+        }
+        due.sort_unstable();
+        due.dedup();
+
+        // Each due server integrates through the end of this tick.
+        let mut elapsed: Vec<f64> = Vec::with_capacity(due.len());
+        if let Some(wake) = self.wake.as_mut() {
+            for &idx in &due {
+                elapsed.push(tick_end.duration_since(wake.last_end[idx]).as_secs_f64());
+                wake.last_end[idx] = tick_end;
+            }
+        }
+        self.server_steps += due.len() as u64;
+
+        let (plan, fault_states) = match self.fault.as_mut() {
+            Some(injector) => {
+                injector.ensure_servers(count);
+                let (plan, states) = injector.split_mut();
+                (Some(plan), Some(states.iter_mut()))
+            }
+            None => (None, None),
+        };
+        let mut fault_states = fault_states;
+        let mut delivered_iter = self.delivered.iter_mut();
+        let has_fault = plan.is_some();
+
+        // Walk the full per-server arrays in index order, advancing every
+        // iterator in lock-step (fault/delivery state stays aligned with
+        // the stable index) but materialising units only for due servers.
+        let mut units: Vec<WakeUnit<'_>> = Vec::with_capacity(due.len());
+        let mut due_cursor = due.iter().copied().peekable();
+        for ((idx, server), trace) in self
+            .datacenter
+            .servers_mut()
+            .iter_mut()
+            .enumerate()
+            .zip(self.traces.iter_mut())
+        {
+            let delivered = if has_fault {
+                delivered_iter.next()
+            } else {
+                None
+            };
+            let fault = fault_states.as_mut().and_then(Iterator::next);
+            if due_cursor.peek() == Some(&idx) {
+                due_cursor.next();
+                let pos = units.len();
+                units.push(WakeUnit {
+                    idx,
+                    elapsed_secs: elapsed[pos],
+                    server,
+                    trace,
+                    delivered,
+                    fault,
+                });
+            }
+        }
+
+        let shards = if self.shards > 0 {
+            self.shards
+        } else {
+            self.threads
+        };
+        let bounds = shard::shard_bounds(count, shards);
+        let splits: Vec<usize> = bounds
+            .iter()
+            .skip(1)
+            .map(|(start, _)| units.partition_point(|u| u.idx < *start))
+            .collect();
+        shard::for_each_split(&mut units, &splits, self.threads, |chunk| {
+            for unit in chunk.iter_mut() {
+                let idx = unit.idx;
+                let local_ambient = ambient + offsets[idx];
+                unit.server.step(
+                    now,
+                    Celsius::new(local_ambient),
+                    Seconds::new(unit.elapsed_secs),
+                );
+                let reading = unit.server.read_sensor();
+                let recorded = unit
+                    .trace
+                    .sensor_c
+                    .push(now, reading)
+                    .and(unit.trace.die_c.push(now, unit.server.die_temperature()))
+                    .and(
+                        unit.trace
+                            .utilization
+                            .push(now, unit.server.last_utilization()),
+                    )
+                    .and(unit.trace.power_w.push(now, unit.server.last_power()))
+                    .and(unit.trace.ambient_c.push(now, local_ambient));
+                debug_assert!(recorded.is_ok(), "engine clock regressed: {recorded:?}");
+                if let (Some(plan), Some(state), Some(sink)) = (
+                    plan,
+                    unit.fault.as_deref_mut(),
+                    unit.delivered.as_deref_mut(),
+                ) {
+                    if let Some((t, v)) = state.deliver(
+                        plan,
+                        idx,
+                        Seconds::new(now.as_secs_f64()),
+                        Celsius::new(reading),
+                    ) {
+                        sink.push((t.get(), v.get()));
+                    }
+                }
+            }
+        });
+        drop(units);
+
+        // Re-arm serially in index order: double the interval while the
+        // server is provably steady, else fall back to the base step, and
+        // never sleep across a pinned fault-edge tick.
+        let policy = self.wake_policy;
+        let dt = self.dt;
+        let sparse_base =
+            dt.as_millis().is_multiple_of(1000) && matches!(self.ambient, AmbientModel::Fixed(_));
+        let mut sparse_flags: Vec<bool> = Vec::with_capacity(due.len());
+        for &idx in &due {
+            let ok = sparse_base
+                && self.datacenter.server(ServerId::new(idx)).is_ok_and(|s| {
+                    s.inputs_piecewise_constant()
+                        && s.thermal_rate_c_per_s(Celsius::new(ambient + offsets[idx]))
+                            .is_some_and(|rate| rate < policy.band_c_per_s)
+                });
+            sparse_flags.push(ok);
+        }
+        if let Some(wake) = self.wake.as_mut() {
+            for (&idx, &sparse_ok) in due.iter().zip(&sparse_flags) {
+                let interval = if sparse_ok {
+                    SimDuration::from_millis(
+                        wake.interval[idx]
+                            .as_millis()
+                            .saturating_mul(2)
+                            .min(policy.max_skip.as_millis())
+                            .max(dt.as_millis()),
+                    )
+                } else {
+                    dt
+                };
+                wake.interval[idx] = interval;
+                let mut at = now + interval;
+                let cut = wake.fault_wakes.partition_point(|t| *t <= now);
+                if let Some(&boundary) = wake.fault_wakes.get(cut) {
+                    if boundary < at {
+                        at = boundary.max(now + dt);
+                    }
+                }
+                wake.next_wake[idx] = at;
+                wake.queue.schedule(at, idx);
+            }
+        }
+    }
+
     /// Runs until the clock reaches `t` (inclusive of steps starting
     /// before `t`).
     pub fn run_until(&mut self, t: SimTime) {
         let _span = obs::span(names::SPAN_ENGINE_RUN);
         while self.clock < t {
             self.step();
+        }
+        // Event mode: flush sleepers so the fleet state at `t` is exactly
+        // what dense stepping would hold.
+        if self.clock_mode == ClockMode::Event {
+            self.settle_all();
         }
         if self.obs_backlog > 0 {
             OBS_STEPS.add(u64::from(self.obs_backlog));
@@ -602,6 +1126,7 @@ impl Simulation {
     }
 
     fn try_apply(&mut self, event: Event) -> Result<(), SimError> {
+        self.settle_for(&event);
         match event {
             Event::BootVm { server, spec } => {
                 self.boot_vm_now(server, spec)?;
@@ -718,6 +1243,30 @@ impl Simulation {
             }
         }
     }
+}
+
+/// Converts a plan's scheduled fault boundaries (seconds) into the tick
+/// instants an event-mode server must be awake for: the first tick at or
+/// after each boundary **and** the tick just before it, so the delivered
+/// stream still shows the last pre-window sample and the first post-window
+/// sample at dense-comparable gaps around every scheduled edge.
+fn fault_wake_ticks(plan: &FaultPlan, dt: SimDuration) -> Vec<SimTime> {
+    let dt_ms = dt.as_millis().max(1);
+    let mut ticks = Vec::new();
+    for boundary in plan.scheduled_boundaries() {
+        if !boundary.is_finite() || boundary < 0.0 {
+            continue;
+        }
+        let boundary_ms = (boundary * 1000.0).ceil() as u64;
+        let first_at = boundary_ms.div_ceil(dt_ms) * dt_ms;
+        ticks.push(SimTime::from_millis(first_at));
+        if first_at >= dt_ms {
+            ticks.push(SimTime::from_millis(first_at - dt_ms));
+        }
+    }
+    ticks.sort_unstable();
+    ticks.dedup();
+    ticks
 }
 
 #[cfg(test)]
@@ -1159,5 +1708,212 @@ mod tests {
                 "threads={threads} shards={shards} diverged from serial"
             );
         }
+    }
+
+    /// A mostly-idle 6-server fleet with mid-run transients of every
+    /// kind: boots, a stop, a fan change, a fan failure, an ambient
+    /// swap and a live migration.
+    fn transient_fleet(mode: ClockMode) -> Simulation {
+        let dc = Datacenter::homogeneous(&ServerSpec::standard("n"), 6, 4, Celsius::new(24.0), 3);
+        let mut sim = Simulation::new(dc, AmbientModel::Fixed(24.0), 11).with_clock(mode);
+        for s in 0..6 {
+            sim.boot_vm_now(
+                ServerId::new(s),
+                VmSpec::new("idle", 1, 2.0, TaskProfile::Idle),
+            )
+            .unwrap();
+        }
+        sim.schedule(
+            SimTime::from_secs(700),
+            Event::BootVm {
+                server: ServerId::new(1),
+                spec: VmSpec::new("late", 2, 4.0, TaskProfile::Idle),
+            },
+        );
+        sim.schedule(
+            SimTime::from_secs(900),
+            Event::SetFanSpeed {
+                server: ServerId::new(2),
+                speed: FanSpeed::High,
+            },
+        );
+        sim.schedule(
+            SimTime::from_secs(1100),
+            Event::FailFans {
+                server: ServerId::new(3),
+                count: 2,
+            },
+        );
+        sim.schedule(
+            SimTime::from_secs(1300),
+            Event::SetAmbient(AmbientModel::Fixed(26.0)),
+        );
+        sim.schedule(SimTime::from_secs(1500), Event::StopVm(VmId::new(4)));
+        sim.schedule(
+            SimTime::from_secs(1700),
+            Event::MigrateVm {
+                vm: VmId::new(5),
+                dest: ServerId::new(0),
+            },
+        );
+        sim
+    }
+
+    /// Every physical quantity that must match fixed-mode stepping
+    /// bitwise: die temperatures, last power/utilization, room heat.
+    fn physical_fingerprint(sim: &Simulation) -> Vec<u64> {
+        let mut fp = vec![sim.room_heat_kw.to_bits()];
+        for s in 0..sim.datacenter().len() {
+            let server = sim.datacenter().server(ServerId::new(s)).unwrap();
+            fp.push(server.die_temperature().to_bits());
+            fp.push(server.last_power().to_bits());
+            fp.push(server.last_utilization().to_bits());
+        }
+        fp
+    }
+
+    #[test]
+    fn event_mode_end_state_is_bit_identical_through_transients() {
+        let horizon = SimTime::from_secs(2400);
+        let mut fixed = transient_fleet(ClockMode::Fixed);
+        fixed.run_until(horizon);
+        let mut event = transient_fleet(ClockMode::Event);
+        event.run_until(horizon);
+        assert_eq!(physical_fingerprint(&fixed), physical_fingerprint(&event));
+        let stats = event.step_stats();
+        assert!(
+            stats.skip_factor() > 2.0,
+            "idle fleet barely slept: {stats:?}"
+        );
+        assert_eq!(fixed.step_stats().skip_factor(), 1.0);
+        // The sparse trace still ends on the same tick as the dense one.
+        let dense = fixed.trace(ServerId::new(4)).unwrap();
+        let sparse = event.trace(ServerId::new(4)).unwrap();
+        assert_eq!(
+            dense.sensor_c.times().last().copied(),
+            sparse.sensor_c.times().last().copied(),
+        );
+        assert!(sparse.sensor_c.len() < dense.sensor_c.len());
+    }
+
+    #[test]
+    fn event_mode_settles_exactly_when_switched_back_to_fixed() {
+        let horizon = SimTime::from_secs(1000);
+        let mut fixed = transient_fleet(ClockMode::Fixed);
+        fixed.run_until(horizon);
+        let mut event = transient_fleet(ClockMode::Event);
+        event.run_until(horizon);
+        event.set_clock_mode(ClockMode::Fixed);
+        assert_eq!(physical_fingerprint(&fixed), physical_fingerprint(&event));
+        // And it keeps stepping densely from the settled state.
+        fixed.run_until(SimTime::from_secs(1200));
+        event.run_until(SimTime::from_secs(1200));
+        assert_eq!(physical_fingerprint(&fixed), physical_fingerprint(&event));
+    }
+
+    /// Event-mode fingerprint of *everything* (physics, traces, faulted
+    /// delivery, fault counters) — event mode must be deterministic
+    /// across thread/shard partitions even where it legitimately differs
+    /// from fixed mode (RNG consumption density).
+    fn event_sharded_fingerprint(threads: usize, shards: usize) -> Vec<u64> {
+        let dc = Datacenter::homogeneous(&ServerSpec::standard("n"), 11, 4, Celsius::new(24.0), 5);
+        let mut sim = Simulation::new(dc, AmbientModel::Fixed(24.0), 9)
+            .with_clock(ClockMode::Event)
+            .with_threads(threads);
+        sim.set_shards(shards);
+        sim.set_fault_plan(
+            crate::fault::FaultPlan::new(21)
+                .with_dropout(crate::fault::DropoutFault::scheduled(vec![(60.0, 90.0)]).unwrap())
+                .with_spike(
+                    crate::fault::SpikeFault::random(0.05, Celsius::new(4.0), Celsius::new(9.0))
+                        .unwrap(),
+                ),
+        )
+        .unwrap();
+        for s in 0..11 {
+            sim.boot_vm_now(
+                ServerId::new(s),
+                VmSpec::new("idle", 1, 2.0, TaskProfile::Idle),
+            )
+            .unwrap();
+        }
+        sim.schedule(
+            SimTime::from_secs(400),
+            Event::SetFanSpeed {
+                server: ServerId::new(7),
+                speed: FanSpeed::High,
+            },
+        );
+        sim.run_until(SimTime::from_secs(600));
+        let mut fp = physical_fingerprint(&sim);
+        for s in 0..sim.datacenter().len() {
+            let id = ServerId::new(s);
+            for (t, v) in sim.trace(id).unwrap().sensor_c.iter() {
+                fp.push(t.to_bits());
+                fp.push(v.to_bits());
+            }
+            for (t, v) in sim.delivered(id).unwrap() {
+                fp.push(t.to_bits());
+                fp.push(v.to_bits());
+            }
+            let stats = sim.fault.as_ref().unwrap().stats(s);
+            fp.extend([stats.dropped, stats.stuck, stats.spiked, stats.jittered]);
+        }
+        assert!(sim.step_stats().skip_factor() > 1.5);
+        fp
+    }
+
+    #[test]
+    fn event_mode_is_bit_identical_across_threads_and_shards() {
+        let reference = event_sharded_fingerprint(1, 0);
+        for (threads, shards) in [(1, 3), (2, 0), (4, 2), (8, 11), (3, 64)] {
+            assert_eq!(
+                reference,
+                event_sharded_fingerprint(threads, shards),
+                "threads={threads} shards={shards} diverged from serial"
+            );
+        }
+    }
+
+    #[test]
+    fn event_mode_wakes_around_scheduled_fault_windows() {
+        let dc = Datacenter::homogeneous(&ServerSpec::standard("n"), 2, 4, Celsius::new(24.0), 3);
+        let mut sim =
+            Simulation::new(dc, AmbientModel::Fixed(24.0), 7).with_clock(ClockMode::Event);
+        sim.set_fault_plan(
+            crate::fault::FaultPlan::new(5)
+                .with_dropout(crate::fault::DropoutFault::scheduled(vec![(100.0, 120.0)]).unwrap()),
+        )
+        .unwrap();
+        sim.run_until(SimTime::from_secs(1200));
+        let delivered = sim.delivered(ServerId::new(0)).unwrap();
+        let times: Vec<f64> = delivered.iter().map(|(t, _)| *t).collect();
+        // The tick just before the window and the first tick after it are
+        // pinned awake, so the stream resolves the edge exactly.
+        assert!(times.iter().any(|t| *t == 99.0), "no pre-window sample");
+        assert!(times.iter().any(|t| *t == 120.0), "no post-window sample");
+        assert!(times.iter().all(|t| !(100.0..120.0).contains(t)));
+        assert!(sim.step_stats().skip_factor() > 2.0);
+    }
+
+    #[test]
+    fn wake_policy_caps_the_sleep_interval() {
+        let dc = Datacenter::homogeneous(&ServerSpec::standard("n"), 1, 4, Celsius::new(24.0), 3);
+        let mut sim =
+            Simulation::new(dc, AmbientModel::Fixed(24.0), 7).with_clock(ClockMode::Event);
+        sim.set_wake_policy(WakePolicy {
+            band_c_per_s: 0.01,
+            max_skip: SimDuration::from_secs(4),
+        });
+        assert_eq!(sim.wake_policy().max_skip, SimDuration::from_secs(4));
+        sim.run_until(SimTime::from_secs(2000));
+        let trace = sim.trace(ServerId::new(0)).unwrap();
+        let times = trace.sensor_c.times();
+        let max_gap = times
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .fold(0.0_f64, f64::max);
+        assert!(max_gap <= 4.0, "gap {max_gap} exceeds the 4 s cap");
+        assert!(max_gap > 1.0, "never slept at all");
     }
 }

@@ -347,6 +347,36 @@ impl FaultPlan {
         self
     }
 
+    /// Every *scheduled* fault boundary instant (seconds): dropout and
+    /// stuck window opens/closes plus scheduled spike times, sorted
+    /// ascending and deduplicated. The event-driven engine wakes the
+    /// fleet at these instants so sparse sampling still resolves window
+    /// edges — a delivered stream must show the last good sample before
+    /// a window and the first one after it. Random channels draw per
+    /// delivered sample and need no boundary wake-ups.
+    #[must_use]
+    pub fn scheduled_boundaries(&self) -> Vec<f64> {
+        let mut bounds = Vec::new();
+        let windows = [
+            self.dropout.as_ref().map(|d| &d.windows),
+            self.stuck.as_ref().map(|s| &s.windows),
+        ];
+        for wins in windows.into_iter().flatten() {
+            for (start, end) in wins {
+                bounds.push(*start);
+                bounds.push(*end);
+            }
+        }
+        if let Some(spike) = &self.spike {
+            for (t, _) in &spike.at {
+                bounds.push(*t);
+            }
+        }
+        bounds.sort_by(f64::total_cmp);
+        bounds.dedup_by(|a, b| a.to_bits() == b.to_bits());
+        bounds
+    }
+
     /// `true` when no channel is configured: injecting this plan is
     /// bit-identical to not injecting at all.
     #[must_use]
@@ -668,6 +698,23 @@ mod tests {
 
     fn c(v: f64) -> Celsius {
         Celsius::new(v)
+    }
+
+    #[test]
+    fn scheduled_boundaries_collect_sorted_dedup() {
+        let plan = FaultPlan::new(1)
+            .with_dropout(DropoutFault::scheduled(vec![(10.0, 20.0), (40.0, 45.0)]).unwrap())
+            .with_stuck(StuckFault::scheduled(vec![(20.0, 30.0)]).unwrap())
+            .with_spike(SpikeFault::scheduled(vec![(15.0, 5.0)]).unwrap());
+        assert_eq!(
+            plan.scheduled_boundaries(),
+            vec![10.0, 15.0, 20.0, 30.0, 40.0, 45.0]
+        );
+        // Random-only channels contribute no boundaries.
+        let random = FaultPlan::new(2)
+            .with_jitter(JitterFault::random(0.1, s(1.0)).unwrap())
+            .with_spike(SpikeFault::random(0.1, c(2.0), c(4.0)).unwrap());
+        assert!(random.scheduled_boundaries().is_empty());
     }
 
     /// Feeds a fixed ramp through an injector, returning the deliveries.

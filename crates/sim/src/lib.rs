@@ -83,7 +83,7 @@ pub mod vmm;
 pub mod workload;
 
 pub use datacenter::Datacenter;
-pub use engine::{Event, SimEvent, Simulation};
+pub use engine::{ClockMode, Event, SimEvent, Simulation, StepStats, WakePolicy};
 pub use environment::AmbientModel;
 pub use error::SimError;
 pub use experiment::{CaseGenerator, ConfigSnapshot, ExperimentConfig, ExperimentOutcome};

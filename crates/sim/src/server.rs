@@ -430,6 +430,35 @@ impl Server {
     pub fn set_thermal_state(&mut self, state: ThermalState) {
         self.network.set_state(state);
     }
+
+    /// `true` when every input to this server's physics is constant
+    /// between reconfiguration events: lumped thermal model (the per-core
+    /// scheduler is stateful) and every hosted VM's demand time-invariant.
+    /// Event-driven stepping may integrate across several ticks in one
+    /// call only under this predicate — the integration is then bitwise
+    /// identical to stepping every tick (see
+    /// [`crate::thermal::ThermalNetwork::step`]'s sub-stepping).
+    #[must_use]
+    pub fn inputs_piecewise_constant(&self) -> bool {
+        self.core_model.is_none() && self.vms.iter().all(Vm::demand_is_constant)
+    }
+
+    /// Largest instantaneous node temperature rate |dT/dt| (°C/s) of the
+    /// lumped network at the current state, assuming the most recent power
+    /// draw persists. `None` with per-core modelling, whose rates the
+    /// event scheduler does not reason about.
+    #[must_use]
+    pub fn thermal_rate_c_per_s(&self, ambient_c: Celsius) -> Option<f64> {
+        if self.core_model.is_some() {
+            return None;
+        }
+        let (d_die, d_sink) = self.network.rates(
+            Watts::new(self.last_power),
+            ambient_c,
+            self.fans.sink_resistance(),
+        );
+        Some(d_die.abs().max(d_sink.abs()))
+    }
 }
 
 #[cfg(test)]

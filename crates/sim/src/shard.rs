@@ -87,15 +87,65 @@ where
         consumed = *end;
     }
 
-    if threads <= 1 || chunks.len() <= 1 {
-        for (offset, chunk) in chunks {
-            f(offset, chunk);
+    drain_jobs(chunks, threads, |(offset, chunk)| f(offset, chunk));
+}
+
+/// Runs `f` over the chunks obtained by splitting `items` at the given
+/// ascending split positions, on the same scoped worker pool as
+/// [`for_each_chunk`].
+///
+/// Unlike [`for_each_chunk`], the caller controls the partition. The
+/// event-driven engine uses this to split a *sparse* wake-up batch at
+/// the positions where the dense [`shard_bounds`] partition of the full
+/// server range would cut it, so wake-up batches shard exactly as dense
+/// steps do. Empty chunks are skipped; the same determinism contract as
+/// [`for_each_chunk`] applies (exclusive borrows only, bit-identical
+/// for every thread count).
+///
+/// # Panics
+///
+/// Panics if a split position is out of range or positions descend.
+pub fn for_each_split<T, F>(items: &mut [T], splits: &[usize], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(&mut [T]) + Sync,
+{
+    let mut chunks: Vec<&mut [T]> = Vec::with_capacity(splits.len() + 1);
+    let mut rest = items;
+    let mut consumed = 0;
+    for &pos in splits {
+        assert!(pos >= consumed, "split positions must ascend");
+        let (chunk, tail) = rest.split_at_mut(pos - consumed);
+        if !chunk.is_empty() {
+            chunks.push(chunk);
+        }
+        rest = tail;
+        consumed = pos;
+    }
+    if !rest.is_empty() {
+        chunks.push(rest);
+    }
+    drain_jobs(chunks, threads, f);
+}
+
+/// Drains a job list on a scoped worker pool (inline when `threads <= 1`
+/// or there is at most one job). Job pick-up order is arbitrary; callers
+/// rely only on the exclusive-borrow contract for determinism. Worker
+/// panics are re-raised on the caller with their original payload.
+fn drain_jobs<J, F>(jobs: Vec<J>, threads: usize, f: F)
+where
+    J: Send,
+    F: Fn(J) + Sync,
+{
+    if threads <= 1 || jobs.len() <= 1 {
+        for job in jobs {
+            f(job);
         }
         return;
     }
 
-    let queue = std::sync::Mutex::new(chunks);
-    let workers = threads.min(bounds.len());
+    let workers = threads.min(jobs.len());
+    let queue = std::sync::Mutex::new(jobs);
 
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
@@ -108,7 +158,7 @@ where
                         q.pop()
                     };
                     match job {
-                        Some((offset, chunk)) => f(offset, chunk),
+                        Some(job) => f(job),
                         None => break,
                     }
                 })
@@ -203,5 +253,40 @@ mod tests {
     fn empty_input_is_a_no_op() {
         let mut data: Vec<u32> = Vec::new();
         for_each_chunk(&mut data, 4, 4, |_, _| panic!("no chunks expected"));
+    }
+
+    #[test]
+    fn split_partitions_at_exact_positions() {
+        let mut data: Vec<u32> = (0..10).collect();
+        let seen = std::sync::Mutex::new(Vec::new());
+        for_each_split(&mut data, &[3, 3, 7], 1, |chunk| {
+            seen.lock().unwrap().push(chunk.to_vec());
+        });
+        // Serial execution visits chunks in order; the empty 3..3 chunk
+        // is skipped.
+        assert_eq!(
+            *seen.lock().unwrap(),
+            vec![vec![0, 1, 2], vec![3, 4, 5, 6], vec![7, 8, 9]]
+        );
+    }
+
+    #[test]
+    fn split_is_identical_across_thread_counts() {
+        let run = |threads: usize| -> Vec<f64> {
+            let mut data: Vec<f64> = (0..29).map(|i| f64::from(i) * 0.3).collect();
+            for_each_split(&mut data, &[5, 11, 11, 20], threads, |chunk| {
+                for v in chunk.iter_mut() {
+                    *v = (*v).cos() * 1.7;
+                }
+            });
+            data
+        };
+        let reference = run(1);
+        for threads in [2, 4, 8] {
+            let got = run(threads);
+            for (a, b) in reference.iter().zip(&got) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 }

@@ -201,6 +201,21 @@ impl ThermalNetwork {
         );
     }
 
+    /// Instantaneous node derivatives `(dT_die/dt, dT_sink/dt)` in °C/s
+    /// at the current state under the given conditions — the quantity an
+    /// event-driven scheduler thresholds to decide whether a server is
+    /// close enough to steady state to sleep.
+    #[must_use]
+    pub fn rates(&self, power_w: Watts, ambient_c: Celsius, r_sink_amb: f64) -> (f64, f64) {
+        derivatives(
+            self.params,
+            self.state,
+            power_w.get(),
+            ambient_c.get(),
+            r_sink_amb,
+        )
+    }
+
     /// Closed-form steady state under constant conditions: the temperatures
     /// the network converges to as `t → ∞`.
     #[must_use]
@@ -356,6 +371,36 @@ mod tests {
             b.step(w(170.0), c(22.0), R_SA, s(1.0));
         }
         assert!((a.die_temperature() - b.die_temperature()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn whole_second_steps_compose_bitwise() {
+        // The event-driven engine relies on this exactly: integrating a
+        // whole-second interval in one call sub-steps at h = 1 s, the
+        // same h the dense loop uses, so the RK4 sequence is *bitwise*
+        // identical — not merely close — under constant inputs.
+        let mut a = network();
+        let mut b = network();
+        a.step(w(170.0), c(22.0), R_SA, s(300.0));
+        for _ in 0..300 {
+            b.step(w(170.0), c(22.0), R_SA, s(1.0));
+        }
+        assert_eq!(a.state().die_c.to_bits(), b.state().die_c.to_bits());
+        assert_eq!(a.state().sink_c.to_bits(), b.state().sink_c.to_bits());
+    }
+
+    #[test]
+    fn rates_match_finite_differences_near_equilibrium() {
+        let mut n = network();
+        n.step(w(150.0), c(25.0), R_SA, s(3000.0));
+        // Deep in steady state both derivatives are tiny...
+        let (d_die, d_sink) = n.rates(w(150.0), c(25.0), R_SA);
+        assert!(d_die.abs() < 1e-3 && d_sink.abs() < 1e-3);
+        // ...and from a cold start under load, strongly positive.
+        let cold = network();
+        let (d_die, d_sink) = cold.rates(w(150.0), c(25.0), R_SA);
+        assert!(d_die > 0.1, "die rate {d_die}");
+        assert!(d_sink >= 0.0, "sink rate {d_sink}");
     }
 
     #[test]

@@ -171,6 +171,19 @@ impl Vm {
         self.spec.vcpus() as f64 * self.workload.at(t)
     }
 
+    /// `true` when [`Vm::cpu_demand`] returns the same value at every
+    /// query time and consumes no randomness: stopped VMs and constant
+    /// workload models. The event-driven engine only lets a host sleep
+    /// across ticks when every resident VM satisfies this.
+    #[must_use]
+    pub fn demand_is_constant(&self) -> bool {
+        self.state == VmState::Stopped
+            || matches!(
+                self.workload.model(),
+                crate::workload::UtilizationModel::Constant(_)
+            )
+    }
+
     /// Actively used memory (GB), scaled by the task's memory intensity.
     #[must_use]
     pub fn active_memory_gb(&self) -> f64 {
@@ -262,5 +275,20 @@ mod tests {
     #[test]
     fn vm_id_display() {
         assert_eq!(VmId::new(3).to_string(), "vm-3");
+    }
+
+    #[test]
+    fn demand_constancy_tracks_profile_and_state() {
+        let idle = Vm::new(
+            VmId::new(1),
+            VmSpec::new("i", 1, 1.0, TaskProfile::Idle),
+            SimTime::ZERO,
+            0,
+        );
+        assert!(idle.demand_is_constant(), "Idle maps to a constant model");
+        let mut web = Vm::new(VmId::new(2), spec(), SimTime::ZERO, 0);
+        assert!(!web.demand_is_constant(), "WebServer is time-varying");
+        web.set_state(VmState::Stopped);
+        assert!(web.demand_is_constant(), "stopped VMs demand nothing");
     }
 }

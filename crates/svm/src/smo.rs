@@ -42,6 +42,9 @@ pub(crate) struct PointQ<'a> {
     y: &'a [f64],
     diag: Vec<f64>,
     cache: RowCache,
+    /// Precomputed `‖r‖²` per training row when the RBF row pass rides
+    /// `eval_row_batch_prenorm`; `None` keeps the scalar-bitwise pass.
+    row_norms: Option<Vec<f64>>,
 }
 
 impl<'a> PointQ<'a> {
@@ -58,7 +61,19 @@ impl<'a> PointQ<'a> {
             y,
             diag,
             cache: RowCache::new(points.rows(), cache_rows),
+            row_norms: None,
         }
+    }
+
+    /// Routes RBF kernel rows through [`Kernel::eval_row_batch_prenorm`].
+    /// Q entries then agree with the scalar pass only to the documented
+    /// ≤1e-12 relative tolerance — acceptable inside the solver, whose
+    /// KKT stopping tolerance is nine orders of magnitude looser. A
+    /// no-op for non-RBF kernels (their prenorm pass is bitwise anyway).
+    pub(crate) fn with_prenorm_rows(mut self, enabled: bool) -> Self {
+        self.row_norms = (enabled && matches!(self.kernel, Kernel::Rbf { .. }))
+            .then(|| self.points.row_squared_norms());
+        self
     }
 }
 
@@ -69,11 +84,17 @@ impl QMatrix for PointQ<'_> {
 
     fn row(&mut self, i: usize) -> &[f64] {
         let (kernel, points, y) = (self.kernel, self.points, self.y);
+        let norms = self.row_norms.as_deref();
         self.cache.row(i, || {
             // One kernel row in a single pass over the flat matrix, then
             // the sign pattern on top: Q_ij = y_i y_j K_ij.
             let mut row = vec![0.0; points.rows()];
-            kernel.eval_row_batch(points.row(i), points, &mut row);
+            match norms {
+                Some(norms) => {
+                    kernel.eval_row_batch_prenorm(points.row(i), points, norms, &mut row)
+                }
+                None => kernel.eval_row_batch(points.row(i), points, &mut row),
+            }
             let yi = y[i];
             for (q, yj) in row.iter_mut().zip(y) {
                 *q *= yi * *yj;
@@ -98,6 +119,8 @@ pub(crate) struct RegressionQ<'a> {
     /// Cache of *kernel* rows over the l points; Q rows are derived.
     cache: RowCache,
     scratch: Vec<f64>,
+    /// As in [`PointQ`]: `Some` routes RBF rows through the prenorm pass.
+    row_norms: Option<Vec<f64>>,
 }
 
 impl<'a> RegressionQ<'a> {
@@ -111,7 +134,15 @@ impl<'a> RegressionQ<'a> {
             diag,
             cache: RowCache::new(l, cache_rows),
             scratch: vec![0.0; 2 * l],
+            row_norms: None,
         }
+    }
+
+    /// See [`PointQ::with_prenorm_rows`]; same tolerance contract.
+    pub(crate) fn with_prenorm_rows(mut self, enabled: bool) -> Self {
+        self.row_norms = (enabled && matches!(self.kernel, Kernel::Rbf { .. }))
+            .then(|| self.points.row_squared_norms());
+        self
     }
 
     fn sign(&self, i: usize) -> f64 {
@@ -138,9 +169,15 @@ impl QMatrix for RegressionQ<'_> {
         let base = i % self.l;
         let si = self.sign(i);
         let (kernel, points) = (self.kernel, self.points);
+        let norms = self.row_norms.as_deref();
         let krow = self.cache.row(base, || {
             let mut row = vec![0.0; points.rows()];
-            kernel.eval_row_batch(points.row(base), points, &mut row);
+            match norms {
+                Some(norms) => {
+                    kernel.eval_row_batch_prenorm(points.row(base), points, norms, &mut row);
+                }
+                None => kernel.eval_row_batch(points.row(base), points, &mut row),
+            }
             row
         });
         // Q_ij = s_i s_j K(base_i, base_j).
@@ -991,6 +1028,55 @@ mod tests {
         let mut q2 = PointQ::new(Kernel::rbf(1.0), &points, &y, 32);
         let full = solve(&mut q2, &p, &y, &c, vec![0.0; 20], SolveOptions::default());
         assert!(full.objective <= partial.objective + 1e-9);
+    }
+
+    /// The prenorm RBF row pass honours its ≤1e-12 tolerance contract on
+    /// both Q matrices, and is a bitwise no-op for non-RBF kernels.
+    #[test]
+    fn prenorm_rows_honour_the_tolerance_contract() {
+        let points = DenseMatrix::from_nested(
+            (0..13)
+                .map(|i| {
+                    (0..4)
+                        .map(|j| ((i * 4 + j) as f64 * 0.53).sin() * 2.5)
+                        .collect()
+                })
+                .collect(),
+        )
+        .unwrap();
+        let y: Vec<f64> = (0..13)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        for kernel in [Kernel::rbf(0.6), Kernel::Linear] {
+            let mut exact = PointQ::new(kernel, &points, &y, 32);
+            let mut fast = PointQ::new(kernel, &points, &y, 32).with_prenorm_rows(true);
+            for i in 0..points.rows() {
+                let a = exact.row(i).to_vec();
+                for (av, bv) in a.iter().zip(fast.row(i)) {
+                    match kernel {
+                        Kernel::Rbf { .. } => assert!(
+                            (av - bv).abs() <= 1e-12 * av.abs().max(1.0),
+                            "PointQ prenorm row drifted: {av} vs {bv}"
+                        ),
+                        _ => assert_eq!(av.to_bits(), bv.to_bits()),
+                    }
+                }
+            }
+            let mut exact = RegressionQ::new(kernel, &points, 32);
+            let mut fast = RegressionQ::new(kernel, &points, 32).with_prenorm_rows(true);
+            for i in 0..2 * points.rows() {
+                let a = exact.row(i).to_vec();
+                for (av, bv) in a.iter().zip(fast.row(i)) {
+                    match kernel {
+                        Kernel::Rbf { .. } => assert!(
+                            (av - bv).abs() <= 1e-12 * av.abs().max(1.0),
+                            "RegressionQ prenorm row drifted: {av} vs {bv}"
+                        ),
+                        _ => assert_eq!(av.to_bits(), bv.to_bits()),
+                    }
+                }
+            }
+        }
     }
 
     /// RegressionQ implements the sign-expanded matrix correctly:

@@ -19,6 +19,17 @@ pub struct SvcParams {
     tolerance: f64,
     max_iterations: usize,
     cache_rows: usize,
+    #[serde(default = "default_prenorm_rows")]
+    prenorm_rows: bool,
+}
+
+/// Serde default for [`SvcParams::with_prenorm_rows`], matching
+/// [`SvcParams::new`].
+// The vendored serde shim's derive is declarative (no generated impls),
+// so this reference from the field attribute is not expanded yet.
+#[allow(dead_code)]
+fn default_prenorm_rows() -> bool {
+    true
 }
 
 impl SvcParams {
@@ -31,6 +42,7 @@ impl SvcParams {
             tolerance: 1e-3,
             max_iterations: 10_000_000,
             cache_rows: 4096,
+            prenorm_rows: true,
         }
     }
 
@@ -52,6 +64,15 @@ impl SvcParams {
     #[must_use]
     pub fn with_tolerance(mut self, tolerance: f64) -> Self {
         self.tolerance = tolerance;
+        self
+    }
+
+    /// Enables or disables the precomputed-norm RBF row pass inside the
+    /// solver; on by default. Same ≤1e-12 tolerance contract as
+    /// [`crate::svr::SvrParams::with_prenorm_rows`].
+    #[must_use]
+    pub fn with_prenorm_rows(mut self, prenorm_rows: bool) -> Self {
+        self.prenorm_rows = prenorm_rows;
         self
     }
 
@@ -149,7 +170,8 @@ impl SvcModel {
         let y = train.targets().to_vec();
         let p = vec![-1.0; l];
         let c = vec![params.c; l];
-        let mut q = PointQ::new(params.kernel, train.features(), &y, params.cache_rows);
+        let mut q = PointQ::new(params.kernel, train.features(), &y, params.cache_rows)
+            .with_prenorm_rows(params.prenorm_rows);
         let solution = smo::solve(
             &mut q,
             &p,

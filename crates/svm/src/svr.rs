@@ -41,6 +41,18 @@ pub struct SvrParams {
     max_iterations: usize,
     cache_rows: usize,
     shrinking: bool,
+    #[serde(default = "default_prenorm_rows")]
+    prenorm_rows: bool,
+}
+
+/// Serde default for [`SvrParams::with_prenorm_rows`]: params serialised
+/// before the knob existed load with the prenorm pass enabled, matching
+/// [`SvrParams::new`].
+// The vendored serde shim's derive is declarative (no generated impls),
+// so this reference from the field attribute is not expanded yet.
+#[allow(dead_code)]
+fn default_prenorm_rows() -> bool {
+    true
 }
 
 impl SvrParams {
@@ -55,6 +67,7 @@ impl SvrParams {
             max_iterations: 10_000_000,
             cache_rows: 4096,
             shrinking: true,
+            prenorm_rows: true,
         }
     }
 
@@ -106,6 +119,19 @@ impl SvrParams {
     #[must_use]
     pub fn with_shrinking(mut self, shrinking: bool) -> Self {
         self.shrinking = shrinking;
+        self
+    }
+
+    /// Enables or disables the precomputed-norm RBF row pass inside the
+    /// solver ([`Kernel::eval_row_batch_prenorm`]); on by default. The
+    /// prenorm pass agrees with the scalar kernel only to ≤1e-12 relative
+    /// tolerance — far inside the solver's KKT stopping tolerance, so the
+    /// trained model is equivalent — but the dual variables may differ in
+    /// their last bits. Disable to reproduce pre-adoption solves exactly.
+    /// Prediction always uses the exact kernel either way.
+    #[must_use]
+    pub fn with_prenorm_rows(mut self, prenorm_rows: bool) -> Self {
+        self.prenorm_rows = prenorm_rows;
         self
     }
 
@@ -232,7 +258,8 @@ impl SvrModel {
         signs.extend(std::iter::repeat_n(-1.0, l));
         let c = vec![params.c; 2 * l];
 
-        let mut q = RegressionQ::new(params.kernel, points, params.cache_rows);
+        let mut q = RegressionQ::new(params.kernel, points, params.cache_rows)
+            .with_prenorm_rows(params.prenorm_rows);
         let span = obs::span(names::SPAN_SMO_SOLVE);
         let timer = OBS_SOLVE_NS.start_timer();
         let solution = smo::solve(

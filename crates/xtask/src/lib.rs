@@ -41,8 +41,12 @@
 //!   (`thread_rng`, `from_entropy`, `rand::random`, `OsRng`). Use
 //!   `BTreeMap`/`BTreeSet` or an explicitly documented sort (via the
 //!   allowlist), take time from the simulation clock, and seed every
-//!   RNG (`StdRng::seed_from_u64`). `vmtherm-obs`, `vmtherm-bench` and
-//!   test code are exempt.
+//!   RNG (`StdRng::seed_from_u64`). Files that use `BinaryHeap` must
+//!   also give every local `impl Ord` a single total-order tuple key
+//!   (the `(SimTime, server_index)` pattern — `(self.a, self.b)
+//!   .cmp(&(other.a, other.b))`): a heap ordered on a partial or
+//!   field-by-field key makes pop order depend on insertion history.
+//!   `vmtherm-obs`, `vmtherm-bench` and test code are exempt.
 //! - **L8** — unsafe hygiene: every library crate root
 //!   (`core`/`sim`/`svm`/`units`/`obs`) carries `#![forbid(unsafe_code)]`
 //!   (verified by attribute presence), and a workspace-wide token scan
@@ -919,10 +923,23 @@ const DETERMINISM_BANS: [(&str, &str); 8] = [
     ),
 ];
 
+/// The tuple-compare idiom every heap-feeding `Ord` must use: one
+/// composite tuple key, total by construction, as in
+/// `(self.at, self.seq).cmp(&(other.at, other.seq))`.
+const HEAP_TUPLE_CMP: &str = ".cmp(&(";
+
+/// How many lines after `impl Ord for` the tuple compare must appear —
+/// generous enough for a rustfmt-wrapped `fn cmp`, tight enough that a
+/// later unrelated compare cannot vouch for a field-by-field ordering.
+const HEAP_ORD_WINDOW: usize = 10;
+
 /// L7: deterministic library code — no unordered-map iteration, wall
-/// clocks, or unseeded RNG in the deterministic crates.
+/// clocks, or unseeded RNG in the deterministic crates; and in files
+/// that feed a `BinaryHeap`, every local `Ord` must compare a single
+/// total-order tuple key (see [`HEAP_TUPLE_CMP`]).
 fn check_determinism(rel: &Path, text: &str, out: &mut Vec<Violation>) {
-    for (line, raw, code) in &SourceLines::non_test(text).lines {
+    let source = SourceLines::non_test(text);
+    for (line, raw, code) in &source.lines {
         for (needle, message) in DETERMINISM_BANS {
             if code.contains(needle) {
                 out.push(Violation {
@@ -933,6 +950,40 @@ fn check_determinism(rel: &Path, text: &str, out: &mut Vec<Violation>) {
                     source: (*raw).to_string(),
                 });
             }
+        }
+    }
+    // Heap-ordering discipline is file-scoped: an `Ord` in a file with no
+    // heap cannot reorder pops, and a heap over std tuples (which already
+    // compare lexicographically) needs no local impl at all.
+    if !source
+        .lines
+        .iter()
+        .any(|(_, _, c)| c.contains("BinaryHeap"))
+    {
+        return;
+    }
+    for (i, (line, raw, code)) in source.lines.iter().enumerate() {
+        if !code.contains("impl Ord for") {
+            continue;
+        }
+        let window_end = source.lines.len().min(i + 1 + HEAP_ORD_WINDOW);
+        let has_tuple_key = source.lines[i..window_end]
+            .iter()
+            .any(|(_, _, c)| c.contains(HEAP_TUPLE_CMP));
+        if !has_tuple_key {
+            out.push(Violation {
+                rule: Rule::L7,
+                path: rel.to_path_buf(),
+                line: *line,
+                message: format!(
+                    "`impl Ord` in a file that feeds a BinaryHeap must compare one \
+                     total-order tuple key — `(self.a, self.b){HEAP_TUPLE_CMP}other.a, \
+                     other.b))`, the (SimTime, server_index) pattern — within \
+                     {HEAP_ORD_WINDOW} lines; field-by-field or partial comparisons \
+                     make pop order depend on insertion history"
+                ),
+                source: (*raw).to_string(),
+            });
         }
     }
 }
@@ -1337,6 +1388,37 @@ mod tests {
         check_determinism(Path::new("x.rs"), text, &mut out);
         assert_eq!(out.len(), 2, "{out:#?}");
         assert!(out.iter().all(|v| v.rule == Rule::L7));
+    }
+
+    #[test]
+    fn heap_ord_requires_a_tuple_key_only_next_to_a_heap() {
+        let field_by_field = "use std::collections::BinaryHeap;\n\
+             struct S { at: u64, seq: u64 }\n\
+             impl Ord for S {\n\
+             \tfn cmp(&self, other: &Self) -> std::cmp::Ordering {\n\
+             \t\tself.at.cmp(&other.at)\n\
+             \t}\n\
+             }\n";
+        let mut out = Vec::new();
+        check_determinism(Path::new("x.rs"), field_by_field, &mut out);
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert_eq!(out[0].rule, Rule::L7);
+        assert_eq!(out[0].line, 3);
+        assert!(out[0].message.contains("tuple key"), "{out:#?}");
+
+        let tuple_key = field_by_field.replace(
+            "self.at.cmp(&other.at)",
+            "(self.at, self.seq).cmp(&(other.at, other.seq))",
+        );
+        out.clear();
+        check_determinism(Path::new("x.rs"), &tuple_key, &mut out);
+        assert!(out.is_empty(), "{out:#?}");
+
+        // The same field-by-field Ord in a heap-free file is fine.
+        let no_heap = field_by_field.replace("use std::collections::BinaryHeap;\n", "");
+        out.clear();
+        check_determinism(Path::new("x.rs"), &no_heap, &mut out);
+        assert!(out.is_empty(), "{out:#?}");
     }
 
     #[test]

@@ -160,9 +160,13 @@ fn l7_nondeterministic_idioms_fire() {
     find(&violations, Rule::L7, "crates/core/src/lib.rs", 20); // SystemTime
     let rng = find(&violations, Rule::L7, "crates/core/src/lib.rs", 27);
     assert!(rng.message.contains("seed_from_u64"), "{rng:#?}");
-    // The #[cfg(test)] HashMap must not fire.
+    // A field-by-field Ord in a file that feeds a BinaryHeap.
+    let heap_ord = find(&violations, Rule::L7, "crates/core/src/lib.rs", 56);
+    assert!(heap_ord.message.contains("tuple key"), "{heap_ord:#?}");
+    // The #[cfg(test)] HashMap must not fire, and neither must the
+    // clean fixture's tuple-key Ord next to its own BinaryHeap.
     let l7: Vec<_> = violations.iter().filter(|v| v.rule == Rule::L7).collect();
-    assert_eq!(l7.len(), 5, "{l7:#?}");
+    assert_eq!(l7.len(), 6, "{l7:#?}");
     assert!(!binary_passes("l7_determinism"));
 }
 
