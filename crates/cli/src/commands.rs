@@ -8,17 +8,19 @@ use vmtherm_core::dynamic::{DynamicConfig, DynamicPredictor};
 use vmtherm_core::eval::{evaluate_dynamic, AnchorPoint};
 use vmtherm_core::features::FeatureEncoding;
 use vmtherm_core::fleet::ShardedMonitor;
+use vmtherm_core::monitor::FleetMonitor;
 use vmtherm_core::stable::{
     dataset_from_outcomes, run_experiments, run_experiments_threaded, StablePredictor,
     TrainingOptions,
 };
 use vmtherm_obs::{self as obs, report, ObsEvent, TraceMode};
 use vmtherm_sim::experiment::ConfigSnapshot;
+use vmtherm_sim::scenario::{generate, oracle, shrink};
 use vmtherm_sim::units::{Celsius, Seconds, Watts};
 use vmtherm_sim::{
     AmbientModel, CaseGenerator, ClockMode, Datacenter, DropoutFault, Event, FaultPlan,
-    JitterFault, LostEventFault, ServerSpec, SimDuration, SimTime, Simulation, SpikeFault,
-    StuckFault, TaskProfile, VmSpec,
+    JitterFault, LostEventFault, Scenario, ServerSpec, SimDuration, SimTime, Simulation,
+    SpikeFault, StuckFault, TaskProfile, VmSpec,
 };
 use vmtherm_svm::data::Dataset;
 use vmtherm_svm::metrics;
@@ -83,6 +85,19 @@ COMMANDS:
             simulated fleet and report the cooling-power saving
             --model MODEL [--servers N=6] [--vms-per N=4] [--limit C=68]
             [--margin C=1.5] [--min C=16] [--max C=32] [--seed S=7]
+  fuzz      sample seeded scenarios and run each through the differential
+            oracle battery (determinism, fixed-vs-event clock equivalence,
+            (threads, shards) bit-identity, clean-path identity, physical
+            invariants); shrink any violation to a minimal repro JSON
+            [--seed S=61474] [--cases K=50] [--dir DIR=tests/scenarios]
+            [--shrink-budget N=400] [--out FILE write a campaign record
+            (JSON) whether or not violations were found]
+            exits non-zero when any case violates an oracle, after the
+            minimized repros are written
+  replay    re-run checked-in scenario files through the oracle battery
+            [--path FILE_OR_DIR=tests/scenarios] [--model MODEL also drive
+            the fleet monitor over each run and check its consistency
+            report]
   obs-report  summarize a JSONL trace: per-span timing tree and top-line
             counters (validates every line against the event schema)
             --trace FILE
@@ -127,6 +142,8 @@ pub fn run(command: &str, flags: &Flags) -> Result<String, String> {
         "chaos" => chaos(flags),
         "watchdog" => watchdog(flags),
         "setpoint" => setpoint(flags),
+        "fuzz" => fuzz(flags),
+        "replay" => replay(flags),
         "obs-serve" => obs_serve(flags),
         other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     };
@@ -791,6 +808,186 @@ fn setpoint(flags: &Flags) -> Result<String, String> {
     }
 }
 
+/// Runs a seeded scenario-fuzzing campaign: every case is a pure
+/// function of `(--seed, index)`, so a failure here is a reproduction
+/// command, not a flake. Violations are shrunk to minimal repro files
+/// and the command exits non-zero so CI jobs fail loudly.
+fn fuzz(flags: &Flags) -> Result<String, String> {
+    let seed: u64 = flags.num("seed", 0xF022)?;
+    let cases: u64 = flags.num("cases", 50)?;
+    let budget: u64 = flags.num("shrink-budget", 400)?;
+    let dir = flags
+        .get("dir")
+        .map_or_else(|| "tests/scenarios".to_string(), str::to_string);
+    if cases == 0 {
+        return Err("--cases must be positive".to_string());
+    }
+    let config = oracle::OracleConfig::default();
+
+    let mut detail = String::new();
+    let mut repros: Vec<String> = Vec::new();
+    let mut min_skip = f64::INFINITY;
+    let mut max_skip = 0.0f64;
+    for index in 0..cases {
+        let scenario = generate::scenario(seed, index);
+        let report = oracle::check_scenario(&scenario, &config)
+            .map_err(|e| format!("case {index} ({}): {e}", scenario.name))?;
+        min_skip = min_skip.min(report.event_skip_factor);
+        max_skip = max_skip.max(report.event_skip_factor);
+        let Some(first) = report.failures.first().cloned() else {
+            continue;
+        };
+        let _ = writeln!(detail, "case {index} ({}): {first}", scenario.name);
+        let result = shrink::shrink(&scenario, first, budget, &mut |candidate| {
+            oracle::check_scenario(candidate, &config)
+                .ok()
+                .and_then(|r| r.failures.first().cloned())
+        });
+        let mut minimized = result.scenario;
+        minimized.name = format!("repro-{seed}-{index}");
+        fs::create_dir_all(&dir).map_err(|e| format!("creating {dir}: {e}"))?;
+        let path = format!("{dir}/{}.json", minimized.name);
+        fs::write(&path, minimized.to_json_string()).map_err(|e| format!("writing {path}: {e}"))?;
+        let _ = writeln!(
+            detail,
+            "  minimized to {} event(s) over {} server(s) in {} oracle check(s) -> {path}\n  \
+             still fails: {}",
+            minimized.events.len(),
+            minimized.servers,
+            result.attempts,
+            result.failure
+        );
+        repros.push(path);
+    }
+
+    // The campaign record is written before the pass/fail verdict so a
+    // red nightly run still uploads what it found.
+    if let Some(path) = flags.get("out") {
+        let record = obs::Json::obj(vec![
+            ("schema", obs::Json::Num(1.0)),
+            ("campaign_seed", obs::Json::Str(seed.to_string())),
+            ("cases", obs::Json::Num(cases as f64)),
+            ("failures", obs::Json::Num(repros.len() as f64)),
+            (
+                "repros",
+                obs::Json::Arr(repros.iter().map(|p| obs::Json::str(p)).collect()),
+            ),
+            ("min_event_skip_factor", obs::Json::Num(min_skip)),
+            ("max_event_skip_factor", obs::Json::Num(max_skip)),
+        ]);
+        fs::write(path, record.render_pretty() + "\n")
+            .map_err(|e| format!("writing {path}: {e}"))?;
+    }
+
+    if repros.is_empty() {
+        Ok(format!(
+            "fuzz campaign seed {seed}: {cases} case(s) passed every oracle \
+             (event skip factor {min_skip:.2}-{max_skip:.2})"
+        ))
+    } else {
+        Err(format!(
+            "fuzz campaign seed {seed}: {} of {cases} case(s) violated an oracle\n{detail}",
+            repros.len()
+        ))
+    }
+}
+
+/// Replays checked-in scenario files through the oracle battery — the
+/// regression half of the fuzz/shrink/replay loop. With `--model`, each
+/// run additionally drives the fleet monitor over the simulation and
+/// checks its internal-consistency report.
+fn replay(flags: &Flags) -> Result<String, String> {
+    let path = flags
+        .get("path")
+        .map_or_else(|| "tests/scenarios".to_string(), str::to_string);
+    let model = match flags.get("model") {
+        Some(p) => Some(load_model(p)?),
+        None => None,
+    };
+    let config = oracle::OracleConfig::default();
+
+    let meta = fs::metadata(&path).map_err(|e| format!("{path}: {e}"))?;
+    let mut files: Vec<std::path::PathBuf> = if meta.is_dir() {
+        fs::read_dir(&path)
+            .map_err(|e| format!("{path}: {e}"))?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+            .collect()
+    } else {
+        vec![std::path::PathBuf::from(&path)]
+    };
+    files.sort();
+    if files.is_empty() {
+        return Err(format!("{path}: no scenario files (*.json)"));
+    }
+
+    let mut out = String::new();
+    let mut failed = 0usize;
+    for file in &files {
+        let name = file.display();
+        let text = fs::read_to_string(file).map_err(|e| format!("{name}: {e}"))?;
+        let scenario = Scenario::parse(&text).map_err(|e| format!("{name}: {e}"))?;
+        let report =
+            oracle::check_scenario(&scenario, &config).map_err(|e| format!("{name}: {e}"))?;
+        let mut lines: Vec<String> = report.failures.iter().map(ToString::to_string).collect();
+        if let Some(model) = &model {
+            lines.extend(monitor_oracle(&scenario, model).map_err(|e| format!("{name}: {e}"))?);
+        }
+        if lines.is_empty() {
+            let _ = writeln!(
+                out,
+                "ok   {} ({} event(s), skip factor {:.2})",
+                scenario.name,
+                scenario.events.len(),
+                report.event_skip_factor
+            );
+        } else {
+            failed += 1;
+            let _ = writeln!(out, "FAIL {} ({name})", scenario.name);
+            for line in lines {
+                let _ = writeln!(out, "     {line}");
+            }
+        }
+    }
+    let summary = format!(
+        "replayed {} scenario(s): {} passed, {failed} failed\n{out}",
+        files.len(),
+        files.len() - failed
+    );
+    if failed == 0 {
+        Ok(summary)
+    } else {
+        Err(summary)
+    }
+}
+
+/// Drives the fleet monitor over a fixed-clock run of `scenario` and
+/// returns its consistency violations (empty = healthy).
+fn monitor_oracle(scenario: &Scenario, model: &StablePredictor) -> Result<Vec<String>, String> {
+    let mut sim = scenario
+        .build(ClockMode::Fixed)
+        .map_err(|e| e.to_string())?;
+    let mut monitor = FleetMonitor::new(
+        model.clone(),
+        DynamicConfig::new(),
+        scenario.servers,
+        Seconds::new(60.0),
+    )
+    .map_err(|e| e.to_string())?;
+    // The snapshot ambient only anchors the stable predictions; the
+    // fixed-model value is exact and 24 C is a fair stand-in otherwise.
+    let ambient = match scenario.ambient {
+        AmbientModel::Fixed(c) => c,
+        _ => 24.0,
+    };
+    for _ in 0..scenario.duration.as_millis() / 1000 {
+        sim.step();
+        monitor.observe(&sim, Celsius::new(ambient));
+    }
+    Ok(monitor.invariant_report(&sim))
+}
+
 /// Runs a small always-on fleet and serves its live metrics over HTTP.
 ///
 /// This is a demo/smoke harness rather than a simulation experiment: the
@@ -1313,6 +1510,55 @@ mod tests {
         );
         assert!(events.len() > 1, "dump holds no pre-incident events");
         let _ = fs::remove_dir_all(&flight_dir);
+    }
+
+    #[test]
+    fn fuzz_campaign_is_clean_and_writes_record() {
+        let dir = temp_path("fuzz-repros");
+        let bench = temp_path("fuzz_bench.json");
+        let msg = run(
+            "fuzz",
+            &flags(&[
+                "--seed", "1234", "--cases", "2", "--dir", &dir, "--out", &bench,
+            ]),
+        )
+        .expect("fuzz");
+        assert!(msg.contains("passed every oracle"), "unexpected: {msg}");
+        let record =
+            vmtherm_obs::json::parse(&fs::read_to_string(&bench).expect("bench")).expect("json");
+        assert_eq!(
+            record.get("failures").and_then(vmtherm_obs::Json::as_u64),
+            Some(0)
+        );
+        assert_eq!(
+            record.get("cases").and_then(vmtherm_obs::Json::as_u64),
+            Some(2)
+        );
+
+        let err = run("fuzz", &flags(&["--cases", "0"])).unwrap_err();
+        assert!(err.contains("--cases"), "unexpected: {err}");
+    }
+
+    #[test]
+    fn replay_checks_corpus_files() {
+        let dir = std::env::temp_dir().join("vmtherm-cli-tests-replay");
+        fs::create_dir_all(&dir).expect("corpus dir");
+        let scenario = Scenario::quiet("replay-smoke", 3, 2, SimDuration::from_secs(120));
+        fs::write(dir.join("replay-smoke.json"), scenario.to_json_string()).expect("write");
+        let dir_str = dir.to_string_lossy().into_owned();
+
+        let msg = run("replay", &flags(&["--path", &dir_str])).expect("replay");
+        assert!(msg.contains("1 passed, 0 failed"), "unexpected: {msg}");
+        assert!(msg.contains("ok   replay-smoke"), "unexpected: {msg}");
+
+        // A corrupt file is a hard error, not a silent skip.
+        fs::write(dir.join("broken.json"), "{").expect("write");
+        let err = run("replay", &flags(&["--path", &dir_str])).unwrap_err();
+        assert!(err.contains("broken.json"), "unexpected: {err}");
+        let _ = fs::remove_dir_all(&dir);
+
+        let err = run("replay", &flags(&["--path", "/does/not/exist"])).unwrap_err();
+        assert!(err.contains("/does/not/exist"), "unexpected: {err}");
     }
 
     #[test]

@@ -900,6 +900,96 @@ impl FleetMonitor {
     pub fn predictors(&self) -> &[DynamicPredictor] {
         &self.predictors
     }
+
+    /// Cross-checks the monitor's internal bookkeeping against the
+    /// simulation it has been observing — the monitor-side oracle of
+    /// the scenario fuzzer's battery. Returns one message per violated
+    /// consistency rule (empty = healthy):
+    ///
+    /// * **coverage** — every delivered sample has been consumed
+    ///   (`delivered_cursor` matches the stream length, never past it);
+    /// * **ingestion** — accepted samples are finite and no newer than
+    ///   the simulation clock;
+    /// * **anchoring** — anchor timestamps are finite, not in the
+    ///   future, and re-anchor counts are consistent with the recovery
+    ///   counters;
+    /// * **forecasts** — pending queues are sorted by target time with
+    ///   finite values;
+    /// * **scoring** — squared-error accumulators are finite and
+    ///   non-negative, holdover flags imply a recorded holdover entry.
+    #[must_use]
+    pub fn invariant_report(&self, sim: &Simulation) -> Vec<String> {
+        let mut violations = Vec::new();
+        let now = sim.now().as_secs_f64();
+        for i in 0..self.servers() {
+            let global = self.lo + i;
+            let id = ServerId::new(global);
+            if let Some(stream) = sim.delivered(id) {
+                let cursor = self.delivered_cursor.get(i).copied().unwrap_or(0);
+                if cursor != stream.len() {
+                    violations.push(format!(
+                        "server {global}: consumed {cursor} of {} delivered samples",
+                        stream.len()
+                    ));
+                }
+            }
+            if let Some(ingested) = self.ingested.get(i) {
+                if let Some((t, v)) = ingested.iter().last() {
+                    if !t.is_finite() || t > now {
+                        violations.push(format!(
+                            "server {global}: ingested sample at t={t} beyond clock {now}"
+                        ));
+                    }
+                    if !v.is_finite() {
+                        violations.push(format!(
+                            "server {global}: non-finite ingested value at t={t}"
+                        ));
+                    }
+                }
+            }
+            let anchor = self.last_anchor.get(i).copied().unwrap_or(0.0);
+            if !anchor.is_finite() || anchor > now {
+                violations.push(format!(
+                    "server {global}: anchor at t={anchor} beyond clock {now}"
+                ));
+            }
+            let reanchors = self.reanchors.get(i).copied().unwrap_or(0);
+            let degradation = self.degradation.get(i).copied().unwrap_or_default();
+            if degradation.recovery_reanchors > reanchors {
+                violations.push(format!(
+                    "server {global}: {} recovery re-anchors exceed {reanchors} total anchors",
+                    degradation.recovery_reanchors
+                ));
+            }
+            if self.holdover.get(i).copied().unwrap_or(false) && degradation.holdover_entries == 0 {
+                violations.push(format!(
+                    "server {global}: in holdover with no holdover entry recorded"
+                ));
+            }
+            if let Some(pending) = self.pending.get(i) {
+                let mut prev = f64::NEG_INFINITY;
+                for &(target, forecast) in pending {
+                    if !target.is_finite() || !forecast.is_finite() || target < prev {
+                        violations.push(format!(
+                            "server {global}: pending forecast ({target}, {forecast}) \
+                             out of order or non-finite"
+                        ));
+                        break;
+                    }
+                    prev = target;
+                }
+            }
+            if let Some(stats) = self.stats.get(i) {
+                if !stats.sum_sq_err.is_finite() || stats.sum_sq_err < 0.0 {
+                    violations.push(format!(
+                        "server {global}: squared-error accumulator {} invalid",
+                        stats.sum_sq_err
+                    ));
+                }
+            }
+        }
+        violations
+    }
 }
 
 #[cfg(test)]
@@ -991,6 +1081,8 @@ mod tests {
         let (target, value) = monitor.latest_forecast(ServerId::new(0)).unwrap();
         assert!(target > 1400.0);
         assert!((20.0..90.0).contains(&value));
+        let report = monitor.invariant_report(&sim);
+        assert!(report.is_empty(), "consistency violations: {report:?}");
     }
 
     #[test]
@@ -1038,6 +1130,8 @@ mod tests {
         }
         let fleet = monitor.fleet_mse();
         assert!(fleet.is_finite(), "fleet mse {fleet}");
+        let report = monitor.invariant_report(&sim);
+        assert!(report.is_empty(), "consistency violations: {report:?}");
     }
 
     #[test]

@@ -804,7 +804,13 @@ impl Simulation {
                 self.settle_and_wake(dest.raw());
             }
             // The ambient feeds every server's boundary condition.
-            Event::SetAmbient(_) => self.settle_all(),
+            Event::SetAmbient(_) => {
+                #[cfg(test)]
+                if planted::skip_ambient_settle() {
+                    return;
+                }
+                self.settle_all();
+            }
         }
     }
 
@@ -1267,6 +1273,33 @@ fn fault_wake_ticks(plan: &FaultPlan, dt: SimDuration) -> Vec<SimTime> {
     ticks.sort_unstable();
     ticks.dedup();
     ticks
+}
+
+/// Test-only planted defect used to prove the scenario fuzzer can catch
+/// real settle-protocol bugs: when armed, [`Simulation`] skips the
+/// settle-before-mutation pass on ambient swaps, so sleeping servers
+/// later integrate their entire skipped span under the *new* ambient —
+/// exactly the class of bug the event clock's catch-up protocol exists
+/// to prevent. Thread-local because `settle_for` only ever runs on the
+/// engine's calling thread (workers handle the physics phase), and
+/// test binaries run tests on many threads at once.
+#[cfg(test)]
+pub(crate) mod planted {
+    use std::cell::Cell;
+
+    thread_local! {
+        static SKIP_AMBIENT_SETTLE: Cell<bool> = const { Cell::new(false) };
+    }
+
+    /// Arms or disarms the defect on the current thread.
+    pub(crate) fn set_skip_ambient_settle(on: bool) {
+        SKIP_AMBIENT_SETTLE.with(|flag| flag.set(on));
+    }
+
+    /// Whether the defect is armed on the current thread.
+    pub(crate) fn skip_ambient_settle() -> bool {
+        SKIP_AMBIENT_SETTLE.with(Cell::get)
+    }
 }
 
 #[cfg(test)]

@@ -47,6 +47,8 @@
 //! - [`engine`] — event-driven stepping and telemetry
 //! - [`telemetry`] — time series and traces
 //! - [`experiment`] — the paper's run-to-stable record collection protocol
+//! - [`scenario`] — declarative scenarios, the seeded fuzzer's generator,
+//!   differential-oracle battery and shrinker
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -72,6 +74,7 @@ pub mod fan;
 pub mod fault;
 pub mod migration;
 pub mod power;
+pub mod scenario;
 pub mod sensor;
 pub mod server;
 pub mod shard;
@@ -90,6 +93,11 @@ pub use experiment::{CaseGenerator, ConfigSnapshot, ExperimentConfig, Experiment
 pub use fault::{
     DropoutFault, FaultInjector, FaultPlan, FaultStats, JitterFault, LostEventFault, SpikeFault,
     StuckFault,
+};
+pub use scenario::{
+    oracle::{OracleConfig, OracleFailure, ScenarioReport},
+    shrink::ShrinkResult,
+    Scenario, ScenarioAction, ScenarioEvent,
 };
 pub use server::{Server, ServerId, ServerSpec};
 pub use telemetry::{ServerTrace, TelemetryError, TimeSeries};

@@ -29,13 +29,13 @@ impl SimTime {
 
     /// An instant `ms` milliseconds after the epoch.
     #[must_use]
-    pub fn from_millis(ms: u64) -> Self {
+    pub const fn from_millis(ms: u64) -> Self {
         SimTime(ms)
     }
 
     /// An instant `secs` seconds after the epoch.
     #[must_use]
-    pub fn from_secs(secs: u64) -> Self {
+    pub const fn from_secs(secs: u64) -> Self {
         SimTime(secs * 1000)
     }
 
@@ -79,13 +79,13 @@ impl SimDuration {
 
     /// A duration of `ms` milliseconds.
     #[must_use]
-    pub fn from_millis(ms: u64) -> Self {
+    pub const fn from_millis(ms: u64) -> Self {
         SimDuration(ms)
     }
 
     /// A duration of `secs` seconds.
     #[must_use]
-    pub fn from_secs(secs: u64) -> Self {
+    pub const fn from_secs(secs: u64) -> Self {
         SimDuration(secs * 1000)
     }
 

@@ -7,13 +7,35 @@
 use proptest::prelude::*;
 use vmtherm_sim::fault::{DropoutFault, FaultPlan, JitterFault, SpikeFault};
 use vmtherm_sim::{
-    AmbientModel, Datacenter, Event, ServerId, ServerSpec, SimTime, Simulation, TaskProfile, VmSpec,
+    AmbientModel, ClockMode, Datacenter, Event, ServerId, ServerSpec, SimTime, Simulation,
+    TaskProfile, VmSpec,
 };
 use vmtherm_units::{Celsius, Seconds};
+
+/// The ambient profiles the grid is exercised under. All four are
+/// *global-clock* models: every shard must evaluate them at the same
+/// simulation time, so a shard-local clock bug shows up as a trace
+/// divergence here.
+fn ambient_for(kind: u8) -> AmbientModel {
+    match kind % 4 {
+        0 => AmbientModel::Fixed(22.0),
+        1 => AmbientModel::Diurnal {
+            mean: 23.0,
+            amplitude: 3.0,
+            period_secs: 300.0,
+        },
+        2 => AmbientModel::Crac {
+            setpoint: 21.0,
+            degrees_per_kw: 1.0,
+        },
+        _ => AmbientModel::Schedule(vec![(SimTime::ZERO, 22.0), (SimTime::from_secs(15), 27.0)]),
+    }
+}
 
 /// Runs a small fleet scenario and returns every deterministic output
 /// bit: room heat, die temperatures, full sensor traces, the delivered
 /// (faulted) telemetry stream and the fault counters.
+#[allow(clippy::too_many_arguments)]
 fn run_fingerprint(
     servers: usize,
     sim_seed: u64,
@@ -22,6 +44,8 @@ fn run_fingerprint(
     threads: usize,
     shards: usize,
     steps: u64,
+    clock: ClockMode,
+    ambient: AmbientModel,
 ) -> Vec<u64> {
     let dc = Datacenter::homogeneous(
         &ServerSpec::standard("p"),
@@ -30,8 +54,9 @@ fn run_fingerprint(
         Celsius::new(24.0),
         sim_seed,
     );
-    let mut sim = Simulation::new(dc, AmbientModel::Fixed(24.0), sim_seed).with_threads(threads);
+    let mut sim = Simulation::new(dc, ambient, sim_seed).with_threads(threads);
     sim.set_shards(shards);
+    sim.set_clock_mode(clock);
     if faulted {
         sim.set_fault_plan(
             FaultPlan::new(fault_seed)
@@ -79,6 +104,13 @@ fn run_fingerprint(
             fp.push(t.to_bits());
             fp.push(v.to_bits());
         }
+        // The ambient trace pins the global-clock profile evaluation:
+        // every shard must have sampled the same room temperature at the
+        // same instants.
+        for (t, v) in sim.trace(sid).unwrap().ambient_c.iter() {
+            fp.push(t.to_bits());
+            fp.push(v.to_bits());
+        }
         if let Some(delivered) = sim.delivered(sid) {
             for &(t, v) in delivered {
                 fp.push(t.to_bits());
@@ -114,10 +146,14 @@ proptest! {
     ) {
         let threads = 1usize << threads_exp; // {2, 4, 8}
         let faulted = faulted_bit == 1;
-        let reference =
-            run_fingerprint(servers, sim_seed, fault_seed, faulted, 1, 0, steps);
-        let sharded =
-            run_fingerprint(servers, sim_seed, fault_seed, faulted, threads, shards, steps);
+        let reference = run_fingerprint(
+            servers, sim_seed, fault_seed, faulted, 1, 0, steps,
+            ClockMode::Fixed, AmbientModel::Fixed(24.0),
+        );
+        let sharded = run_fingerprint(
+            servers, sim_seed, fault_seed, faulted, threads, shards, steps,
+            ClockMode::Fixed, AmbientModel::Fixed(24.0),
+        );
         prop_assert_eq!(
             reference,
             sharded,
@@ -128,5 +164,141 @@ proptest! {
             steps,
             faulted
         );
+    }
+
+    /// The contract holds in *event* clock mode and under every
+    /// time-varying ambient profile: sparse wake-ups and global-clock
+    /// ambient evaluation are both shard-invariant.
+    #[test]
+    fn event_clock_and_ambient_profiles_are_shard_invariant(
+        servers in 1usize..=8,
+        threads_exp in 1u32..=3,
+        shards in 0usize..=12,
+        steps in 6u64..=30,
+        sim_seed in 0u64..1_000,
+        ambient_kind in 0u8..=3,
+        event_bit in 0u8..=1,
+    ) {
+        let threads = 1usize << threads_exp;
+        let clock = if event_bit == 1 { ClockMode::Event } else { ClockMode::Fixed };
+        let reference = run_fingerprint(
+            servers, sim_seed, 0, false, 1, 0, steps, clock, ambient_for(ambient_kind),
+        );
+        let sharded = run_fingerprint(
+            servers, sim_seed, 0, false, threads, shards, steps, clock, ambient_for(ambient_kind),
+        );
+        prop_assert_eq!(
+            reference,
+            sharded,
+            "diverged at servers={} threads={} shards={} steps={} clock={:?} ambient_kind={}",
+            servers,
+            threads,
+            shards,
+            steps,
+            clock,
+            ambient_kind
+        );
+    }
+}
+
+/// A long quiet horizon where event-mode sleep actually engages: the
+/// sharded event run must reproduce the serial event run bit-for-bit
+/// *and* still do less work than dense stepping (sharding must not
+/// silently disable sleep).
+#[test]
+fn event_mode_sleep_survives_sharding() {
+    let steps = 1800;
+    let serial = run_fingerprint(
+        6,
+        9,
+        0,
+        false,
+        1,
+        0,
+        steps,
+        ClockMode::Event,
+        AmbientModel::Fixed(24.0),
+    );
+    let sharded = run_fingerprint(
+        6,
+        9,
+        0,
+        false,
+        3,
+        5,
+        steps,
+        ClockMode::Event,
+        AmbientModel::Fixed(24.0),
+    );
+    assert_eq!(serial, sharded, "sharding changed the sleeping event run");
+
+    // Re-run the sharded configuration to read its step statistics.
+    let dc = Datacenter::homogeneous(&ServerSpec::standard("p"), 6, 4, Celsius::new(24.0), 9);
+    let mut sim = Simulation::new(dc, AmbientModel::Fixed(24.0), 9).with_threads(3);
+    sim.set_shards(5);
+    sim.set_clock_mode(ClockMode::Event);
+    for _ in 0..steps {
+        sim.step();
+    }
+    let stats = sim.step_stats();
+    assert!(
+        stats.skip_factor() > 1.5,
+        "sleep never engaged under sharding: skip factor {}",
+        stats.skip_factor()
+    );
+}
+
+/// Pins the current global-clock ambient semantics: a scheduled room
+/// step lands in every server's ambient trace at the scheduled instant,
+/// regardless of the shard that stepped the server.
+#[test]
+fn scheduled_ambient_step_is_globally_clocked() {
+    for (threads, shards) in [(1, 0), (3, 5)] {
+        let dc = Datacenter::homogeneous(&ServerSpec::standard("p"), 5, 4, Celsius::new(22.0), 3);
+        let mut sim = Simulation::new(
+            dc,
+            AmbientModel::Schedule(vec![(SimTime::ZERO, 22.0), (SimTime::from_secs(15), 27.0)]),
+            3,
+        )
+        .with_threads(threads);
+        sim.set_shards(shards);
+        for _ in 0..30 {
+            sim.step();
+        }
+        // Each server sees the schedule through its own inlet offset, so
+        // pin the shape: constant before the step, constant after, and
+        // the step itself is exactly the scheduled +5 °C at t = 15 s.
+        for s in 0..5 {
+            let trace = sim.trace(ServerId::new(s)).unwrap();
+            let before: Vec<f64> = trace
+                .ambient_c
+                .iter()
+                .filter(|(t, _)| *t < 15.0)
+                .map(|(_, v)| v)
+                .collect();
+            let after: Vec<f64> = trace
+                .ambient_c
+                .iter()
+                .filter(|(t, _)| *t >= 15.0)
+                .map(|(_, v)| v)
+                .collect();
+            assert!(
+                !before.is_empty() && !after.is_empty(),
+                "server {s} trace empty"
+            );
+            assert!(
+                before.iter().all(|v| (v - before[0]).abs() == 0.0),
+                "server {s} ambient drifts before the step (threads={threads} shards={shards})"
+            );
+            assert!(
+                after.iter().all(|v| (v - after[0]).abs() == 0.0),
+                "server {s} ambient drifts after the step (threads={threads} shards={shards})"
+            );
+            assert!(
+                (after[0] - before[0] - 5.0).abs() < 1e-9,
+                "server {s} step is {} not +5 (threads={threads} shards={shards})",
+                after[0] - before[0]
+            );
+        }
     }
 }

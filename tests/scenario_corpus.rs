@@ -1,0 +1,157 @@
+//! Replays every checked-in scenario under `tests/scenarios/` through
+//! the differential oracle battery — the regression half of the
+//! fuzz → shrink → check-in loop. Each file must:
+//!
+//! * parse losslessly (value round-trip through the JSON codec);
+//! * pass determinism, fixed-vs-event clock equivalence, shard-grid
+//!   bit-identity, clean-path identity and the physical invariants;
+//! * keep the fleet monitor internally consistent when driven over the
+//!   fixed-clock run.
+//!
+//! A shrunk repro landing here is a permanent regression test: delete a
+//! file only when the property it pins is retired.
+
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use vmtherm::core::dynamic::DynamicConfig;
+use vmtherm::core::monitor::FleetMonitor;
+use vmtherm::core::stable::{run_experiments, StablePredictor, TrainingOptions};
+use vmtherm::sim::scenario::oracle::{
+    check_scenario, physical_fingerprint, run_to_end, OracleConfig,
+};
+use vmtherm::sim::{AmbientModel, CaseGenerator, ClockMode, Scenario, SimDuration};
+use vmtherm::svm::kernel::Kernel;
+use vmtherm::svm::svr::SvrParams;
+use vmtherm::units::{Celsius, Seconds};
+
+/// Every `*.json` under `tests/scenarios/`, sorted for deterministic
+/// test output.
+fn corpus() -> Vec<(PathBuf, Scenario)> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/scenarios");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("tests/scenarios must exist")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    files.sort();
+    files
+        .into_iter()
+        .map(|path| {
+            let text = std::fs::read_to_string(&path).expect("readable corpus file");
+            let scenario = Scenario::parse(&text)
+                .unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
+            (path, scenario)
+        })
+        .collect()
+}
+
+/// One stable model shared by the monitor-oracle test (training is the
+/// expensive part).
+fn model() -> &'static StablePredictor {
+    static MODEL: OnceLock<StablePredictor> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let mut generator = CaseGenerator::new(42);
+        let configs: Vec<_> = generator
+            .random_cases(60, 42 * 13)
+            .into_iter()
+            .map(|c| c.with_duration(SimDuration::from_secs(900)))
+            .collect();
+        let options = TrainingOptions::new().with_params(
+            SvrParams::new()
+                .with_c(128.0)
+                .with_epsilon(0.05)
+                .with_kernel(Kernel::rbf(0.02)),
+        );
+        StablePredictor::fit(&run_experiments(&configs), &options).expect("training")
+    })
+}
+
+#[test]
+fn corpus_is_present_and_round_trips() {
+    let corpus = corpus();
+    assert!(
+        corpus.len() >= 5,
+        "seed corpus shrank to {} scenario(s)",
+        corpus.len()
+    );
+    for (path, scenario) in &corpus {
+        scenario
+            .validate()
+            .unwrap_or_else(|e| panic!("{} invalid: {e}", path.display()));
+        let rendered = scenario.to_json_string();
+        let reparsed = Scenario::parse(&rendered).expect("re-parse");
+        assert_eq!(
+            &reparsed,
+            scenario,
+            "{} does not round-trip through the codec",
+            path.display()
+        );
+        let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("");
+        assert_eq!(
+            stem,
+            scenario.name,
+            "{} filename disagrees with scenario name",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn corpus_passes_the_oracle_battery() {
+    for (path, scenario) in corpus() {
+        let report = check_scenario(&scenario, &OracleConfig::default())
+            .unwrap_or_else(|e| panic!("{} battery: {e}", path.display()));
+        assert!(
+            report.passed(),
+            "{} regressed: {:?}",
+            path.display(),
+            report.failures
+        );
+    }
+}
+
+#[test]
+fn corpus_clock_modes_agree_bit_for_bit() {
+    // The battery already checks this, but the direct statement is the
+    // one a future clock change will trip first — keep it explicit.
+    for (path, scenario) in corpus() {
+        let fixed = run_to_end(&scenario, ClockMode::Fixed, 1, 1).expect("fixed run");
+        let event = run_to_end(&scenario, ClockMode::Event, 1, 1).expect("event run");
+        assert_eq!(
+            physical_fingerprint(&fixed),
+            physical_fingerprint(&event),
+            "{}: fixed and event clocks reached different end states",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn corpus_keeps_the_fleet_monitor_consistent() {
+    for (path, scenario) in corpus() {
+        let mut sim = scenario.build(ClockMode::Fixed).expect("build");
+        let mut monitor = FleetMonitor::new(
+            model().clone(),
+            DynamicConfig::new(),
+            scenario.servers,
+            Seconds::new(60.0),
+        )
+        .expect("monitor");
+        let ambient = match scenario.ambient {
+            AmbientModel::Fixed(c) => c,
+            _ => 24.0,
+        };
+        for _ in 0..scenario.duration.as_millis() / 1000 {
+            sim.step();
+            monitor.observe(&sim, Celsius::new(ambient));
+        }
+        let report = monitor.invariant_report(&sim);
+        assert!(
+            report.is_empty(),
+            "{}: monitor consistency violations: {report:?}",
+            path.display()
+        );
+    }
+}
